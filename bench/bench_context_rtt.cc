@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment T2 — the headline table: context round-trip time of the
+ * ELISA gate call vs a VMCALL-based host interposition (paper: 196 ns
+ * vs 699 ns, "3.5 times smaller").
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "elisa/gate.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::bench;
+
+const std::uint64_t iterations = scaledCount(1000000);
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    banner("T2", "context round-trip time (ELISA vs VMCALL)");
+
+    Testbed bed;
+    hv::Vm &guest_vm = bed.addGuest("guest");
+    core::ElisaGuest guest(guest_vm, bed.svc);
+
+    // Export a no-op function: the pure context round trip.
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
+    auto exported = bed.manager.exportObject("noop", pageSize,
+                                             std::move(fns));
+    fatal_if(!exported, "export failed");
+    auto gate = guest.attach("noop", bed.manager);
+    fatal_if(!gate, "attach failed");
+
+    cpu::Vcpu &cpu = guest.vcpu();
+
+    // ELISA gate call.
+    gate->call(0); // warm the translation caches
+    SimNs t0 = cpu.clock().now();
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        gate->call(0);
+    const double elisa_ns =
+        (double)(cpu.clock().now() - t0) / (double)iterations;
+
+    // VMCALL (Nop hypercall).
+    t0 = cpu.clock().now();
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+    const double vmcall_ns =
+        (double)(cpu.clock().now() - t0) / (double)iterations;
+
+    TextTable table;
+    table.header({"Description", "Time [ns]", "Paper [ns]"});
+    table.row({"ELISA", detail::format("%.0f", elisa_ns), "196"});
+    table.row({"VMCALL", detail::format("%.0f", vmcall_ns), "699"});
+    std::printf("%s\n", table.render().c_str());
+    saveCsv(table, "T2_context_rtt");
+
+    paperCheck("ELISA context RTT", elisa_ns, 196.0, "ns");
+    paperCheck("VMCALL context RTT", vmcall_ns, 699.0, "ns");
+    paperCheck("VMCALL/ELISA ratio", vmcall_ns / elisa_ns, 3.5, "x");
+    return 0;
+}

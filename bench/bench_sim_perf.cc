@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) of the simulator's hot
+ * paths: not a paper experiment, but the performance budget that
+ * makes the figure harnesses (millions of simulated packets/ops per
+ * point) tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/units.hh"
+#include "cpu/guest_view.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+
+namespace
+{
+
+using namespace elisa;
+
+/** Shared machine for all benchmarks (built once). */
+struct Machine
+{
+    Machine()
+        : hv(512 * MiB), svc(hv),
+          managerVm(hv.createVm("manager", 64 * MiB)),
+          guestVm(hv.createVm("guest", 64 * MiB)),
+          manager(managerVm, svc), guest(guestVm, svc)
+    {
+        setQuiet(true);
+        core::SharedFnTable fns;
+        fns.push_back(
+            [](core::SubCallCtx &) { return std::uint64_t{0}; });
+        manager.exportObject("perf", pageSize, std::move(fns));
+        gate = *guest.attach("perf", manager);
+    }
+
+    hv::Hypervisor hv;
+    core::ElisaService svc;
+    hv::Vm &managerVm;
+    hv::Vm &guestVm;
+    core::ElisaManager manager;
+    core::ElisaGuest guest;
+    core::Gate gate;
+};
+
+Machine &
+machine()
+{
+    static Machine m;
+    return m;
+}
+
+void
+BM_EptHardwareWalk(benchmark::State &state)
+{
+    Machine &m = machine();
+    const std::uint64_t eptp =
+        m.guestVm.defaultEpt().eptp();
+    for (auto _ : state) {
+        auto t = ept::hardwareWalk(m.hv.memory(), eptp, 0x1000);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_EptHardwareWalk);
+
+void
+BM_TlbHitAccess(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::GuestView view(m.guestVm.vcpu(0));
+    view.read<std::uint64_t>(0x1000);
+    for (auto _ : state) {
+        auto v = view.read<std::uint64_t>(0x1000);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_TlbHitAccess);
+
+void
+BM_GateCall(benchmark::State &state)
+{
+    Machine &m = machine();
+    for (auto _ : state) {
+        auto v = m.gate.call(0);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_GateCall);
+
+void
+BM_Vmcall(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::Vcpu &cpu = m.guestVm.vcpu(0);
+    for (auto _ : state) {
+        auto v = cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_Vmcall);
+
+void
+BM_GuestBulkCopy4K(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::GuestView view(m.guestVm.vcpu(0));
+    std::vector<std::uint8_t> buf(4096, 0xab);
+    for (auto _ : state) {
+        view.writeBytes(0x10000, buf.data(), buf.size());
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_GuestBulkCopy4K);
+
+} // namespace
+
+BENCHMARK_MAIN();

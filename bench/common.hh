@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benches: a standard testbed
+ * (machine + ELISA service + manager VM) and uniform report printing,
+ * so every experiment output looks the same and always states the
+ * cost-model calibration it ran under.
+ */
+
+#ifndef ELISA_BENCH_COMMON_HH
+#define ELISA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "base/units.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+
+namespace elisa::bench
+{
+
+/** A machine with an ELISA service and a manager VM, ready to go. */
+struct Testbed
+{
+    explicit Testbed(std::uint64_t phys_bytes = 1536 * MiB,
+                     const sim::CostModel &cost =
+                         sim::CostModel::fromEnv())
+        : hv(phys_bytes, cost), svc(hv),
+          managerVm(hv.createVm("manager", 128 * MiB)),
+          manager(managerVm, svc)
+    {
+    }
+
+    /** Add a guest VM with the standard size. */
+    hv::Vm &
+    addGuest(const std::string &name, std::uint64_t ram = 32 * MiB)
+    {
+        return hv.createVm(name, ram);
+    }
+
+    hv::Hypervisor hv;
+    core::ElisaService svc;
+    hv::Vm &managerVm;
+    core::ElisaManager manager;
+};
+
+/**
+ * Scale an iteration/packet/op count down when ELISA_BENCH_QUICK is
+ * set in the environment (smoke runs, CI): one tenth of the full
+ * count, floored at 2000 so percentiles stay meaningful.
+ */
+inline std::uint64_t
+scaledCount(std::uint64_t full)
+{
+    if (std::getenv("ELISA_BENCH_QUICK") == nullptr)
+        return full;
+    const std::uint64_t reduced = full / 10;
+    return reduced < 2000 ? std::min<std::uint64_t>(full, 2000)
+                          : reduced;
+}
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char *exp_id, const char *title)
+{
+    const char *rule = "==================================================="
+                       "===========";
+    std::printf("%s\n%s: %s\n%s\n%s\n", rule, exp_id, title,
+                sim::CostModel::fromEnv().summary().c_str(), rule);
+}
+
+/**
+ * Save a figure's data as CSV under bench_results/ (next to the
+ * working directory), so the series can be re-plotted without
+ * scraping stdout. Failures to write are reported but non-fatal.
+ */
+inline void
+saveCsv(const TextTable &table, const char *exp_id)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    const std::string path =
+        std::string("bench_results/") + exp_id + ".csv";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("could not write %s", path.c_str());
+        return;
+    }
+    const std::string csv = table.renderCsv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("  [csv] series saved to %s\n", path.c_str());
+}
+
+/** Print one paper-vs-measured check line. */
+inline void
+paperCheck(const char *what, double measured, double paper,
+           const char *unit)
+{
+    const double dev =
+        paper == 0.0 ? 0.0 : (measured - paper) / paper * 100.0;
+    std::printf("  [paper-check] %-44s measured=%.2f %s  paper=%.2f %s"
+                "  (%+.1f%%)\n",
+                what, measured, unit, paper, unit, dev);
+}
+
+} // namespace elisa::bench
+
+#endif // ELISA_BENCH_COMMON_HH

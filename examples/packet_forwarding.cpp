@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Virtual I/O (the paper's first use case): a guest VM receives and
+ * forwards packets through a NIC whose rings are owned by a manager
+ * VM, comparing the ELISA datapath against host interposition.
+ */
+
+#include <cstdio>
+
+#include "base/strutil.hh"
+#include "base/units.hh"
+#include "net/workloads.hh"
+
+using namespace elisa;
+
+int
+main()
+{
+    setQuiet(true);
+    hv::Hypervisor hv(1 * GiB);
+    core::ElisaService service(hv);
+    hv::Vm &manager_vm = hv.createVm("net-manager", 64 * MiB);
+    hv::Vm &nf_vm = hv.createVm("nf-guest", 64 * MiB);
+    core::ElisaManager manager(manager_vm, service);
+    core::ElisaGuest guest(nf_vm, service);
+    net::PhysNic nic(hv.cost());
+
+    const std::uint32_t sizes[] = {64, 512, 1472};
+    const std::uint64_t packets = 30000;
+
+    TextTable table;
+    table.header({"Datapath", "64B RX", "512B RX", "1472B RX",
+                  "(Mpps)"});
+
+    auto series = [&](net::NetPath &path) {
+        std::vector<std::string> cells{path.name()};
+        for (std::uint32_t size : sizes) {
+            nic.reset();
+            auto r = net::runRx(path, nic, size, packets);
+            if (r.corrupt) {
+                std::fprintf(stderr, "payload corruption on %s!\n",
+                             path.name());
+                exit(1);
+            }
+            cells.push_back(detail::format("%.2f", r.mpps()));
+        }
+        cells.push_back("");
+        table.row(cells);
+    };
+
+    // Host interposition: every packet costs a 699 ns VM exit.
+    net::VmcallPath vmcall(hv, nf_vm);
+    series(vmcall);
+
+    // ELISA: the NF's per-packet work runs in the manager's sub EPT
+    // context, reached by 196 ns gate calls — exit-less and the NIC
+    // rings stay invisible to the guest's default context.
+    net::ElisaPath elisa(hv, manager, guest, "fwd-rings");
+    series(elisa);
+
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("guest vmcalls: %llu (VMCALL path) | "
+                "guest vmfuncs: %llu (ELISA path)\n",
+                (unsigned long long)nf_vm.vcpu(0).stats().get("vmcall"),
+                (unsigned long long)nf_vm.vcpu(0).stats().get(
+                    "vmfunc"));
+    std::printf("NIC ring region is NOT mapped in the guest default "
+                "context:\n");
+    auto probe = nf_vm.run(0, [&] {
+        cpu::GuestView view(nf_vm.vcpu(0));
+        view.read<std::uint64_t>(core::objectGpa);
+    });
+    std::printf("  probe -> %s\n",
+                probe.ok ? "readable (bug!)" : "EPT violation");
+    return probe.ok ? 1 : 0;
+}

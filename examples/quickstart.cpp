@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: share one in-memory object between a manager VM and a
+ * guest VM with ELISA, in ~60 lines.
+ *
+ *  1. bring up the machine (hypervisor + ELISA service);
+ *  2. the manager VM exports a counter object plus the code allowed
+ *     to touch it;
+ *  3. a guest VM attaches through the negotiation slow path;
+ *  4. the guest bumps the counter exit-lessly via gate calls;
+ *  5. both sides observe the same state — isolated AND shared.
+ */
+
+#include <cstdio>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+
+using namespace elisa;
+
+int
+main()
+{
+    // 1. The machine: 256 MiB of simulated physical memory.
+    hv::Hypervisor hv(256 * MiB);
+    core::ElisaService service(hv);
+
+    hv::Vm &manager_vm = hv.createVm("manager", 32 * MiB);
+    hv::Vm &guest_vm = hv.createVm("guest", 32 * MiB);
+    core::ElisaManager manager(manager_vm, service);
+    core::ElisaGuest guest(guest_vm, service);
+
+    // 2. Export a page-sized counter object with two functions:
+    //    0 = increment-and-return, 1 = read.
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &ctx) {
+        const auto v = ctx.view.read<std::uint64_t>(ctx.obj) + ctx.arg0;
+        ctx.view.write<std::uint64_t>(ctx.obj, v);
+        return v;
+    });
+    fns.push_back([](core::SubCallCtx &ctx) {
+        return ctx.view.read<std::uint64_t>(ctx.obj);
+    });
+    auto exported =
+        manager.exportObject("counter", pageSize, std::move(fns));
+    if (!exported) {
+        std::fprintf(stderr, "export failed\n");
+        return 1;
+    }
+
+    // 3. Attach: request -> manager approval -> gate + sub context.
+    auto gate = guest.attach("counter", manager);
+    if (!gate) {
+        std::fprintf(stderr, "attach failed\n");
+        return 1;
+    }
+    std::printf("attached: gate EPTP index %u, sub EPTP index %u\n",
+                gate->info().gateIndex, gate->info().subIndex);
+
+    // 4. Exit-less calls: each costs 196 simulated ns of transition,
+    //    no VM exit.
+    const SimNs t0 = guest.vcpu().clock().now();
+    for (int i = 0; i < 1000; ++i)
+        gate->call(0, 7);
+    const SimNs per_call =
+        (guest.vcpu().clock().now() - t0) / 1000;
+    std::printf("1000 increments, %llu ns per call; VMCALLs used: "
+                "%llu (setup only), faulting exits: %llu\n",
+                (unsigned long long)per_call,
+                (unsigned long long)guest.vcpu().stats().get("vmcall"),
+                (unsigned long long)hv.stats().get(
+                    "exit_ept-violation"));
+
+    // 5. Both parties see the same object.
+    const std::uint64_t from_guest = gate->call(1);
+    const std::uint64_t from_manager =
+        manager.view().read<std::uint64_t>(exported->objectGpa);
+    std::printf("counter: guest sees %llu, manager sees %llu\n",
+                (unsigned long long)from_guest,
+                (unsigned long long)from_manager);
+
+    // ...and the guest cannot reach the object outside the gate.
+    auto result = guest_vm.run(0, [&] {
+        cpu::GuestView view(guest_vm.vcpu(0));
+        view.read<std::uint64_t>(core::objectGpa);
+    });
+    std::printf("direct access from guest default context: %s\n",
+                result.ok ? "SUCCEEDED (bug!)" : "faulted, as it must");
+
+    guest.detach(*gate);
+    return from_guest == from_manager && !result.ok ? 0 : 1;
+}

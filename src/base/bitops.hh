@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the page-table and ring code.
+ */
+
+#ifndef ELISA_BASE_BITOPS_HH
+#define ELISA_BASE_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace elisa
+{
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (value >> first) & mask;
+}
+
+/** Build a mask with bits [first, last] (inclusive) set. */
+constexpr std::uint64_t
+mask(unsigned last, unsigned first)
+{
+    return bits(~std::uint64_t{0}, last - first, 0) << first;
+}
+
+/**
+ * Insert @p field into bits [first, last] of @p value, returning the
+ * combined word. Bits of @p field outside the destination width are
+ * discarded.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(last, first);
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** True if @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Smallest power of two >= @p value (value must be <= 2^63). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t value)
+{
+    return value <= 1 ? 1 : std::bit_ceil(value);
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** Divide rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace elisa
+
+#endif // ELISA_BASE_BITOPS_HH

@@ -1,0 +1,95 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace elisa
+{
+
+namespace
+{
+
+bool quietInform = false;
+
+} // anonymous namespace
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string("<format error>");
+
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+emitLog(const char *label, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(),
+                 file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(),
+                 file, line);
+    std::abort();
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietInform)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::emitLog("info", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::emitLog("warn", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietInform = quiet;
+}
+
+} // namespace elisa

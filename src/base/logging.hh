@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * Severity ladder:
+ *  - inform(): normal operating message, no connotation of misbehaviour.
+ *  - warn():   something is off but the simulation can continue.
+ *  - fatal():  the simulation cannot continue due to a *user* error
+ *              (bad configuration, invalid arguments); exits with code 1.
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              aborts so a core dump / debugger can take over.
+ */
+
+#ifndef ELISA_BASE_LOGGING_HH
+#define ELISA_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace elisa
+{
+
+namespace detail
+{
+
+/** Render a printf-style format into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Emit one log line with the given severity label to stderr. */
+void emitLog(const char *label, const std::string &msg);
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Print an informative message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Silence / restore inform() output (benches use this). */
+void setQuiet(bool quiet);
+
+/**
+ * Terminate due to a user-level error (exit code 1).
+ * Usage: fatal("bad ring size %zu", n);
+ */
+#define fatal(...)                                                         \
+    ::elisa::detail::fatalImpl(__FILE__, __LINE__,                         \
+                               ::elisa::detail::format(__VA_ARGS__))
+
+/**
+ * Terminate due to an internal simulator bug (abort / core dump).
+ */
+#define panic(...)                                                         \
+    ::elisa::detail::panicImpl(__FILE__, __LINE__,                         \
+                               ::elisa::detail::format(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** fatal() unless @p cond is false. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+namespace detail
+{
+
+/** printf-style formatting into std::string (varargs front-end). */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace elisa
+
+#endif // ELISA_BASE_LOGGING_HH

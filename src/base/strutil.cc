@@ -1,0 +1,138 @@
+#include "base/strutil.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace elisa
+{
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    if (bytes >= GiB && bytes % GiB == 0)
+        return detail::format("%llu GiB",
+                              (unsigned long long)(bytes / GiB));
+    if (bytes >= MiB && bytes % MiB == 0)
+        return detail::format("%llu MiB",
+                              (unsigned long long)(bytes / MiB));
+    if (bytes >= KiB && bytes % KiB == 0)
+        return detail::format("%llu KiB",
+                              (unsigned long long)(bytes / KiB));
+    if (bytes >= MiB)
+        return detail::format("%.1f MiB", (double)bytes / (double)MiB);
+    if (bytes >= KiB)
+        return detail::format("%.1f KiB", (double)bytes / (double)KiB);
+    return detail::format("%llu B", (unsigned long long)bytes);
+}
+
+std::string
+humanNs(double ns)
+{
+    if (ns >= 1e9)
+        return detail::format("%.2f s", ns / 1e9);
+    if (ns >= 1e6)
+        return detail::format("%.2f ms", ns / 1e6);
+    if (ns >= 1e3)
+        return detail::format("%.2f us", ns / 1e3);
+    return detail::format("%.1f ns", ns);
+}
+
+std::string
+humanRate(double per_sec, const char *unit)
+{
+    if (per_sec >= 1e9)
+        return detail::format("%.2f G%s", per_sec / 1e9, unit);
+    if (per_sec >= 1e6)
+        return detail::format("%.2f M%s", per_sec / 1e6, unit);
+    if (per_sec >= 1e3)
+        return detail::format("%.2f K%s", per_sec / 1e3, unit);
+    return detail::format("%.2f %s", per_sec, unit);
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    headerCells = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(headerCells);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            out << cell;
+            if (i + 1 < widths.size())
+                out << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    if (!headerCells.empty()) {
+        emit(headerCells);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const std::string &cell = cells[i];
+            const bool needs_quotes =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (needs_quotes) {
+                out << '"';
+                for (char c : cell) {
+                    if (c == '"')
+                        out << '"';
+                    out << c;
+                }
+                out << '"';
+            } else {
+                out << cell;
+            }
+            if (i + 1 < cells.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    if (!headerCells.empty())
+        emit(headerCells);
+    for (const auto &r : rows)
+        emit(r);
+    return out.str();
+}
+
+} // namespace elisa

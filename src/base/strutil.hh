@@ -1,0 +1,52 @@
+/**
+ * @file
+ * String helpers used by benches and reports (human-readable quantities,
+ * simple table rendering).
+ */
+
+#ifndef ELISA_BASE_STRUTIL_HH
+#define ELISA_BASE_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elisa
+{
+
+/** Render a byte count as "4 KiB", "2.5 MiB", ... */
+std::string humanBytes(std::uint64_t bytes);
+
+/** Render a nanosecond count as "196 ns", "1.2 us", ... */
+std::string humanNs(double ns);
+
+/** Render an operations-per-second rate as "3.51 Mops/s", ... */
+std::string humanRate(double per_sec, const char *unit = "ops/s");
+
+/**
+ * Minimal fixed-width text table used by the bench harness so every
+ * figure/table prints with the same look.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the whole table, including a separator under the header. */
+    std::string render() const;
+
+    /** Render as CSV (RFC-4180-ish: cells quoted when needed). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace elisa
+
+#endif // ELISA_BASE_STRUTIL_HH

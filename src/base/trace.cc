@@ -1,0 +1,103 @@
+#include "base/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace elisa
+{
+
+namespace
+{
+
+const char *
+catName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Hv:
+        return "hv";
+      case TraceCat::VmExit:
+        return "vmexit";
+      case TraceCat::Elisa:
+        return "elisa";
+      case TraceCat::Ept:
+        return "ept";
+      case TraceCat::Net:
+        return "net";
+      default:
+        return "?";
+    }
+}
+
+std::uint32_t
+parseEnv()
+{
+    const char *env = std::getenv("ELISA_TRACE");
+    if (!env || !*env)
+        return 0;
+    std::uint32_t mask = 0;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string name =
+            spec.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (name == "all") {
+            mask = static_cast<std::uint32_t>(TraceCat::All);
+        } else if (name == "hv") {
+            mask |= static_cast<std::uint32_t>(TraceCat::Hv);
+        } else if (name == "vmexit") {
+            mask |= static_cast<std::uint32_t>(TraceCat::VmExit);
+        } else if (name == "elisa") {
+            mask |= static_cast<std::uint32_t>(TraceCat::Elisa);
+        } else if (name == "ept") {
+            mask |= static_cast<std::uint32_t>(TraceCat::Ept);
+        } else if (name == "net") {
+            mask |= static_cast<std::uint32_t>(TraceCat::Net);
+        } else if (!name.empty()) {
+            std::fprintf(stderr,
+                         "trace: unknown category '%s' ignored\n",
+                         name.c_str());
+        }
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return mask;
+}
+
+std::uint32_t &
+activeMask()
+{
+    static std::uint32_t mask = parseEnv();
+    return mask;
+}
+
+} // anonymous namespace
+
+bool
+traceEnabled(TraceCat cat)
+{
+    return (activeMask() & static_cast<std::uint32_t>(cat)) != 0;
+}
+
+void
+traceOverride(std::uint32_t mask)
+{
+    activeMask() = mask;
+}
+
+void
+tracePrintf(TraceCat cat, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "trace[%s]: ", catName(cat));
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+}
+
+} // namespace elisa

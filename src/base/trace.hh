@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Category-based trace output (gem5 DPRINTF-style).
+ *
+ * Categories are enabled at process start through the ELISA_TRACE
+ * environment variable: a comma-separated list of category names, or
+ * "all". Disabled categories cost one boolean test per trace point.
+ *
+ *   ELISA_TRACE=elisa,vmexit ./build/examples/quickstart
+ *
+ * Trace lines carry the emitting category and go to stderr:
+ *
+ *   trace[elisa]: attach request 3 from VM 1 for 'counter'
+ */
+
+#ifndef ELISA_BASE_TRACE_HH
+#define ELISA_BASE_TRACE_HH
+
+#include <cstdint>
+
+namespace elisa
+{
+
+/** Trace categories (bitmask). */
+enum class TraceCat : std::uint32_t
+{
+    None = 0,
+    Hv = 1u << 0,     ///< VM lifecycle, hypercall dispatch
+    VmExit = 1u << 1, ///< faulting exits
+    Elisa = 1u << 2,  ///< negotiation + attachment lifecycle
+    Ept = 1u << 3,    ///< mapping changes
+    Net = 1u << 4,    ///< datapath setup
+    All = ~0u,
+};
+
+/** True when @p cat was enabled via ELISA_TRACE. */
+bool traceEnabled(TraceCat cat);
+
+/** Force categories on/off programmatically (tests). */
+void traceOverride(std::uint32_t mask);
+
+/** Emit one trace line (printf-style) if @p cat is enabled. */
+void tracePrintf(TraceCat cat, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Trace-point macro: evaluates arguments only when the category is
+ * live.
+ */
+#define ELISA_TRACE(cat, ...)                                          \
+    do {                                                               \
+        if (::elisa::traceEnabled(::elisa::TraceCat::cat))             \
+            ::elisa::tracePrintf(::elisa::TraceCat::cat,               \
+                                 __VA_ARGS__);                         \
+    } while (0)
+
+} // namespace elisa
+
+#endif // ELISA_BASE_TRACE_HH

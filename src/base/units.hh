@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Byte- and time-unit constants plus user-defined literals.
+ */
+
+#ifndef ELISA_BASE_UNITS_HH
+#define ELISA_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace elisa
+{
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Nanoseconds per microsecond / millisecond / second. */
+inline constexpr std::uint64_t nsPerUs = 1000;
+inline constexpr std::uint64_t nsPerMs = 1000 * nsPerUs;
+inline constexpr std::uint64_t nsPerSec = 1000 * nsPerMs;
+
+namespace literals
+{
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * KiB;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * MiB;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * GiB;
+}
+
+constexpr std::uint64_t operator""_us(unsigned long long v)
+{
+    return v * nsPerUs;
+}
+
+constexpr std::uint64_t operator""_ms(unsigned long long v)
+{
+    return v * nsPerMs;
+}
+
+constexpr std::uint64_t operator""_sec(unsigned long long v)
+{
+    return v * nsPerSec;
+}
+
+} // namespace literals
+
+} // namespace elisa
+
+#endif // ELISA_BASE_UNITS_HH

@@ -1,0 +1,36 @@
+#include "cpu/exit.hh"
+
+namespace elisa::cpu
+{
+
+const char *
+exitReasonToString(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::Hypercall:
+        return "hypercall";
+      case ExitReason::EptViolation:
+        return "ept-violation";
+      case ExitReason::VmfuncFail:
+        return "vmfunc-fail";
+      case ExitReason::Cpuid:
+        return "cpuid";
+      case ExitReason::Hlt:
+        return "hlt";
+    }
+    return "?";
+}
+
+VmExitEvent::VmExitEvent(ExitReason r, std::uint64_t qualification)
+    : std::runtime_error(exitReasonToString(r)), exitReason(r),
+      qual(qualification)
+{
+}
+
+VmExitEvent::VmExitEvent(const ept::EptViolation &v)
+    : std::runtime_error(v.describe()), exitReason(ExitReason::EptViolation),
+      qual(v.gpa), eptViolation(v)
+{
+}
+
+} // namespace elisa::cpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * VM-exit vocabulary of the simulated VT-x CPU.
+ *
+ * Synchronous, expected transitions (VMCALL hypercalls) are plain
+ * function calls into the hypervisor; *faulting* exits (EPT violations,
+ * invalid VMFUNC) are modelled as a C++ exception unwinding out of the
+ * guest code back to the VM runner, mirroring how the hardware rips
+ * control away from the guest mid-instruction.
+ */
+
+#ifndef ELISA_CPU_EXIT_HH
+#define ELISA_CPU_EXIT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "ept/ept.hh"
+
+namespace elisa::cpu
+{
+
+/** Why the CPU left guest context. */
+enum class ExitReason : std::uint8_t
+{
+    /** Guest executed VMCALL. */
+    Hypercall,
+    /** Guest memory access failed the EPT permission/translation. */
+    EptViolation,
+    /** VMFUNC with unsupported leaf or invalid EPTP-list entry. */
+    VmfuncFail,
+    /** Guest executed CPUID (unconditional exit on VT-x). */
+    Cpuid,
+    /** Guest executed HLT. */
+    Hlt,
+};
+
+/** Render an exit reason. */
+const char *exitReasonToString(ExitReason reason);
+
+/**
+ * A faulting VM exit in flight. Thrown by GuestView / Vcpu, caught by
+ * the VM runner (hv::Vm::run), never escapes to user code.
+ */
+class VmExitEvent : public std::runtime_error
+{
+  public:
+    /** Build a non-EPT exit. */
+    VmExitEvent(ExitReason r, std::uint64_t qualification);
+
+    /** Build an EPT-violation exit. */
+    explicit VmExitEvent(const ept::EptViolation &v);
+
+    /** The exit reason. */
+    ExitReason reason() const { return exitReason; }
+
+    /** Reason-specific qualification (VMFUNC index, etc.). */
+    std::uint64_t qualification() const { return qual; }
+
+    /** Violation details (valid when reason()==EptViolation). */
+    const ept::EptViolation &violation() const { return eptViolation; }
+
+  private:
+    ExitReason exitReason;
+    std::uint64_t qual = 0;
+    ept::EptViolation eptViolation;
+};
+
+} // namespace elisa::cpu
+
+#endif // ELISA_CPU_EXIT_HH

@@ -1,0 +1,154 @@
+#include "cpu/guest_view.hh"
+
+#include <algorithm>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace elisa::cpu
+{
+
+Hpa
+GuestView::translateChunk(Gpa gpa, std::uint64_t len, ept::Access access)
+{
+    const std::uint64_t eptp = cpu.activeEptp();
+    panic_if(eptp == 0, "guest access before EPT activation");
+
+    const auto &cost = cpu.costModel();
+    ept::Perms need = ept::Perms::Read;
+    switch (access) {
+      case ept::Access::Read:
+        need = ept::Perms::Read;
+        break;
+      case ept::Access::Write:
+        need = ept::Perms::Write;
+        break;
+      case ept::Access::Exec:
+        need = ept::Perms::Exec;
+        break;
+    }
+
+    const bool is_write = access == ept::Access::Write;
+    auto cached = cpu.tlb().lookup(eptp, gpa);
+    if (!cached) {
+        cached = ept::hardwareWalkAd(cpu.memory(), eptp, gpa, is_write);
+        if (charging)
+            cpu.clock().advance(cost.eptWalkNs);
+        cpu.stats().inc("ept_walk");
+        if (cached)
+            cpu.tlb().fill(eptp, gpa, *cached, is_write);
+    } else if (is_write && !cpu.tlb().dirtyKnown(eptp, gpa)) {
+        // First write through a read-filled entry: the hardware
+        // re-walks to set the leaf's dirty flag.
+        ept::hardwareWalkAd(cpu.memory(), eptp, gpa, true);
+        cpu.tlb().setDirtyKnown(eptp, gpa);
+        if (charging)
+            cpu.clock().advance(cost.eptWalkNs);
+        cpu.stats().inc("ept_ad_update");
+    }
+    // Charge the access itself (per 8-byte beat).
+    if (charging) {
+        cpu.clock().advance(
+            cost.memAccessNs *
+            divCeil(std::max<std::uint64_t>(len, 1), 8));
+    }
+
+    if (!cached || !ept::permits(cached->perms, need)) {
+        ept::EptViolation violation;
+        violation.gpa = gpa;
+        violation.access = access;
+        violation.present =
+            cached ? cached->perms : ept::Perms::None;
+        violation.notMapped = !cached.has_value();
+        cpu.stats().inc("ept_violation");
+        throw VmExitEvent(violation);
+    }
+    return cached->hpa;
+}
+
+Hpa
+GuestView::translate(Gpa gpa, ept::Access access)
+{
+    return translateChunk(gpa, 1, access);
+}
+
+void
+GuestView::readBytes(Gpa gpa, void *dst, std::uint64_t len)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len, pageSize - (gpa & pageMask));
+        const Hpa hpa = translateChunk(gpa, in_page, ept::Access::Read);
+        cpu.memory().read(hpa, out, in_page);
+        gpa += in_page;
+        out += in_page;
+        len -= in_page;
+    }
+}
+
+void
+GuestView::writeBytes(Gpa gpa, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len, pageSize - (gpa & pageMask));
+        const Hpa hpa = translateChunk(gpa, in_page, ept::Access::Write);
+        cpu.memory().write(hpa, in, in_page);
+        gpa += in_page;
+        in += in_page;
+        len -= in_page;
+    }
+}
+
+void
+GuestView::zeroBytes(Gpa gpa, std::uint64_t len)
+{
+    while (len > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len, pageSize - (gpa & pageMask));
+        const Hpa hpa = translateChunk(gpa, in_page, ept::Access::Write);
+        cpu.memory().zero(hpa, in_page);
+        gpa += in_page;
+        len -= in_page;
+    }
+}
+
+void
+GuestView::copyBytes(Gpa dst, Gpa src, std::uint64_t len)
+{
+    // Page-chunked copy through a bounce buffer: the two ranges may be
+    // mapped to unrelated host frames.
+    std::uint8_t bounce[pageSize];
+    while (len > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(len, pageSize);
+        readBytes(src, bounce, chunk);
+        writeBytes(dst, bounce, chunk);
+        src += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+void
+GuestView::fetchCheck(Gpa gpa)
+{
+    translateChunk(gpa, 8, ept::Access::Exec);
+}
+
+std::string
+GuestView::readCString(Gpa gpa, std::uint64_t max_len)
+{
+    std::string out;
+    for (std::uint64_t i = 0; i < max_len; ++i) {
+        const char c = static_cast<char>(read<std::uint8_t>(gpa + i));
+        if (c == '\0')
+            return out;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace elisa::cpu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * GuestView: the only way guest software touches memory.
+ *
+ * Every access is translated through the vcpu's *active* EPT (TLB
+ * first, hardware walk on miss) and permission-checked; failures throw
+ * VmExitEvent(EptViolation), ripping control back to the VM runner like
+ * the hardware would. Access time is charged to the vcpu clock.
+ *
+ * This is what makes the simulation honest: ELISA isolation is not a
+ * claim, it is enforced on the access path — a guest holding a pointer
+ * into another context's memory simply faults.
+ */
+
+#ifndef ELISA_CPU_GUEST_VIEW_HH
+#define ELISA_CPU_GUEST_VIEW_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "base/types.hh"
+#include "cpu/exit.hh"
+#include "cpu/vcpu.hh"
+
+namespace elisa::cpu
+{
+
+/**
+ * Access helper bound to one vcpu's current EPT context.
+ */
+class GuestView
+{
+  public:
+    /**
+     * Bind to @p vcpu; the active EPTP is re-read on every access.
+     *
+     * @param charge_time when false, accesses are translated and
+     *        permission-checked as usual but cost no simulated time.
+     *        Used for code whose memory work is already folded into a
+     *        calibrated lump cost (the ELISA gate trampoline), keeping
+     *        the checks honest without double-charging.
+     */
+    explicit GuestView(Vcpu &vcpu, bool charge_time = true)
+        : cpu(vcpu), charging(charge_time)
+    {
+    }
+
+    /**
+     * Translate @p gpa for @p access (TLB + walk + permission check),
+     * charging time, throwing VmExitEvent on violation.
+     * @return host-physical address of the byte.
+     */
+    Hpa translate(Gpa gpa, ept::Access access);
+
+    /** Read a trivially-copyable value from guest memory. */
+    template <typename T>
+    T
+    read(Gpa gpa)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        readBytes(gpa, &value, sizeof(T));
+        return value;
+    }
+
+    /** Write a trivially-copyable value to guest memory. */
+    template <typename T>
+    void
+    write(Gpa gpa, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(gpa, &value, sizeof(T));
+    }
+
+    /** Copy @p len bytes out of guest memory (may cross pages). */
+    void readBytes(Gpa gpa, void *dst, std::uint64_t len);
+
+    /** Copy @p len bytes into guest memory (may cross pages). */
+    void writeBytes(Gpa gpa, const void *src, std::uint64_t len);
+
+    /** Zero @p len bytes of guest memory. */
+    void zeroBytes(Gpa gpa, std::uint64_t len);
+
+    /** Copy @p len bytes guest-to-guest within this view. */
+    void copyBytes(Gpa dst, Gpa src, std::uint64_t len);
+
+    /**
+     * Instruction-fetch check: verifies the page holding @p gpa is
+     * executable in the active context. The VM runner calls this
+     * before dispatching guest code mapped at @p gpa.
+     */
+    void fetchCheck(Gpa gpa);
+
+    /** Read a NUL-terminated string (bounded by @p max_len). */
+    std::string readCString(Gpa gpa, std::uint64_t max_len = 4096);
+
+    /** The vCPU this view is bound to. */
+    Vcpu &vcpu() { return cpu; }
+
+  private:
+    /** Translate one page-bounded chunk and charge access time. */
+    Hpa translateChunk(Gpa gpa, std::uint64_t len, ept::Access access);
+
+    Vcpu &cpu;
+    bool charging;
+};
+
+} // namespace elisa::cpu
+
+#endif // ELISA_CPU_GUEST_VIEW_HH

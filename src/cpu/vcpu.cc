@@ -1,0 +1,69 @@
+#include "cpu/vcpu.hh"
+
+#include "base/logging.hh"
+#include "cpu/exit.hh"
+
+namespace elisa::cpu
+{
+
+Vcpu::Vcpu(VcpuId id, VmId owner, mem::HostMemory &memory,
+           mem::FrameAllocator &allocator, const sim::CostModel &cost_model,
+           HypercallSink *sink)
+    : vcpuId(id), ownerVm(owner), mem(memory), cost(cost_model),
+      hypercallSink(sink),
+      list(std::make_unique<ept::EptpList>(memory, allocator))
+{
+    panic_if(sink == nullptr, "vcpu needs a hypercall sink");
+}
+
+void
+Vcpu::activateEptp(EptpIndex index)
+{
+    auto eptp = list->lookup(index);
+    panic_if(!eptp, "activating invalid EPTP list entry %u", index);
+    currentEptp = *eptp;
+    currentIndex = index;
+}
+
+void
+Vcpu::vmfunc(std::uint64_t leaf, EptpIndex index)
+{
+    // The switch attempt itself consumes the instruction's time before
+    // any fault is raised.
+    simClock.advance(cost.vmfuncNs);
+    statSet.inc("vmfunc");
+
+    if (leaf != 0) {
+        statSet.inc("vmfunc_fail");
+        throw VmExitEvent(ExitReason::VmfuncFail, leaf);
+    }
+    auto eptp = list->lookup(index);
+    if (!eptp) {
+        statSet.inc("vmfunc_fail");
+        throw VmExitEvent(ExitReason::VmfuncFail, index);
+    }
+    currentEptp = *eptp;
+    currentIndex = index;
+}
+
+std::uint64_t
+Vcpu::vmcall(const HypercallArgs &args)
+{
+    statSet.inc("vmcall");
+    simClock.advance(cost.vmexitNs);
+    simClock.advance(cost.hypercallDispatchNs);
+    const std::uint64_t rax = hypercallSink->handleHypercall(*this, args);
+    simClock.advance(cost.vmentryNs);
+    return rax;
+}
+
+std::uint64_t
+Vcpu::cpuid(std::uint64_t leaf)
+{
+    statSet.inc("cpuid");
+    simClock.advance(cost.cpuidRttNs());
+    // Canned vendor response; the value is irrelevant to the model.
+    return 0x656c6973ull ^ leaf;
+}
+
+} // namespace elisa::cpu

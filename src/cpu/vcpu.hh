@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The simulated VT-x virtual CPU.
+ *
+ * A Vcpu bundles what the VMCS + core state would provide on hardware:
+ * the hypercall-ABI registers (modelled as the structured
+ * HypercallArgs), the EPTP list, the currently active EPTP, a
+ * translation cache, and a simulated clock.
+ * The two paper-relevant instructions are implemented here:
+ *
+ *  - vmcall(): a full VM exit into the hypervisor and back
+ *    (vmexit + dispatch + handler + vmentry nanoseconds);
+ *  - vmfunc(0, idx): an EPTP switch *without* leaving guest context
+ *    (vmfuncNs), faulting into a VM exit on any invalid use.
+ */
+
+#ifndef ELISA_CPU_VCPU_HH
+#define ELISA_CPU_VCPU_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "base/types.hh"
+#include "ept/eptp_list.hh"
+#include "ept/tlb.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/host_memory.hh"
+#include "sim/clock.hh"
+#include "sim/cost_model.hh"
+#include "sim/stats.hh"
+
+namespace elisa::cpu
+{
+
+/** Hypercall request registers (VMCALL ABI: rax = number, rdi.. args). */
+struct HypercallArgs
+{
+    std::uint64_t nr = 0;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint64_t arg2 = 0;
+    std::uint64_t arg3 = 0;
+};
+
+class Vcpu;
+
+/**
+ * Interface the hypervisor implements to receive VMCALL exits.
+ */
+class HypercallSink
+{
+  public:
+    virtual ~HypercallSink() = default;
+
+    /**
+     * Handle a hypercall from @p vcpu. Runs in "host context": the
+     * handler may advance the vcpu clock to account for host work.
+     * @return the value placed in guest rax.
+     */
+    virtual std::uint64_t handleHypercall(Vcpu &vcpu,
+                                          const HypercallArgs &args) = 0;
+};
+
+/**
+ * One simulated virtual CPU.
+ */
+class Vcpu
+{
+  public:
+    /**
+     * @param id global vcpu id.
+     * @param owner id of the VM this vcpu belongs to.
+     * @param memory machine physical memory.
+     * @param allocator machine frame allocator (EPTP-list page).
+     * @param cost machine cost model.
+     * @param sink hypercall receiver (the hypervisor).
+     */
+    Vcpu(VcpuId id, VmId owner, mem::HostMemory &memory,
+         mem::FrameAllocator &allocator, const sim::CostModel &cost,
+         HypercallSink *sink);
+
+    Vcpu(const Vcpu &) = delete;
+    Vcpu &operator=(const Vcpu &) = delete;
+
+    /** Global id of this vcpu. */
+    VcpuId id() const { return vcpuId; }
+
+    /** Owning VM. */
+    VmId vm() const { return ownerVm; }
+
+    /** This vcpu's simulated clock. */
+    sim::SimClock &clock() { return simClock; }
+    const sim::SimClock &clock() const { return simClock; }
+
+    /** The per-vcpu EPTP list (hypervisor writes it). */
+    ept::EptpList &eptpList() { return *list; }
+    const ept::EptpList &eptpList() const { return *list; }
+
+    /** The translation cache. */
+    ept::Tlb &tlb() { return translationCache; }
+
+    /** Per-vcpu event counters. */
+    sim::StatSet &stats() { return statSet; }
+
+    /** Currently active EPTP value (0 before activation). */
+    std::uint64_t activeEptp() const { return currentEptp; }
+
+    /** Index of the active EPTP within the list. */
+    EptpIndex activeIndex() const { return currentIndex; }
+
+    /**
+     * Hypervisor-side: force the active context to list entry @p index
+     * (used at VM launch and after handled exits). No cost is charged.
+     */
+    void activateEptp(EptpIndex index);
+
+    /**
+     * Guest instruction VMFUNC(leaf=@p leaf, rcx=@p index).
+     * Switches the active EPT context without a VM exit when leaf==0
+     * and the list entry is valid. Otherwise throws VmExitEvent
+     * (VmfuncFail), exactly like the hardware would exit.
+     */
+    void vmfunc(std::uint64_t leaf, EptpIndex index);
+
+    /**
+     * Guest instruction VMCALL: exits to the hypervisor, dispatches the
+     * hypercall, re-enters. Returns the handler's rax.
+     */
+    std::uint64_t vmcall(const HypercallArgs &args);
+
+    /**
+     * Guest instruction CPUID: unconditional exit + canned response.
+     * Models the classic "cheapest forced exit" microbenchmark.
+     */
+    std::uint64_t cpuid(std::uint64_t leaf);
+
+    /** Machine memory (for GuestView). */
+    mem::HostMemory &memory() { return mem; }
+
+    /** Machine cost model. */
+    const sim::CostModel &costModel() const { return cost; }
+
+  private:
+    VcpuId vcpuId;
+    VmId ownerVm;
+    mem::HostMemory &mem;
+    const sim::CostModel &cost;
+    HypercallSink *hypercallSink;
+    std::unique_ptr<ept::EptpList> list;
+    ept::Tlb translationCache;
+    sim::SimClock simClock;
+    sim::StatSet statSet;
+    std::uint64_t currentEptp = 0;
+    EptpIndex currentIndex = 0;
+};
+
+} // namespace elisa::cpu
+
+#endif // ELISA_CPU_VCPU_HH

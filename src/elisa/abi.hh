@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ELISA ABI: canonical guest-physical layout of the gate and sub EPT
+ * contexts, shared-function signatures, and attach descriptors.
+ *
+ * Layout rationale (all addresses far above any guest's RAM window,
+ * which starts at GPA 0):
+ *
+ *   gateCodeGpa   the gate trampoline page; mapped execute-only in the
+ *                 gate AND sub contexts, at the same GPA, so execution
+ *                 survives the EPTP switch mid-instruction-stream —
+ *                 this is the linchpin of the VMFUNC technique.
+ *   gateStackGpa  the isolated per-attachment stack the gate switches
+ *                 to; mapped RW in gate+sub contexts only, never in the
+ *                 guest default context.
+ *   exchangeGpa   per-attachment bounce buffer for bulk arguments;
+ *                 mapped RW in the sub context AND (at a different GPA,
+ *                 returned by attach) in the guest's default context.
+ *   objectGpa     the shared object window inside the sub context.
+ *
+ * A guest that VMFUNCs straight to the sub context without going
+ * through the gate finds none of its own memory mapped: the next
+ * instruction fetch from its own code GPA faults, causing a VM exit.
+ * The isolation tests exercise exactly this.
+ */
+
+#ifndef ELISA_ELISA_ABI_HH
+#define ELISA_ELISA_ABI_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/guest_view.hh"
+
+namespace elisa::core
+{
+
+/** GPA of the gate trampoline page (gate + sub contexts). */
+inline constexpr Gpa gateCodeGpa = 0x7f0000000000ull;
+
+/** GPA of the per-attachment gate stack (gate + sub contexts). */
+inline constexpr Gpa gateStackGpa = 0x7f0000100000ull;
+
+/** GPA of the per-attachment exchange buffer in the sub context. */
+inline constexpr Gpa exchangeGpa = 0x7f0000200000ull;
+
+/** GPA of the shared object window in the sub context. */
+inline constexpr Gpa objectGpa = 0x600000000000ull;
+
+/**
+ * Base GPA at which exchange buffers appear in a guest's *default*
+ * context; attachment k of a vCPU lands at base + k * exchangeStride.
+ */
+inline constexpr Gpa exchangeGuestBase = 0x7e0000000000ull;
+
+/** Stride between exchange windows in the guest default context. */
+inline constexpr std::uint64_t exchangeStride = 0x100000ull;
+
+/** Default gate stack size. */
+inline constexpr std::uint64_t defaultStackBytes = 16 * 1024;
+
+/** Default exchange buffer size. */
+inline constexpr std::uint64_t defaultExchangeBytes = 64 * 1024;
+
+/** Identifier of an exported shared object. */
+using ExportId = std::uint32_t;
+
+/** Identifier of an attach negotiation request. */
+using RequestId = std::uint32_t;
+
+/** Identifier of a live attachment. */
+using AttachmentId = std::uint32_t;
+
+/**
+ * Execution context handed to a shared function running inside the sub
+ * EPT context. The view is bound to the *caller's* vCPU, whose active
+ * EPTP is the sub context — every access the function makes is checked
+ * against the sub context's mappings.
+ */
+struct SubCallCtx
+{
+    /** Access path under the sub EPT context. */
+    cpu::GuestView &view;
+
+    /** Base GPA of the shared object window. */
+    Gpa obj;
+
+    /** Size of the shared object in bytes. */
+    std::uint64_t objBytes;
+
+    /** Base GPA of this attachment's exchange buffer. */
+    Gpa exch;
+
+    /** Size of the exchange buffer in bytes. */
+    std::uint64_t exchBytes;
+
+    /** Register arguments of the call. */
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint64_t arg2 = 0;
+};
+
+/**
+ * One shared function ("code loaded into the sub context" in paper
+ * terms). Returns the value placed in the caller's rax.
+ */
+using SharedFn = std::function<std::uint64_t(SubCallCtx &)>;
+
+/** The function table of an export. */
+using SharedFnTable = std::vector<SharedFn>;
+
+/** Outcome of an attach negotiation, as reported to the guest. */
+struct AttachInfo
+{
+    /** Attachment handle (for detach). */
+    AttachmentId attachment = 0;
+
+    /** EPTP-list index of the gate context on the requesting vCPU. */
+    EptpIndex gateIndex = 0;
+
+    /** EPTP-list index of the sub context on the requesting vCPU. */
+    EptpIndex subIndex = 0;
+
+    /** GPA of the exchange buffer in the guest's default context. */
+    Gpa exchangeGuestGpa = 0;
+
+    /** Exchange buffer size. */
+    std::uint64_t exchangeBytes = 0;
+
+    /** Shared object size. */
+    std::uint64_t objectBytes = 0;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_ABI_HH

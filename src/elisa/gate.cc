@@ -1,0 +1,170 @@
+#include "elisa/gate.hh"
+
+#include "base/logging.hh"
+#include "cpu/exit.hh"
+#include "cpu/guest_view.hh"
+
+namespace elisa::core
+{
+
+Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
+    : cpuPtr(&vcpu), svc(&service), attachInfo(info)
+{
+}
+
+std::uint64_t
+Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
+           std::uint64_t arg2)
+{
+    panic_if(!valid(), "call through an invalid gate");
+    cpu::Vcpu &cpu = *cpuPtr;
+    const sim::CostModel &cost = cpu.costModel();
+    const EptpIndex caller_index = cpu.activeIndex();
+
+    // --- enter: default -> gate ------------------------------------
+    cpu.vmfunc(0, attachInfo.gateIndex);
+
+    // Gate prologue: the trampoline must be executable here, and the
+    // spill area must live on the isolated stack. Non-charging view:
+    // checks real, time folded into gateCodeNs.
+    cpu::GuestView gate_view(cpu, /*charge_time=*/false);
+    gate_view.fetchCheck(gateCodeGpa);
+    const std::uint64_t spill[4] = {caller_index, arg0, arg1, arg2};
+    gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
+    cpu.clock().advance(cost.gateCodeNs);
+
+    // --- gate -> sub --------------------------------------------------
+    cpu.vmfunc(0, attachInfo.subIndex);
+
+    // Resolve the function "address". An out-of-range id is a jump to
+    // an unmapped sub-context address: raise the fetch fault the MMU
+    // would.
+    Attachment *attach = svc->attachment(attachInfo.attachment);
+    panic_if(attach == nullptr,
+             "attachment vanished while its EPTP stayed installed");
+    const SharedFnTable &table = attach->exportRecord().functions();
+    if (fn >= table.size()) {
+        ept::EptViolation violation;
+        violation.gpa = gateCodeGpa + pageSize + fn * 16;
+        violation.access = ept::Access::Exec;
+        violation.notMapped = true;
+        cpu.stats().inc("elisa_bad_fn");
+        throw cpu::VmExitEvent(violation);
+    }
+
+    // Run the shared function under the sub context with a charging
+    // view: every byte it touches is translated, checked, and costed.
+    cpu::GuestView sub_view(cpu);
+    SubCallCtx ctx{sub_view,
+                   objectGpa,
+                   attachInfo.objectBytes,
+                   exchangeGpa,
+                   attachInfo.exchangeBytes,
+                   arg0,
+                   arg1,
+                   arg2};
+    std::uint64_t ret;
+    try {
+        ret = table[fn](ctx);
+    } catch (...) {
+        // A fault inside the shared function unwinds through the gate;
+        // the vCPU is parked back in its default context by the VM
+        // runner's fault policy. Nothing to restore here.
+        throw;
+    }
+
+    // --- sub -> gate ----------------------------------------------
+    cpu.vmfunc(0, attachInfo.gateIndex);
+
+    // Gate epilogue: reload the spill, verify trampoline still there.
+    gate_view.fetchCheck(gateCodeGpa);
+    std::uint64_t restore[4];
+    gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
+    cpu.clock().advance(cost.gateCodeNs);
+
+    // --- gate -> default ----------------------------------------------
+    cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+    cpu.stats().inc("elisa_calls");
+    return ret;
+}
+
+std::size_t
+Gate::callBatch(std::span<BatchEntry> entries)
+{
+    panic_if(!valid(), "batched call through an invalid gate");
+    if (entries.empty())
+        return 0;
+    cpu::Vcpu &cpu = *cpuPtr;
+    const sim::CostModel &cost = cpu.costModel();
+    const EptpIndex caller_index = cpu.activeIndex();
+
+    // One transition in...
+    cpu.vmfunc(0, attachInfo.gateIndex);
+    cpu::GuestView gate_view(cpu, /*charge_time=*/false);
+    gate_view.fetchCheck(gateCodeGpa);
+    const std::uint64_t spill[2] = {caller_index, entries.size()};
+    gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
+    cpu.clock().advance(cost.gateCodeNs);
+    cpu.vmfunc(0, attachInfo.subIndex);
+
+    Attachment *attach = svc->attachment(attachInfo.attachment);
+    panic_if(attach == nullptr,
+             "attachment vanished while its EPTP stayed installed");
+    const SharedFnTable &table = attach->exportRecord().functions();
+
+    // ...every entry back-to-back under the sub context...
+    cpu::GuestView sub_view(cpu);
+    for (BatchEntry &entry : entries) {
+        if (entry.fn >= table.size()) {
+            ept::EptViolation violation;
+            violation.gpa = gateCodeGpa + pageSize + entry.fn * 16;
+            violation.access = ept::Access::Exec;
+            violation.notMapped = true;
+            cpu.stats().inc("elisa_bad_fn");
+            throw cpu::VmExitEvent(violation);
+        }
+        SubCallCtx ctx{sub_view,
+                       objectGpa,
+                       attachInfo.objectBytes,
+                       exchangeGpa,
+                       attachInfo.exchangeBytes,
+                       entry.arg0,
+                       entry.arg1,
+                       entry.arg2};
+        entry.ret = table[entry.fn](ctx);
+    }
+
+    // ...one transition out.
+    cpu.vmfunc(0, attachInfo.gateIndex);
+    gate_view.fetchCheck(gateCodeGpa);
+    std::uint64_t restore[2];
+    gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
+    cpu.clock().advance(cost.gateCodeNs);
+    cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+    cpu.stats().inc("elisa_calls");
+    cpu.stats().inc("elisa_batched_fns", entries.size());
+    return entries.size();
+}
+
+void
+Gate::writeExchange(std::uint64_t offset, const void *src,
+                    std::uint64_t len)
+{
+    panic_if(!valid(), "exchange write through an invalid gate");
+    panic_if(offset + len > attachInfo.exchangeBytes,
+             "exchange write out of bounds");
+    cpu::GuestView view(*cpuPtr);
+    view.writeBytes(attachInfo.exchangeGuestGpa + offset, src, len);
+}
+
+void
+Gate::readExchange(std::uint64_t offset, void *dst, std::uint64_t len)
+{
+    panic_if(!valid(), "exchange read through an invalid gate");
+    panic_if(offset + len > attachInfo.exchangeBytes,
+             "exchange read out of bounds");
+    cpu::GuestView view(*cpuPtr);
+    view.readBytes(attachInfo.exchangeGuestGpa + offset, dst, len);
+}
+
+} // namespace elisa::core

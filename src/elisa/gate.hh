@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The ELISA gate: the exit-less data path.
+ *
+ * Gate::call() is the whole point of the paper. One call performs:
+ *
+ *   VMFUNC(default -> gate)      42 ns   no VM exit
+ *   gate prologue                14 ns   isolated-stack switch, spill
+ *   VMFUNC(gate -> sub)          42 ns
+ *   shared function runs               under the sub EPT context
+ *   VMFUNC(sub -> gate)          42 ns
+ *   gate epilogue                14 ns   restore
+ *   VMFUNC(gate -> default)      42 ns
+ *                               ------
+ *   round trip                  196 ns   (vs 699 ns for a VMCALL)
+ *
+ * The trampoline's functional work (fetch check on the shared gate
+ * code page, spill/restore on the isolated stack) is performed with a
+ * non-charging GuestView: the checks are real, the time is the
+ * calibrated gateCodeNs lump.
+ */
+
+#ifndef ELISA_ELISA_GATE_HH
+#define ELISA_ELISA_GATE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "elisa/abi.hh"
+#include "elisa/negotiation.hh"
+
+namespace elisa::core
+{
+
+/**
+ * Guest-side handle on one attachment; cheap to copy.
+ */
+class Gate
+{
+  public:
+    /** Invalid gate. */
+    Gate() = default;
+
+    /**
+     * @param vcpu the attached vCPU.
+     * @param service the host-side registry (function dispatch).
+     * @param info the negotiated attachment descriptor.
+     */
+    Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info);
+
+    /** True when this handle refers to a live attachment. */
+    bool valid() const { return cpuPtr != nullptr; }
+
+    /** The negotiated descriptor. */
+    const AttachInfo &info() const { return attachInfo; }
+
+    /**
+     * The exit-less call: switch default->gate->sub, run function
+     * @p fn of the export's table with the given register arguments,
+     * switch back. Throws cpu::VmExitEvent if the attachment was
+     * revoked (stale EPTP-list index) or the function id is out of
+     * range (jump to an unmapped sub-context address) — exactly the
+     * faults the hardware would deliver.
+     */
+    std::uint64_t call(unsigned fn, std::uint64_t arg0 = 0,
+                       std::uint64_t arg1 = 0, std::uint64_t arg2 = 0);
+
+    /** One invocation within a batched gate call. */
+    struct BatchEntry
+    {
+        unsigned fn = 0;
+        std::uint64_t arg0 = 0;
+        std::uint64_t arg1 = 0;
+        std::uint64_t arg2 = 0;
+        std::uint64_t ret = 0; ///< filled in by callBatch
+    };
+
+    /**
+     * Batched exit-less call: ONE context round trip (the same
+     * 4-VMFUNC/2-segment transition as call()) amortized over every
+     * entry; the shared functions run back-to-back inside the sub
+     * context and their results are written into the entries.
+     * Faults behave like call(): the whole batch unwinds.
+     * @return number of entries executed (== entries.size()).
+     */
+    std::size_t callBatch(std::span<BatchEntry> entries);
+
+    /**
+     * Copy bulk data into the exchange buffer through the *default*
+     * context mapping (what a guest does before a call).
+     */
+    void writeExchange(std::uint64_t offset, const void *src,
+                       std::uint64_t len);
+
+    /** Copy bulk data out of the exchange buffer (after a call). */
+    void readExchange(std::uint64_t offset, void *dst,
+                      std::uint64_t len);
+
+  private:
+    cpu::Vcpu *cpuPtr = nullptr;
+    ElisaService *svc = nullptr;
+    AttachInfo attachInfo;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_GATE_HH

@@ -1,0 +1,99 @@
+#include "elisa/guest_api.hh"
+
+#include "base/logging.hh"
+#include "hv/hypercall.hh"
+
+namespace elisa::core
+{
+
+ElisaGuest::ElisaGuest(hv::Vm &vm, ElisaService &service,
+                       unsigned vcpu_index)
+    : guestVm(vm), svc(service), vcpuIndex(vcpu_index)
+{
+    auto scratch = vm.allocGuestMem(pageSize);
+    fatal_if(!scratch, "guest VM '%s' out of RAM for scratch page",
+             vm.name().c_str());
+    scratchGpa = *scratch;
+}
+
+cpu::Vcpu &
+ElisaGuest::vcpu()
+{
+    return guestVm.vcpu(vcpuIndex);
+}
+
+cpu::GuestView
+ElisaGuest::view()
+{
+    return cpu::GuestView(vcpu());
+}
+
+std::optional<RequestId>
+ElisaGuest::requestAttach(const std::string &name)
+{
+    if (name.empty() || name.size() > 51)
+        return std::nullopt;
+    cpu::GuestView v = view();
+    v.writeBytes(scratchGpa, name.data(), name.size());
+
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::AttachRequest);
+    args.arg0 = scratchGpa;
+    args.arg1 = name.size();
+    args.arg2 = vcpuIndex;
+    const std::uint64_t rc = vcpu().vmcall(args);
+    if (rc == hv::hcError)
+        return std::nullopt;
+    return static_cast<RequestId>(rc);
+}
+
+std::optional<Gate>
+ElisaGuest::completeAttach(RequestId request)
+{
+    denied = false;
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Query);
+    args.arg0 = request;
+    args.arg1 = scratchGpa;
+    const std::uint64_t state = vcpu().vmcall(args);
+    if (state == hv::hcError)
+        return std::nullopt;
+
+    switch (static_cast<RequestState>(state)) {
+      case RequestState::Pending:
+        return std::nullopt;
+      case RequestState::Denied:
+        denied = true;
+        return std::nullopt;
+      case RequestState::Approved:
+        break;
+    }
+
+    const auto wire = view().read<WireAttachResult>(scratchGpa);
+    return Gate(vcpu(), svc, wire.info);
+}
+
+std::optional<Gate>
+ElisaGuest::attach(const std::string &name, ElisaManager &manager)
+{
+    auto request = requestAttach(name);
+    if (!request)
+        return std::nullopt;
+    manager.pollRequests();
+    return completeAttach(*request);
+}
+
+bool
+ElisaGuest::detach(Gate &gate)
+{
+    if (!gate.valid())
+        return false;
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Detach);
+    args.arg0 = gate.info().attachment;
+    const std::uint64_t rc = vcpu().vmcall(args);
+    gate = Gate();
+    return rc != hv::hcError;
+}
+
+} // namespace elisa::core

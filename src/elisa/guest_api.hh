@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ElisaGuest: the client-side runtime of an ordinary guest VM.
+ *
+ * Wraps the negotiation hypercalls (request / query / detach) and hands
+ * out Gate objects for the exit-less data path.
+ */
+
+#ifndef ELISA_ELISA_GUEST_API_HH
+#define ELISA_ELISA_GUEST_API_HH
+
+#include <optional>
+#include <string>
+
+#include "elisa/gate.hh"
+#include "elisa/manager.hh"
+#include "hv/vm.hh"
+
+namespace elisa::core
+{
+
+/**
+ * Client runtime bound to one vCPU of a guest VM.
+ */
+class ElisaGuest
+{
+  public:
+    /**
+     * @param vm the guest VM.
+     * @param service the host-side ELISA service.
+     * @param vcpu_index which vCPU performs attachments and calls.
+     */
+    ElisaGuest(hv::Vm &vm, ElisaService &service,
+               unsigned vcpu_index = 0);
+
+    /**
+     * Start an attach negotiation for export @p name.
+     * @return the request id, or nullopt when the export is unknown.
+     */
+    std::optional<RequestId> requestAttach(const std::string &name);
+
+    /**
+     * Query an in-flight request.
+     * @return a Gate when approved; nullopt while pending or after a
+     *         denial (check lastDenied() to distinguish).
+     */
+    std::optional<Gate> completeAttach(RequestId request);
+
+    /**
+     * Convenience for tests/benches: request + have the manager drain
+     * its queue + complete, in one call.
+     */
+    std::optional<Gate> attach(const std::string &name,
+                               ElisaManager &manager);
+
+    /** Detach (slow path); the gate handle becomes invalid. */
+    bool detach(Gate &gate);
+
+    /** True when the last completeAttach() saw a denial. */
+    bool lastDenied() const { return denied; }
+
+    /** The client's vCPU. */
+    cpu::Vcpu &vcpu();
+
+    /** A view of the guest's memory under its default context. */
+    cpu::GuestView view();
+
+    /** The underlying VM. */
+    hv::Vm &vm() { return guestVm; }
+
+  private:
+    hv::Vm &guestVm;
+    ElisaService &svc;
+    unsigned vcpuIndex;
+    Gpa scratchGpa = 0;
+    bool denied = false;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_GUEST_API_HH

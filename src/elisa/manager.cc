@@ -1,0 +1,134 @@
+#include "elisa/manager.hh"
+
+#include "base/logging.hh"
+#include "cpu/guest_view.hh"
+#include "hv/hypercall.hh"
+
+namespace elisa::core
+{
+
+ElisaManager::ElisaManager(hv::Vm &vm, ElisaService &service,
+                           unsigned vcpu_index)
+    : guestVm(vm), svc(service), vcpuIndex(vcpu_index)
+{
+    auto scratch = vm.allocGuestMem(pageSize);
+    fatal_if(!scratch, "manager VM '%s' out of RAM for scratch page",
+             vm.name().c_str());
+    scratchGpa = *scratch;
+
+    const std::uint64_t rc = vcpu().vmcall(hv::hcArgs(
+        static_cast<hv::Hc>(ElisaHc::RegisterManager)));
+    fatal_if(rc == hv::hcError, "manager registration failed");
+}
+
+cpu::Vcpu &
+ElisaManager::vcpu()
+{
+    return guestVm.vcpu(vcpuIndex);
+}
+
+cpu::GuestView
+ElisaManager::view()
+{
+    return cpu::GuestView(vcpu());
+}
+
+std::optional<ElisaManager::Exported>
+ElisaManager::exportObject(const std::string &name, std::uint64_t bytes,
+                           SharedFnTable fns, ept::Perms perms)
+{
+    if (name.empty() || name.size() > 51)
+        return std::nullopt;
+    const std::uint64_t aligned = pageAlignUp(bytes);
+    // Large objects get 2 MiB-aligned backing so the sub context can
+    // map them with large pages (fewer PTE writes at attach time).
+    const std::uint64_t alignment =
+        aligned >= ept::largePageSize ? ept::largePageSize : pageSize;
+    auto obj_gpa = guestVm.allocGuestMem(aligned, alignment);
+    if (!obj_gpa)
+        return std::nullopt;
+
+    // Zero the object through the guest view (the manager "touches"
+    // its own memory).
+    cpu::GuestView v = view();
+    v.zeroBytes(*obj_gpa, aligned);
+
+    // Stage the code, write the name, issue the Export hypercall.
+    svc.stageFunctions(guestVm.id(), std::move(fns));
+    v.writeBytes(scratchGpa, name.data(), name.size());
+
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Export);
+    args.arg0 = scratchGpa;
+    args.arg1 = name.size() |
+                (static_cast<std::uint64_t>(perms) << 32);
+    args.arg2 = *obj_gpa;
+    args.arg3 = aligned;
+    const std::uint64_t rc = vcpu().vmcall(args);
+    if (rc == hv::hcError)
+        return std::nullopt;
+    return Exported{static_cast<ExportId>(rc), *obj_gpa, aligned};
+}
+
+void
+ElisaManager::setApprover(Approver new_approver)
+{
+    approver = std::move(new_approver);
+}
+
+void
+ElisaManager::setPermsPolicy(PermsPolicy policy)
+{
+    permsPolicy = std::move(policy);
+}
+
+bool
+ElisaManager::revoke(ExportId id)
+{
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Revoke);
+    args.arg0 = id;
+    return vcpu().vmcall(args) != hv::hcError;
+}
+
+unsigned
+ElisaManager::pollRequests()
+{
+    unsigned processed = 0;
+    cpu::GuestView v = view();
+    while (true) {
+        cpu::HypercallArgs poll;
+        poll.nr = static_cast<std::uint64_t>(ElisaHc::NextRequest);
+        poll.arg0 = scratchGpa;
+        const std::uint64_t has = vcpu().vmcall(poll);
+        if (has != 1)
+            break;
+
+        const auto wire = v.read<WireRequest>(scratchGpa);
+        const std::string name(wire.name);
+
+        bool ok;
+        ept::Perms granted = ept::Perms::None; // None = export default
+        if (permsPolicy) {
+            auto decision = permsPolicy(wire.guestVm, name);
+            ok = decision.has_value();
+            if (decision)
+                granted = *decision;
+        } else {
+            ok = !approver || approver(wire.guestVm, name);
+        }
+
+        cpu::HypercallArgs verdict;
+        verdict.nr = static_cast<std::uint64_t>(
+            ok ? ElisaHc::Approve : ElisaHc::Deny);
+        verdict.arg0 = wire.id;
+        verdict.arg1 = static_cast<std::uint64_t>(granted);
+        const std::uint64_t rc = vcpu().vmcall(verdict);
+        if (rc == hv::hcError)
+            warn("manager verdict on request %u failed", wire.id);
+        ++processed;
+    }
+    return processed;
+}
+
+} // namespace elisa::core

@@ -1,0 +1,419 @@
+#include "elisa/negotiation.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "base/trace.hh"
+#include "cpu/guest_view.hh"
+
+namespace elisa::core
+{
+
+namespace
+{
+
+/** Clamp-copy a name into a WireRequest's fixed field. */
+void
+copyName(char (&dst)[52], const std::string &src)
+{
+    const std::size_t n = std::min(src.size(), sizeof(dst) - 1);
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+} // anonymous namespace
+
+ElisaService::ElisaService(hv::Hypervisor &hv) : hyper(hv)
+{
+    registerHandlers();
+    hv.addVmDestroyHook([this](VmId vm) { onVmDestroyed(vm); });
+}
+
+void
+ElisaService::onVmDestroyed(VmId vm)
+{
+    // 1. Attachments held by the dying guest.
+    for (auto it = attachments.begin(); it != attachments.end();) {
+        if (it->second->guestVm() == vm)
+            it = attachments.erase(it);
+        else
+            ++it;
+    }
+    // 2. Exports owned by the dying manager — revoke them fully,
+    //    which also tears down other guests' attachments to them.
+    for (auto it = exports.begin(); it != exports.end();) {
+        if (it->second->managerVm() == vm) {
+            Export *exp = it->second.get();
+            for (auto at = attachments.begin();
+                 at != attachments.end();) {
+                if (&at->second->exportRecord() == exp)
+                    at = attachments.erase(at);
+                else
+                    ++at;
+            }
+            it = exports.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // 3. Manager registration, staged code, and pending requests.
+    managers.erase(vm);
+    stagedFns.erase(vm);
+    for (auto it = requests.begin(); it != requests.end();) {
+        if (it->second.guestVm == vm)
+            it = requests.erase(it);
+        else
+            ++it;
+    }
+    hyper.stats().inc("elisa_vm_teardowns");
+}
+
+ElisaService::~ElisaService()
+{
+    // Attachments reference exports; destroy them first.
+    attachments.clear();
+    exports.clear();
+}
+
+void
+ElisaService::stageFunctions(VmId manager_vm, SharedFnTable fns)
+{
+    stagedFns[manager_vm] = std::move(fns);
+}
+
+Export *
+ElisaService::findExport(const std::string &name)
+{
+    for (auto &[id, exp] : exports) {
+        if (exp->name() == name)
+            return exp.get();
+    }
+    return nullptr;
+}
+
+Attachment *
+ElisaService::attachment(AttachmentId id)
+{
+    auto it = attachments.find(id);
+    return it == attachments.end() ? nullptr : it->second.get();
+}
+
+bool
+ElisaService::revokeExport(const std::string &name)
+{
+    Export *exp = findExport(name);
+    if (!exp)
+        return false;
+    for (auto it = attachments.begin(); it != attachments.end();) {
+        if (&it->second->exportRecord() == exp)
+            it = attachments.erase(it);
+        else
+            ++it;
+    }
+    exports.erase(exp->id());
+    hyper.stats().inc("elisa_revokes");
+    return true;
+}
+
+std::string
+ElisaService::dumpState() const
+{
+    std::string out = "=== ELISA service state ===\n";
+    out += detail::format("managers: %zu\n", managers.size());
+    for (const auto &[vm, queue] : managers) {
+        out += detail::format("  VM %u (%zu queued requests)\n", vm,
+                              queue.size());
+    }
+    out += detail::format("exports: %zu\n", exports.size());
+    for (const auto &[id, exp] : exports) {
+        out += detail::format(
+            "  #%u '%s' manager=%u size=%s perms=%s attachments=%u\n",
+            id, exp->name().c_str(), exp->managerVm(),
+            humanBytes(exp->objectBytes()).c_str(),
+            ept::permsToString(exp->objectPerms()).c_str(),
+            exp->liveAttachments());
+    }
+    out += detail::format("attachments: %zu\n", attachments.size());
+    for (const auto &[id, attach] : attachments) {
+        out += detail::format(
+            "  #%u export='%s' guest=%u vcpu=%u gate@%u sub@%u\n", id,
+            attach->exportRecord().name().c_str(), attach->guestVm(),
+            attach->vcpuIndex(), attach->info().gateIndex,
+            attach->info().subIndex);
+    }
+    std::size_t pending = 0;
+    for (const auto &[id, req] : requests)
+        pending += req.state == RequestState::Pending ? 1 : 0;
+    out += detail::format("requests: %zu (%zu pending)\n",
+                          requests.size(), pending);
+    return out;
+}
+
+void
+ElisaService::registerHandlers()
+{
+    auto reg = [this](ElisaHc nr, auto member) {
+        hyper.registerHypercall(
+            static_cast<std::uint64_t>(nr),
+            [this, member](cpu::Vcpu &vcpu,
+                           const cpu::HypercallArgs &args) {
+                return (this->*member)(vcpu, args);
+            });
+    };
+
+    hyper.registerHypercall(
+        static_cast<std::uint64_t>(ElisaHc::RegisterManager),
+        [this](cpu::Vcpu &vcpu, const cpu::HypercallArgs &) {
+            return hcRegisterManager(vcpu);
+        });
+    reg(ElisaHc::Export, &ElisaService::hcExport);
+    reg(ElisaHc::NextRequest, &ElisaService::hcNextRequest);
+    reg(ElisaHc::Approve, &ElisaService::hcApprove);
+    reg(ElisaHc::Deny, &ElisaService::hcDeny);
+    reg(ElisaHc::AttachRequest, &ElisaService::hcAttachRequest);
+    reg(ElisaHc::Query, &ElisaService::hcQuery);
+    reg(ElisaHc::Detach, &ElisaService::hcDetach);
+    reg(ElisaHc::Revoke, &ElisaService::hcRevoke);
+}
+
+std::uint64_t
+ElisaService::hcRegisterManager(cpu::Vcpu &vcpu)
+{
+    managers.try_emplace(vcpu.vm());
+    hyper.stats().inc("elisa_managers");
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcExport(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    const VmId caller = vcpu.vm();
+    if (!managers.contains(caller))
+        return hv::hcError;
+
+    auto staged = stagedFns.find(caller);
+    if (staged == stagedFns.end() || staged->second.empty())
+        return hv::hcError;
+
+    // args: name_gpa, name_len | perms<<32, obj_gpa, obj_bytes
+    const Gpa name_gpa = args.arg0;
+    const std::uint64_t name_len = args.arg1 & 0xffffffffull;
+    const auto perms =
+        static_cast<ept::Perms>((args.arg1 >> 32) & 0x7);
+    const Gpa obj_gpa = args.arg2;
+    const std::uint64_t obj_bytes = args.arg3;
+
+    if (name_len == 0 || name_len > 51 || obj_bytes == 0 ||
+        !isPageAligned(obj_bytes) || !isPageAligned(obj_gpa)) {
+        return hv::hcError;
+    }
+
+    std::string name(name_len, '\0');
+    cpu::GuestView view(vcpu);
+    view.readBytes(name_gpa, name.data(), name_len);
+    if (findExport(name))
+        return hv::hcError;
+
+    const Hpa obj_hpa = hyper.vm(caller).ramGpaToHpa(obj_gpa);
+
+    // Host work: sub-context bookkeeping is charged to the caller.
+    vcpu.clock().advance(hyper.cost().subContextCreateNs);
+
+    const ExportId id = nextExportId++;
+    exports.emplace(id, std::make_unique<Export>(
+                            hyper, id, name, caller, obj_hpa, obj_bytes,
+                            perms == ept::Perms::None ? ept::Perms::RW
+                                                      : perms,
+                            std::move(staged->second)));
+    stagedFns.erase(staged);
+    hyper.stats().inc("elisa_exports");
+    ELISA_TRACE(Elisa, "export %u '%s' by VM %u (%llu KiB)", id,
+                name.c_str(), caller,
+                (unsigned long long)(obj_bytes >> 10));
+    return id;
+}
+
+std::uint64_t
+ElisaService::hcNextRequest(cpu::Vcpu &vcpu,
+                            const cpu::HypercallArgs &args)
+{
+    auto mgr = managers.find(vcpu.vm());
+    if (mgr == managers.end())
+        return hv::hcError;
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+
+    auto &queue = mgr->second;
+    while (!queue.empty()) {
+        const RequestId rid = queue.front();
+        auto req = requests.find(rid);
+        if (req == requests.end() ||
+            req->second.state != RequestState::Pending) {
+            queue.pop_front();
+            continue;
+        }
+        WireRequest wire;
+        wire.id = req->second.id;
+        wire.guestVm = req->second.guestVm;
+        wire.vcpuIndex = req->second.vcpuIndex;
+        copyName(wire.name, req->second.name);
+        cpu::GuestView view(vcpu);
+        view.write(args.arg0, wire);
+        queue.pop_front();
+        return 1;
+    }
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcApprove(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    if (!managers.contains(vcpu.vm()))
+        return hv::hcError;
+    auto req_it = requests.find(static_cast<RequestId>(args.arg0));
+    if (req_it == requests.end() ||
+        req_it->second.state != RequestState::Pending) {
+        return hv::hcError;
+    }
+    Request &req = req_it->second;
+
+    Export *exp = findExport(req.name);
+    if (!exp || exp->managerVm() != vcpu.vm())
+        return hv::hcError;
+
+    // Optional per-client permission narrowing in arg1 (0 = the
+    // export's full permissions). Escalation beyond the export's
+    // rights is refused.
+    ept::Perms granted = exp->objectPerms();
+    if (args.arg1 != 0) {
+        const auto asked = static_cast<ept::Perms>(args.arg1 & 0x7);
+        if (!ept::permits(exp->objectPerms(), asked))
+            return hv::hcError;
+        granted = asked;
+    }
+
+    hv::Vm &guest = hyper.vm(req.guestVm);
+    const unsigned slot = slotCounters[guest.id()]++;
+
+    const AttachmentId aid = nextAttachmentId++;
+    auto attach = std::make_unique<Attachment>(hyper, aid, *exp, guest,
+                                               req.vcpuIndex, slot,
+                                               granted);
+
+    // Charge the manager for the context construction it instructed:
+    // two EPT hierarchies plus one PTE write per mapped page.
+    const auto &cost = hyper.cost();
+    const std::uint64_t mapped_pages =
+        attach->gateEpt().mappedPages() + attach->subEpt().mappedPages();
+    vcpu.clock().advance(2 * cost.subContextCreateNs +
+                         mapped_pages * cost.eptMapPageNs);
+
+    req.state = RequestState::Approved;
+    req.info = attach->info();
+    ELISA_TRACE(Elisa,
+                "approved request %u: attachment %u, gate idx %u, "
+                "sub idx %u",
+                req.id, aid, req.info.gateIndex, req.info.subIndex);
+    attachments.emplace(aid, std::move(attach));
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcDeny(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    if (!managers.contains(vcpu.vm()))
+        return hv::hcError;
+    auto req_it = requests.find(static_cast<RequestId>(args.arg0));
+    if (req_it == requests.end() ||
+        req_it->second.state != RequestState::Pending) {
+        return hv::hcError;
+    }
+    req_it->second.state = RequestState::Denied;
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcAttachRequest(cpu::Vcpu &vcpu,
+                              const cpu::HypercallArgs &args)
+{
+    const std::uint64_t name_len = args.arg1;
+    if (name_len == 0 || name_len > 51)
+        return hv::hcError;
+    std::string name(name_len, '\0');
+    cpu::GuestView view(vcpu);
+    view.readBytes(args.arg0, name.data(), name_len);
+
+    Export *exp = findExport(name);
+    if (!exp)
+        return hv::hcError;
+    auto mgr = managers.find(exp->managerVm());
+    panic_if(mgr == managers.end(), "export without manager");
+
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+
+    const RequestId rid = nextRequestId++;
+    Request req;
+    req.id = rid;
+    req.guestVm = vcpu.vm();
+    req.vcpuIndex = static_cast<std::uint32_t>(args.arg2);
+    req.name = std::move(name);
+    ELISA_TRACE(Elisa, "attach request %u: VM %u -> '%s'", rid,
+                vcpu.vm(), req.name.c_str());
+    requests.emplace(rid, std::move(req));
+    mgr->second.push_back(rid);
+    return rid;
+}
+
+std::uint64_t
+ElisaService::hcQuery(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    auto req_it = requests.find(static_cast<RequestId>(args.arg0));
+    if (req_it == requests.end() ||
+        req_it->second.guestVm != vcpu.vm()) {
+        return hv::hcError;
+    }
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+
+    const Request &req = req_it->second;
+    WireAttachResult wire;
+    wire.state = static_cast<std::uint32_t>(req.state);
+    wire.info = req.info;
+    cpu::GuestView view(vcpu);
+    view.write(args.arg1, wire);
+
+    if (req.state != RequestState::Pending)
+        requests.erase(req_it);
+    return static_cast<std::uint64_t>(wire.state);
+}
+
+std::uint64_t
+ElisaService::hcDetach(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    auto it = attachments.find(static_cast<AttachmentId>(args.arg0));
+    if (it == attachments.end() || it->second->guestVm() != vcpu.vm())
+        return hv::hcError;
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+    ELISA_TRACE(Elisa, "detach attachment %llu by VM %u",
+                (unsigned long long)args.arg0, vcpu.vm());
+    attachments.erase(it);
+    hyper.stats().inc("elisa_detaches");
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcRevoke(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    // Only the owning manager may revoke an export; every client's
+    // attachment is torn down (their next VMFUNC faults).
+    auto it = exports.find(static_cast<ExportId>(args.arg0));
+    if (it == exports.end() || it->second->managerVm() != vcpu.vm())
+        return hv::hcError;
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+    const std::string name = it->second->name();
+    ELISA_TRACE(Elisa, "revoke export %llu '%s' by VM %u",
+                (unsigned long long)args.arg0, name.c_str(),
+                vcpu.vm());
+    return revokeExport(name) ? 0 : hv::hcError;
+}
+
+} // namespace elisa::core

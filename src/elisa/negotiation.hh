@@ -1,0 +1,190 @@
+/**
+ * @file
+ * ELISA negotiation: the hypercall-based slow path through which a
+ * guest VM, the hypervisor, and the manager VM agree on an attachment.
+ *
+ * Flow (paper §"negotiation", all hops are ordinary VMCALLs — only the
+ * eventual data path is exit-less):
+ *
+ *   manager: RegisterManager            -> becomes a manager
+ *   manager: Export(name, object, fns)  -> host builds the Export
+ *   guest:   AttachRequest(name)        -> request queued for manager
+ *   manager: NextRequest()              -> sees {req, guest, name}
+ *   manager: Approve(req) / Deny(req)   -> host builds the Attachment,
+ *                                          installs gate+sub EPTPs on
+ *                                          the guest vCPU
+ *   guest:   Query(req)                 -> receives AttachInfo
+ *   guest:   ... VMFUNC data path ...
+ *   guest:   Detach(attachment)         -> host tears everything down
+ *
+ * ElisaService is the host-side state machine: it owns every Export and
+ * Attachment and registers the hypercall handlers.
+ */
+
+#ifndef ELISA_ELISA_NEGOTIATION_HH
+#define ELISA_ELISA_NEGOTIATION_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "elisa/abi.hh"
+#include "elisa/sub_context.hh"
+#include "hv/hypervisor.hh"
+
+namespace elisa::core
+{
+
+/** ELISA hypercall numbers (within hv::Hc::ElisaBase's range). */
+enum class ElisaHc : std::uint64_t
+{
+    RegisterManager = 0x100,
+    Export = 0x101,
+    NextRequest = 0x102,
+    Approve = 0x103,
+    Deny = 0x104,
+    AttachRequest = 0x105,
+    Query = 0x106,
+    Detach = 0x107,
+    Revoke = 0x108,
+};
+
+/** Attach request states, as returned by Query. */
+enum class RequestState : std::uint32_t
+{
+    Pending = 0,
+    Approved = 1,
+    Denied = 2,
+};
+
+/** Wire format of a request, written into the manager's buffer. */
+struct WireRequest
+{
+    RequestId id = 0;
+    VmId guestVm = 0;
+    std::uint32_t vcpuIndex = 0;
+    char name[52] = {};
+};
+
+/** Wire format of a Query response, written into the guest's buffer. */
+struct WireAttachResult
+{
+    std::uint32_t state = 0;
+    AttachInfo info;
+};
+
+/**
+ * Host-side ELISA negotiation service and object registry.
+ */
+class ElisaService
+{
+  public:
+    /** Bind to the machine and register the hypercall handlers. */
+    explicit ElisaService(hv::Hypervisor &hv);
+
+    /** Tears down every attachment, then every export. */
+    ~ElisaService();
+
+    ElisaService(const ElisaService &) = delete;
+    ElisaService &operator=(const ElisaService &) = delete;
+
+    /**
+     * Stage a function table for the next Export hypercall from
+     * @p manager_vm. Models the manager loading the shared code; see
+     * DESIGN.md (code cannot cross the simulation boundary as bytes).
+     */
+    void stageFunctions(VmId manager_vm, SharedFnTable fns);
+
+    /** Look up an export by name (host side / tests). */
+    Export *findExport(const std::string &name);
+
+    /** Look up an attachment (host side / Gate dispatch). */
+    Attachment *attachment(AttachmentId id);
+
+    /**
+     * Force-revoke one export: destroys all of its attachments (their
+     * EPTP-list entries vanish; in-flight guests fault on their next
+     * VMFUNC) and then the export itself.
+     * @return false if the name is unknown.
+     */
+    bool revokeExport(const std::string &name);
+
+    /** Number of live attachments (tests). */
+    std::size_t attachmentCount() const { return attachments.size(); }
+
+    /** Number of live exports (tests). */
+    std::size_t exportCount() const { return exports.size(); }
+
+    /**
+     * Human-readable dump of the service state: managers, exports,
+     * attachments, and pending requests. Operational introspection —
+     * the output is stable enough for tests to grep.
+     */
+    std::string dumpState() const;
+
+  private:
+    struct Request
+    {
+        RequestId id = 0;
+        VmId guestVm = 0;
+        std::uint32_t vcpuIndex = 0;
+        std::string name;
+        RequestState state = RequestState::Pending;
+        AttachInfo info;
+    };
+
+    /** Register all ElisaHc handlers with the hypervisor. */
+    void registerHandlers();
+
+    /** VM-teardown hook: drop every piece of state tied to @p vm. */
+    void onVmDestroyed(VmId vm);
+
+    // Individual handler bodies (dispatched from lambdas).
+    std::uint64_t hcRegisterManager(cpu::Vcpu &vcpu);
+    std::uint64_t hcExport(cpu::Vcpu &vcpu,
+                           const cpu::HypercallArgs &args);
+    std::uint64_t hcNextRequest(cpu::Vcpu &vcpu,
+                                const cpu::HypercallArgs &args);
+    std::uint64_t hcApprove(cpu::Vcpu &vcpu,
+                            const cpu::HypercallArgs &args);
+    std::uint64_t hcDeny(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args);
+    std::uint64_t hcAttachRequest(cpu::Vcpu &vcpu,
+                                  const cpu::HypercallArgs &args);
+    std::uint64_t hcQuery(cpu::Vcpu &vcpu,
+                          const cpu::HypercallArgs &args);
+    std::uint64_t hcDetach(cpu::Vcpu &vcpu,
+                           const cpu::HypercallArgs &args);
+    std::uint64_t hcRevoke(cpu::Vcpu &vcpu,
+                           const cpu::HypercallArgs &args);
+
+    hv::Hypervisor &hyper;
+
+    /** Manager VMs and their pending request queues. */
+    std::map<VmId, std::deque<RequestId>> managers;
+
+    /** Function tables staged by managers, consumed by Export. */
+    std::map<VmId, SharedFnTable> stagedFns;
+
+    std::map<ExportId, std::unique_ptr<Export>> exports;
+    std::map<AttachmentId, std::unique_ptr<Attachment>> attachments;
+    std::map<RequestId, Request> requests;
+
+    /**
+     * Per-VM count of attachments ever made. Picks the exchange
+     * window GPA, which lives in the VM-wide default context — so
+     * the counter must be per-VM, not per-vCPU (two vCPUs of one VM
+     * share that address space).
+     */
+    std::map<VmId, unsigned> slotCounters;
+
+    ExportId nextExportId = 1;
+    RequestId nextRequestId = 1;
+    AttachmentId nextAttachmentId = 1;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_NEGOTIATION_HH

@@ -1,0 +1,182 @@
+#include "elisa/shm_allocator.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::core
+{
+
+ShmAllocator::ShmAllocator(cpu::GuestView &guest_view, Gpa region_base)
+    : view(guest_view), base(region_base)
+{
+}
+
+ShmAllocator::Header
+ShmAllocator::readHeader()
+{
+    return view.read<Header>(base);
+}
+
+void
+ShmAllocator::writeHeader(const Header &h)
+{
+    view.write(base, h);
+}
+
+ShmAllocator::Block
+ShmAllocator::readBlock(std::uint64_t offset)
+{
+    return view.read<Block>(base + offset);
+}
+
+void
+ShmAllocator::writeBlock(std::uint64_t offset, const Block &b)
+{
+    view.write(base + offset, b);
+}
+
+void
+ShmAllocator::format(std::uint64_t region_bytes)
+{
+    panic_if(region_bytes < 4 * align + sizeof(Header) + sizeof(Block),
+             "shared region too small to format");
+    Header h;
+    h.magic = magicValue;
+    h.regionBytes = region_bytes;
+    h.freeHead = sizeof(Header);
+    h.allocCount = 0;
+    writeHeader(h);
+
+    Block all;
+    all.size = region_bytes - sizeof(Header) - sizeof(Block);
+    all.next = 0;
+    writeBlock(h.freeHead, all);
+}
+
+bool
+ShmAllocator::formatted()
+{
+    return readHeader().magic == magicValue;
+}
+
+std::optional<std::uint64_t>
+ShmAllocator::alloc(std::uint64_t bytes)
+{
+    panic_if(!formatted(), "alloc from unformatted region");
+    if (bytes == 0)
+        bytes = align;
+    bytes = (bytes + align - 1) & ~(align - 1);
+
+    Header h = readHeader();
+    std::uint64_t prev = 0;
+    std::uint64_t cur = h.freeHead;
+    while (cur != 0) {
+        Block blk = readBlock(cur);
+        if (blk.size >= bytes) {
+            const std::uint64_t remainder = blk.size - bytes;
+            std::uint64_t follower = blk.next;
+            if (remainder >= sizeof(Block) + align) {
+                // Split: carve the tail into a new free block.
+                const std::uint64_t tail =
+                    cur + sizeof(Block) + bytes;
+                Block tail_blk;
+                tail_blk.size = remainder - sizeof(Block);
+                tail_blk.next = blk.next;
+                writeBlock(tail, tail_blk);
+                blk.size = bytes;
+                follower = tail;
+            }
+            // Unlink cur.
+            if (prev == 0) {
+                h.freeHead = follower;
+            } else {
+                Block prev_blk = readBlock(prev);
+                prev_blk.next = follower;
+                writeBlock(prev, prev_blk);
+            }
+            blk.next = 0;
+            writeBlock(cur, blk);
+            ++h.allocCount;
+            writeHeader(h);
+            return cur + sizeof(Block);
+        }
+        prev = cur;
+        cur = blk.next;
+    }
+    return std::nullopt;
+}
+
+void
+ShmAllocator::free(std::uint64_t payload_offset)
+{
+    panic_if(!formatted(), "free into unformatted region");
+    panic_if(payload_offset < sizeof(Header) + sizeof(Block),
+             "bad payload offset");
+    const std::uint64_t block_off = payload_offset - sizeof(Block);
+
+    // Address-ordered insert with coalescing of adjacent blocks.
+    Header h = readHeader();
+    Block blk = readBlock(block_off);
+
+    std::uint64_t prev = 0;
+    std::uint64_t cur = h.freeHead;
+    while (cur != 0 && cur < block_off) {
+        prev = cur;
+        cur = readBlock(cur).next;
+    }
+    panic_if(cur == block_off, "double free at offset %llu",
+             (unsigned long long)block_off);
+
+    blk.next = cur;
+    writeBlock(block_off, blk);
+    if (prev == 0) {
+        h.freeHead = block_off;
+    } else {
+        Block prev_blk = readBlock(prev);
+        prev_blk.next = block_off;
+        writeBlock(prev, prev_blk);
+    }
+
+    // Coalesce with successor.
+    if (cur != 0 &&
+        block_off + sizeof(Block) + blk.size == cur) {
+        Block next_blk = readBlock(cur);
+        blk.size += sizeof(Block) + next_blk.size;
+        blk.next = next_blk.next;
+        writeBlock(block_off, blk);
+    }
+    // Coalesce with predecessor.
+    if (prev != 0) {
+        Block prev_blk = readBlock(prev);
+        if (prev + sizeof(Block) + prev_blk.size == block_off) {
+            Block merged = readBlock(block_off);
+            prev_blk.size += sizeof(Block) + merged.size;
+            prev_blk.next = merged.next;
+            writeBlock(prev, prev_blk);
+        }
+    }
+    panic_if(h.allocCount == 0, "free without matching alloc");
+    --h.allocCount;
+    writeHeader(h);
+}
+
+std::uint64_t
+ShmAllocator::freeBytes()
+{
+    panic_if(!formatted(), "inspecting unformatted region");
+    std::uint64_t total = 0;
+    std::uint64_t cur = readHeader().freeHead;
+    while (cur != 0) {
+        Block blk = readBlock(cur);
+        total += blk.size;
+        cur = blk.next;
+    }
+    return total;
+}
+
+std::uint64_t
+ShmAllocator::capacity()
+{
+    return readHeader().regionBytes - sizeof(Header) - sizeof(Block);
+}
+
+} // namespace elisa::core

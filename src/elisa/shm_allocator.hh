@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A first-fit free-list allocator living *inside* a shared region.
+ *
+ * All metadata (region header, block headers, free list) is stored in
+ * the shared memory itself and manipulated exclusively through a
+ * GuestView, so the allocator works identically from the manager's
+ * default context and from a shared function running in the sub EPT
+ * context — and every metadata touch is EPT-checked.
+ *
+ * Offsets, not pointers, are stored throughout (position-independent:
+ * the region appears at different GPAs in different contexts).
+ */
+
+#ifndef ELISA_ELISA_SHM_ALLOCATOR_HH
+#define ELISA_ELISA_SHM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "base/types.hh"
+#include "cpu/guest_view.hh"
+
+namespace elisa::core
+{
+
+/**
+ * Shared-memory allocator handle. The handle itself is stateless
+ * beyond (view, base); any party with access to the region can
+ * construct one.
+ */
+class ShmAllocator
+{
+  public:
+    /**
+     * Bind to a region at @p base (GPA in the *caller's* context).
+     * Call format() once before first use.
+     */
+    ShmAllocator(cpu::GuestView &view, Gpa base);
+
+    /**
+     * Initialize the region structures.
+     * @param region_bytes total region size, including metadata.
+     */
+    void format(std::uint64_t region_bytes);
+
+    /** True when the region carries a valid header. */
+    bool formatted();
+
+    /**
+     * Allocate @p bytes (16-byte aligned, first fit).
+     * @return offset of the usable payload within the region, or
+     *         nullopt when no block fits.
+     */
+    std::optional<std::uint64_t> alloc(std::uint64_t bytes);
+
+    /** Free a previously allocated payload offset. */
+    void free(std::uint64_t payload_offset);
+
+    /** Bytes currently free (sums the free list). */
+    std::uint64_t freeBytes();
+
+    /** Total usable bytes (region minus region header). */
+    std::uint64_t capacity();
+
+  private:
+    /** On-memory region header. */
+    struct Header
+    {
+        std::uint64_t magic;
+        std::uint64_t regionBytes;
+        std::uint64_t freeHead; ///< offset of first free block, 0=none
+        std::uint64_t allocCount;
+    };
+
+    /** On-memory block header (precedes each payload). */
+    struct Block
+    {
+        std::uint64_t size; ///< payload size
+        std::uint64_t next; ///< next free block offset (free list only)
+    };
+
+    static constexpr std::uint64_t magicValue = 0x454c53484d454d31ull;
+    static constexpr std::uint64_t align = 16;
+
+    Header readHeader();
+    void writeHeader(const Header &h);
+    Block readBlock(std::uint64_t offset);
+    void writeBlock(std::uint64_t offset, const Block &b);
+
+    cpu::GuestView &view;
+    Gpa base;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_SHM_ALLOCATOR_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Host-side building blocks of ELISA: exports and attachments.
+ *
+ * An Export is the manager's record of one shared object: the object's
+ * host frames (carved out of the manager VM's RAM), its permissions,
+ * the function table ("the code"), and a gate trampoline page.
+ *
+ * An Attachment materializes the two EPT contexts a guest vCPU needs to
+ * reach the object:
+ *   - the gate context (trampoline + isolated stack + exchange buffer);
+ *   - the sub context (same, plus the object window).
+ * Both contexts are per-attachment, so two clients of the same export
+ * share *only* the object frames — never stacks or exchange buffers.
+ */
+
+#ifndef ELISA_ELISA_SUB_CONTEXT_HH
+#define ELISA_ELISA_SUB_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/types.hh"
+#include "elisa/abi.hh"
+#include "ept/ept.hh"
+#include "hv/hypervisor.hh"
+
+namespace elisa::core
+{
+
+/**
+ * Host-side record of one exported shared object.
+ */
+class Export
+{
+  public:
+    /**
+     * @param hv the machine.
+     * @param id export id.
+     * @param name lookup key for attach requests.
+     * @param manager_vm id of the owning manager VM.
+     * @param object_hpa host-physical base of the object (backed by
+     *        the manager's RAM; the manager keeps direct access).
+     * @param object_bytes object size (page multiple).
+     * @param perms permissions clients get on the object window.
+     * @param fns the function table.
+     */
+    Export(hv::Hypervisor &hv, ExportId id, std::string name,
+           VmId manager_vm, Hpa object_hpa, std::uint64_t object_bytes,
+           ept::Perms perms, SharedFnTable fns);
+
+    ~Export();
+
+    Export(const Export &) = delete;
+    Export &operator=(const Export &) = delete;
+
+    ExportId id() const { return exportId; }
+    const std::string &name() const { return exportName; }
+    VmId managerVm() const { return manager; }
+    Hpa objectHpa() const { return objHpa; }
+    std::uint64_t objectBytes() const { return objBytes; }
+    ept::Perms objectPerms() const { return objPerms; }
+    Hpa gateCodeHpa() const { return gateCode; }
+
+    /** The function table (called by Gate::call under the sub EPT). */
+    const SharedFnTable &functions() const { return fnTable; }
+
+    /** Attachment accounting (used by revoke checks). */
+    unsigned liveAttachments() const { return attachRefs; }
+    void addAttachment() { ++attachRefs; }
+    void dropAttachment();
+
+  private:
+    hv::Hypervisor &hyper;
+    ExportId exportId;
+    std::string exportName;
+    VmId manager;
+    Hpa objHpa;
+    std::uint64_t objBytes;
+    ept::Perms objPerms;
+    SharedFnTable fnTable;
+    /** One trampoline page per export, mapped X into every client. */
+    Hpa gateCode = 0;
+    unsigned attachRefs = 0;
+};
+
+/**
+ * One guest vCPU's live connection to an Export.
+ */
+class Attachment
+{
+  public:
+    /**
+     * Build the gate and sub contexts, allocate the stack and exchange
+     * buffer, install both EPTPs into the guest vCPU's list, and map
+     * the exchange buffer into the guest's default context.
+     *
+     * @param hv the machine.
+     * @param id attachment id.
+     * @param exp the export being attached (must outlive this).
+     * @param guest_vm the attaching VM.
+     * @param vcpu_index vCPU within @p guest_vm.
+     * @param slot per-VM attachment ordinal (picks the guest-side
+     *        exchange window GPA).
+     * @param granted permissions of this client's object window; must
+     *        not exceed the export's permissions (the negotiation
+     *        validates this before construction).
+     */
+    Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp,
+               hv::Vm &guest_vm, unsigned vcpu_index, unsigned slot,
+               ept::Perms granted);
+
+    /** Permissions this client's object window was granted. */
+    ept::Perms grantedPerms() const { return granted; }
+
+    /** Uninstalls EPTPs (flushing the TLB) and frees every frame. */
+    ~Attachment();
+
+    Attachment(const Attachment &) = delete;
+    Attachment &operator=(const Attachment &) = delete;
+
+    AttachmentId id() const { return attachId; }
+    Export &exportRecord() { return exp; }
+    VmId guestVm() const { return guestVmId; }
+    unsigned vcpuIndex() const { return vcpu; }
+
+    /** The descriptor returned to the guest by the negotiation. */
+    const AttachInfo &info() const { return attachInfo; }
+
+    /** The two private contexts (tests inspect their mappings). */
+    ept::Ept &gateEpt() { return *gateContext; }
+    ept::Ept &subEpt() { return *subContext; }
+
+  private:
+    hv::Hypervisor &hyper;
+    AttachmentId attachId;
+    Export &exp;
+    VmId guestVmId;
+    unsigned vcpu;
+    Hpa stackHpa = 0;
+    std::uint64_t stackBytes = defaultStackBytes;
+    Hpa exchHpa = 0;
+    std::uint64_t exchBytes = defaultExchangeBytes;
+    ept::Perms granted;
+    std::unique_ptr<ept::Ept> gateContext;
+    std::unique_ptr<ept::Ept> subContext;
+    AttachInfo attachInfo;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_SUB_CONTEXT_HH

@@ -1,0 +1,39 @@
+#include "ept/ept_entry.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::ept
+{
+
+std::string
+permsToString(Perms perms)
+{
+    std::string s = "---";
+    if (permits(perms, Perms::Read))
+        s[0] = 'r';
+    if (permits(perms, Perms::Write))
+        s[1] = 'w';
+    if (permits(perms, Perms::Exec))
+        s[2] = 'x';
+    return s;
+}
+
+EptEntry
+EptEntry::make(Hpa hpa, Perms perms)
+{
+    panic_if(!isPageAligned(hpa), "EPT entry address %llx not aligned",
+             (unsigned long long)hpa);
+    return EptEntry(hpa | static_cast<std::uint64_t>(perms));
+}
+
+EptEntry
+EptEntry::makeLarge(Hpa hpa, Perms perms)
+{
+    panic_if((hpa & largePageMask) != 0,
+             "large EPT entry address %llx not 2 MiB aligned",
+             (unsigned long long)hpa);
+    return EptEntry(hpa | (1ull << 7) |
+                    static_cast<std::uint64_t>(perms));
+}
+
+} // namespace elisa::ept

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Extended Page Table entry encoding/decoding.
+ *
+ * Entries follow the Intel SDM layout for the bits we model:
+ *   bit 0      read permission
+ *   bit 1      write permission
+ *   bit 2      execute permission
+ *   bit 7      large page: this PDE maps a 2 MiB page directly
+ *   bit 8      accessed (set by the walker)
+ *   bit 9      dirty (set by the walker on write translations)
+ *   bits 51:12 host-physical frame number of the next-level table or,
+ *              at the leaf level, of the mapped page
+ *
+ * 4 KiB and 2 MiB pages are modelled; 1 GiB pages are not.
+ */
+
+#ifndef ELISA_EPT_EPT_ENTRY_HH
+#define ELISA_EPT_EPT_ENTRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace elisa::ept
+{
+
+/** Access permissions of an EPT mapping (bitmask). */
+enum class Perms : std::uint8_t
+{
+    None = 0,
+    Read = 1 << 0,
+    Write = 1 << 1,
+    Exec = 1 << 2,
+    RW = Read | Write,
+    RX = Read | Exec,
+    RWX = Read | Write | Exec,
+};
+
+constexpr Perms
+operator|(Perms a, Perms b)
+{
+    return static_cast<Perms>(static_cast<std::uint8_t>(a) |
+                              static_cast<std::uint8_t>(b));
+}
+
+constexpr Perms
+operator&(Perms a, Perms b)
+{
+    return static_cast<Perms>(static_cast<std::uint8_t>(a) &
+                              static_cast<std::uint8_t>(b));
+}
+
+/** True if @p have grants everything @p need requires. */
+constexpr bool
+permits(Perms have, Perms need)
+{
+    return (static_cast<std::uint8_t>(have) &
+            static_cast<std::uint8_t>(need)) ==
+           static_cast<std::uint8_t>(need);
+}
+
+/** Render permissions as "r-x" style string. */
+std::string permsToString(Perms perms);
+
+/** Successful translation result (GPA -> HPA plus leaf permissions). */
+struct Translation
+{
+    /** Host-physical address corresponding to the queried GPA. */
+    Hpa hpa = 0;
+
+    /** Leaf permissions of the mapping. */
+    Perms perms = Perms::None;
+};
+
+/**
+ * One 64-bit EPT entry, as stored in a table page.
+ */
+class EptEntry
+{
+  public:
+    EptEntry() = default;
+
+    /** Wrap a raw 64-bit entry value. */
+    explicit EptEntry(std::uint64_t raw) : value(raw) {}
+
+    /** Build an entry pointing at @p hpa with @p perms. */
+    static EptEntry make(Hpa hpa, Perms perms);
+
+    /** Build a 2 MiB large-page leaf entry (bit 7 set). */
+    static EptEntry makeLarge(Hpa hpa, Perms perms);
+
+    /** Raw 64-bit representation. */
+    std::uint64_t raw() const { return value; }
+
+    /** An entry is present when any permission bit is set. */
+    bool
+    present() const
+    {
+        return (value & 0x7) != 0;
+    }
+
+    /** Permission bits of this entry. */
+    Perms
+    perms() const
+    {
+        return static_cast<Perms>(value & 0x7);
+    }
+
+    /** Host-physical address this entry points at (bits 51:12). */
+    Hpa
+    addr() const
+    {
+        return value & 0x000ffffffffff000ull;
+    }
+
+    /** Replace the permission bits, keeping the address. */
+    void
+    setPerms(Perms perms)
+    {
+        value = (value & ~std::uint64_t{0x7}) |
+                static_cast<std::uint64_t>(perms);
+    }
+
+    /** True when bit 7 marks this entry as a 2 MiB leaf. */
+    bool isLarge() const { return (value & (1ull << 7)) != 0; }
+
+    /** Accessed flag (bit 8). */
+    bool accessed() const { return (value & (1ull << 8)) != 0; }
+
+    /** Dirty flag (bit 9). */
+    bool dirty() const { return (value & (1ull << 9)) != 0; }
+
+    /** Set/clear the accessed and dirty flags. */
+    void
+    setAccessed(bool on)
+    {
+        value = on ? value | (1ull << 8) : value & ~(1ull << 8);
+    }
+
+    void
+    setDirty(bool on)
+    {
+        value = on ? value | (1ull << 9) : value & ~(1ull << 9);
+    }
+
+  private:
+    std::uint64_t value = 0;
+};
+
+/** Size of a 2 MiB large page. */
+inline constexpr std::uint64_t largePageSize = 2 * 1024 * 1024;
+
+/** Mask selecting the offset within a large page. */
+inline constexpr std::uint64_t largePageMask = largePageSize - 1;
+
+/** Number of levels in the EPT hierarchy (PML4 .. PT). */
+inline constexpr unsigned eptLevels = 4;
+
+/** Entries per table page (4096 / 8). */
+inline constexpr unsigned eptEntriesPerTable = 512;
+
+/**
+ * Index into the table at @p level for @p gpa.
+ * Level 3 = PML4 (bits 47:39) ... level 0 = PT (bits 20:12).
+ */
+constexpr unsigned
+eptIndex(Gpa gpa, unsigned level)
+{
+    return static_cast<unsigned>((gpa >> (pageShift + 9 * level)) & 0x1ff);
+}
+
+/** Maximum guest-physical address covered by 4 levels (48 bits). */
+inline constexpr Gpa maxGpa = (Gpa{1} << 48) - 1;
+
+} // namespace elisa::ept
+
+#endif // ELISA_EPT_EPT_ENTRY_HH

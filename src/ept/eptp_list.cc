@@ -1,0 +1,81 @@
+#include "ept/eptp_list.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::ept
+{
+
+EptpList::EptpList(mem::HostMemory &memory, mem::FrameAllocator &allocator)
+    : mem(memory), alloc(allocator)
+{
+    auto frame = alloc.alloc();
+    fatal_if(!frame, "out of physical memory allocating EPTP list");
+    page = *frame;
+    mem.zero(page, pageSize);
+}
+
+EptpList::~EptpList()
+{
+    alloc.free(page);
+}
+
+void
+EptpList::set(EptpIndex index, std::uint64_t eptp)
+{
+    panic_if(index >= eptpListSize, "EPTP list index %u out of range",
+             index);
+    panic_if(eptp == 0, "installing invalid (zero) EPTP");
+    mem.write64(page + index * 8ull, eptp);
+}
+
+void
+EptpList::clear(EptpIndex index)
+{
+    panic_if(index >= eptpListSize, "EPTP list index %u out of range",
+             index);
+    mem.write64(page + index * 8ull, 0);
+}
+
+std::optional<std::uint64_t>
+EptpList::lookup(EptpIndex index) const
+{
+    if (index >= eptpListSize)
+        return std::nullopt;
+    const std::uint64_t eptp = mem.read64(page + index * 8ull);
+    if (eptp == 0)
+        return std::nullopt;
+    return eptp;
+}
+
+std::optional<EptpIndex>
+EptpList::findFree() const
+{
+    for (unsigned i = 0; i < eptpListSize; ++i) {
+        if (mem.read64(page + i * 8ull) == 0)
+            return static_cast<EptpIndex>(i);
+    }
+    return std::nullopt;
+}
+
+std::optional<EptpIndex>
+EptpList::find(std::uint64_t eptp) const
+{
+    for (unsigned i = 0; i < eptpListSize; ++i) {
+        if (mem.read64(page + i * 8ull) == eptp)
+            return static_cast<EptpIndex>(i);
+    }
+    return std::nullopt;
+}
+
+unsigned
+EptpList::validCount() const
+{
+    unsigned count = 0;
+    for (unsigned i = 0; i < eptpListSize; ++i) {
+        if (mem.read64(page + i * 8ull) != 0)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace elisa::ept

@@ -1,0 +1,92 @@
+#include "ept/tlb.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace elisa::ept
+{
+
+Tlb::Tlb(std::size_t entry_count)
+    : entries(entry_count), indexMask(entry_count - 1)
+{
+    fatal_if(!isPowerOf2(entry_count),
+             "TLB entry count must be a power of two");
+}
+
+std::size_t
+Tlb::indexOf(std::uint64_t eptp, Gpa gpa) const
+{
+    // Mix the page number with the EPTP so contexts do not collide on
+    // identical guest addresses (common: all contexts map GPA 0 region).
+    std::uint64_t key = (gpa >> pageShift) ^ (eptp >> pageShift) * 0x9e37ull;
+    return static_cast<std::size_t>(key) & indexMask;
+}
+
+std::optional<Translation>
+Tlb::lookup(std::uint64_t eptp, Gpa gpa)
+{
+    const Gpa page = pageAlignDown(gpa);
+    Entry &e = entries[indexOf(eptp, gpa)];
+    if (e.valid && e.eptp == eptp && e.gpaPage == page) {
+        ++hitCount;
+        return Translation{e.hpaPage | (gpa & pageMask), e.perms};
+    }
+    ++missCount;
+    return std::nullopt;
+}
+
+void
+Tlb::fill(std::uint64_t eptp, Gpa gpa, const Translation &xlat,
+          bool dirty_known)
+{
+    Entry &e = entries[indexOf(eptp, gpa)];
+    e.valid = true;
+    e.dirtyKnown = dirty_known;
+    e.eptp = eptp;
+    e.gpaPage = pageAlignDown(gpa);
+    e.hpaPage = pageAlignDown(xlat.hpa);
+    e.perms = xlat.perms;
+}
+
+bool
+Tlb::dirtyKnown(std::uint64_t eptp, Gpa gpa) const
+{
+    const Entry &e = entries[indexOf(eptp, gpa)];
+    return e.valid && e.eptp == eptp &&
+           e.gpaPage == pageAlignDown(gpa) && e.dirtyKnown;
+}
+
+void
+Tlb::setDirtyKnown(std::uint64_t eptp, Gpa gpa)
+{
+    Entry &e = entries[indexOf(eptp, gpa)];
+    if (e.valid && e.eptp == eptp && e.gpaPage == pageAlignDown(gpa))
+        e.dirtyKnown = true;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+void
+Tlb::flushEptp(std::uint64_t eptp)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.eptp == eptp)
+            e.valid = false;
+    }
+}
+
+std::size_t
+Tlb::validCount() const
+{
+    std::size_t count = 0;
+    for (const auto &e : entries)
+        count += e.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace elisa::ept

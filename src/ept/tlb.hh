@@ -1,0 +1,90 @@
+/**
+ * @file
+ * EPTP-tagged translation cache.
+ *
+ * Models the guest-physical mappings cached by the hardware TLB. Entries
+ * are tagged with the EPTP they were filled under, mirroring VPID/EPTRTA
+ * tagging on real CPUs: a VMFUNC EPTP switch therefore does NOT flush
+ * the cache (that is part of why it is cheap), while remap/protect
+ * operations require an explicit INVEPT-equivalent flush from the
+ * hypervisor.
+ */
+
+#ifndef ELISA_EPT_TLB_HH
+#define ELISA_EPT_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+#include "ept/ept_entry.hh"
+
+namespace elisa::ept
+{
+
+/**
+ * Direct-mapped, EPTP-tagged translation cache.
+ */
+class Tlb
+{
+  public:
+    /** @param entry_count number of entries; must be a power of two. */
+    explicit Tlb(std::size_t entry_count = 1024);
+
+    /**
+     * Look up the translation of the page containing @p gpa under
+     * @p eptp. Counts a hit or miss.
+     */
+    std::optional<Translation> lookup(std::uint64_t eptp, Gpa gpa);
+
+    /**
+     * Install a translation (called after a successful walk).
+     * @param dirty_known true when the walk already set the leaf's
+     *        dirty flag (a write access), so later writes through
+     *        this entry need no A/D update walk.
+     */
+    void fill(std::uint64_t eptp, Gpa gpa, const Translation &xlat,
+              bool dirty_known = false);
+
+    /** Did the cached entry's fill already propagate the dirty flag? */
+    bool dirtyKnown(std::uint64_t eptp, Gpa gpa) const;
+
+    /** Record that the dirty flag is now set in the leaf. */
+    void setDirtyKnown(std::uint64_t eptp, Gpa gpa);
+
+    /** Drop every entry (INVEPT global equivalent). */
+    void flushAll();
+
+    /** Drop entries filled under @p eptp (INVEPT single-context). */
+    void flushEptp(std::uint64_t eptp);
+
+    /** Statistics. */
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+    /** Number of currently valid entries (for tests). */
+    std::size_t validCount() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool dirtyKnown = false;
+        std::uint64_t eptp = 0;
+        Gpa gpaPage = 0;
+        Hpa hpaPage = 0;
+        Perms perms = Perms::None;
+    };
+
+    std::size_t indexOf(std::uint64_t eptp, Gpa gpa) const;
+
+    std::vector<Entry> entries;
+    std::size_t indexMask;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace elisa::ept
+
+#endif // ELISA_EPT_TLB_HH

@@ -1,0 +1,110 @@
+#include "guest/address_space.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace elisa::guest
+{
+
+Gpa
+VirtView::translate(Gva gva, ept::Access access)
+{
+    GuestPageFault fault;
+    auto xlat = pt.translateFor(gva, access, &fault);
+    if (!xlat)
+        throw GuestFaultEvent(fault);
+    return xlat->gpa;
+}
+
+void
+VirtView::readBytes(Gva gva, void *dst, std::uint64_t len)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len, pageSize - (gva & pageMask));
+        const Gpa gpa = translate(gva, ept::Access::Read);
+        view.readBytes(gpa, out, in_page);
+        gva += in_page;
+        out += in_page;
+        len -= in_page;
+    }
+}
+
+void
+VirtView::writeBytes(Gva gva, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(len, pageSize - (gva & pageMask));
+        const Gpa gpa = translate(gva, ept::Access::Write);
+        view.writeBytes(gpa, in, in_page);
+        gva += in_page;
+        in += in_page;
+        len -= in_page;
+    }
+}
+
+AddressSpace::AddressSpace(hv::Vm &vm, unsigned vcpu_index)
+    : guestVm(vm), vcpuIndex(vcpu_index), pt(vm, vcpu_index)
+{
+}
+
+std::optional<Gva>
+AddressSpace::mmap(std::uint64_t bytes, PtPerms perms)
+{
+    const std::uint64_t len = pageAlignUp(bytes);
+    if (len == 0)
+        return std::nullopt;
+    const Gva base = bump;
+    for (std::uint64_t off = 0; off < len; off += pageSize) {
+        auto frame = guestVm.allocGuestMem(pageSize);
+        if (!frame) {
+            // Roll back what was mapped.
+            for (std::uint64_t undo = 0; undo < off; undo += pageSize)
+                pt.unmap(base + undo);
+            return std::nullopt;
+        }
+        const bool ok = pt.map(base + off, *frame, perms);
+        panic_if(!ok, "fresh GVA range was already mapped");
+    }
+    // Leave an unmapped guard page between ranges.
+    bump = base + len + pageSize;
+    ranges[base] = len;
+    return base;
+}
+
+bool
+AddressSpace::munmap(Gva base)
+{
+    auto it = ranges.find(base);
+    if (it == ranges.end())
+        return false;
+    for (std::uint64_t off = 0; off < it->second; off += pageSize)
+        pt.unmap(base + off);
+    ranges.erase(it);
+    return true;
+}
+
+bool
+AddressSpace::mprotect(Gva base, PtPerms perms)
+{
+    auto it = ranges.find(base);
+    if (it == ranges.end())
+        return false;
+    for (std::uint64_t off = 0; off < it->second; off += pageSize) {
+        const bool ok = pt.protect(base + off, perms);
+        panic_if(!ok, "tracked range had an unmapped page");
+    }
+    return true;
+}
+
+VirtView
+AddressSpace::view()
+{
+    return VirtView(guestVm.vcpu(vcpuIndex), pt);
+}
+
+} // namespace elisa::guest

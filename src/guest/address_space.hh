@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A minimal guest-OS virtual address space: mmap-style allocation of
+ * virtual ranges backed by guest-physical pages, and VirtView — the
+ * two-dimensional access path (GVA -> GPA via the guest page table,
+ * then GPA -> HPA via the active EPT context).
+ */
+
+#ifndef ELISA_GUEST_ADDRESS_SPACE_HH
+#define ELISA_GUEST_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "guest/page_table.hh"
+
+namespace elisa::guest
+{
+
+/** Exception wrapper thrown by VirtView on a guest page fault. */
+class GuestFaultEvent : public std::runtime_error
+{
+  public:
+    explicit GuestFaultEvent(const GuestPageFault &f)
+        : std::runtime_error("guest page fault"), pageFault(f)
+    {
+    }
+
+    const GuestPageFault &fault() const { return pageFault; }
+
+  private:
+    GuestPageFault pageFault;
+};
+
+/**
+ * Virtual-address access path for guest software. Every access first
+ * walks the guest page table (each PTE read is EPT-translated and
+ * costed), then performs the data access through the vCPU's GuestView
+ * under the active EPT context.
+ */
+class VirtView
+{
+  public:
+    VirtView(cpu::Vcpu &vcpu, GuestPageTable &page_table)
+        : view(vcpu), pt(page_table)
+    {
+    }
+
+    /** Translate @p gva for @p access; throws GuestFaultEvent. */
+    Gpa translate(Gva gva, ept::Access access);
+
+    template <typename T>
+    T
+    read(Gva gva)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        readBytes(gva, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    write(Gva gva, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(gva, &value, sizeof(T));
+    }
+
+    /** Bulk read/write (may cross pages; each page re-walked). */
+    void readBytes(Gva gva, void *dst, std::uint64_t len);
+    void writeBytes(Gva gva, const void *src, std::uint64_t len);
+
+  private:
+    cpu::GuestView view;
+    GuestPageTable &pt;
+};
+
+/**
+ * mmap-style manager of one virtual address space.
+ */
+class AddressSpace
+{
+  public:
+    /** Lowest GVA handed out (a classic user-space base). */
+    static constexpr Gva mmapBase = 0x400000;
+
+    AddressSpace(hv::Vm &vm, unsigned vcpu_index = 0);
+
+    /**
+     * Allocate @p bytes of virtual space backed by fresh guest-
+     * physical pages, mapped with @p perms.
+     * @return base GVA, or nullopt when guest RAM is exhausted.
+     */
+    std::optional<Gva> mmap(std::uint64_t bytes,
+                            PtPerms perms = PtPerms::RW);
+
+    /** Unmap a previously mmap'd range (whole-range only). */
+    bool munmap(Gva base);
+
+    /** Change protections of a previously mmap'd range. */
+    bool mprotect(Gva base, PtPerms perms);
+
+    /** The underlying page table. */
+    GuestPageTable &pageTable() { return pt; }
+
+    /** An access path bound to this space. */
+    VirtView view();
+
+  private:
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    GuestPageTable pt;
+    Gva bump = mmapBase;
+    std::map<Gva, std::uint64_t> ranges; ///< base -> bytes
+};
+
+} // namespace elisa::guest
+
+#endif // ELISA_GUEST_ADDRESS_SPACE_HH

@@ -1,0 +1,171 @@
+#include "guest/page_table.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::guest
+{
+
+namespace
+{
+
+/** PTE bit layout (x86-64 subset): P=0, RW=1, NX=63; addr 51:12. */
+constexpr std::uint64_t pteP = 1ull << 0;
+constexpr std::uint64_t pteRw = 1ull << 1;
+constexpr std::uint64_t pteNx = 1ull << 63;
+constexpr std::uint64_t pteAddrMask = 0x000ffffffffff000ull;
+
+std::uint64_t
+encodePte(Gpa gpa, PtPerms perms)
+{
+    std::uint64_t pte = (gpa & pteAddrMask) | pteP;
+    if (ptPermits(perms, PtPerms::Write))
+        pte |= pteRw;
+    if (!ptPermits(perms, PtPerms::Exec))
+        pte |= pteNx;
+    return pte;
+}
+
+PtPerms
+decodePerms(std::uint64_t pte)
+{
+    PtPerms perms = PtPerms::Read;
+    if (pte & pteRw)
+        perms = perms | PtPerms::Write;
+    if (!(pte & pteNx))
+        perms = perms | PtPerms::Exec;
+    return perms;
+}
+
+unsigned
+gvaIndex(Gva gva, unsigned level)
+{
+    return static_cast<unsigned>((gva >> (12 + 9 * level)) & 0x1ff);
+}
+
+} // anonymous namespace
+
+GuestPageTable::GuestPageTable(hv::Vm &vm, unsigned vcpu_index)
+    : guestVm(vm), vcpuIndex(vcpu_index)
+{
+    auto root = vm.allocGuestMem(pageSize);
+    fatal_if(!root, "VM '%s' out of RAM for guest page tables",
+             vm.name().c_str());
+    rootGpa = *root;
+    cpu::GuestView view(vm.vcpu(vcpu_index));
+    view.zeroBytes(rootGpa, pageSize);
+}
+
+std::optional<Gpa>
+GuestPageTable::walkToPte(Gva gva, bool allocate)
+{
+    panic_if((gva >> 48) != 0 && (gva >> 48) != 0xffff,
+             "non-canonical GVA %llx", (unsigned long long)gva);
+    cpu::GuestView view(guestVm.vcpu(vcpuIndex));
+    Gpa table = rootGpa;
+    for (unsigned level = 3; level > 0; --level) {
+        const Gpa slot = table + gvaIndex(gva, level) * 8;
+        std::uint64_t entry = view.read<std::uint64_t>(slot);
+        if (!(entry & pteP)) {
+            if (!allocate)
+                return std::nullopt;
+            auto frame = guestVm.allocGuestMem(pageSize);
+            if (!frame)
+                return std::nullopt;
+            view.zeroBytes(*frame, pageSize);
+            // Intermediate entries: present + writable, execute
+            // allowed (leaf controls the effective permissions).
+            entry = (*frame & pteAddrMask) | pteP | pteRw;
+            view.write(slot, entry);
+        }
+        table = entry & pteAddrMask;
+    }
+    return table + gvaIndex(gva, 0) * 8;
+}
+
+bool
+GuestPageTable::map(Gva gva, Gpa gpa, PtPerms perms)
+{
+    panic_if(!isPageAligned(gva) || !isPageAligned(gpa),
+             "guest map of unaligned address");
+    panic_if(perms == PtPerms::None, "guest map without permissions");
+    auto slot = walkToPte(gva, true);
+    fatal_if(!slot, "guest out of RAM for page tables");
+    cpu::GuestView view(guestVm.vcpu(vcpuIndex));
+    if (view.read<std::uint64_t>(*slot) & pteP)
+        return false;
+    view.write(*slot, encodePte(gpa, perms));
+    ++mappedCount;
+    return true;
+}
+
+bool
+GuestPageTable::unmap(Gva gva)
+{
+    auto slot = walkToPte(gva, false);
+    if (!slot)
+        return false;
+    cpu::GuestView view(guestVm.vcpu(vcpuIndex));
+    if (!(view.read<std::uint64_t>(*slot) & pteP))
+        return false;
+    view.write(*slot, std::uint64_t{0});
+    --mappedCount;
+    return true;
+}
+
+bool
+GuestPageTable::protect(Gva gva, PtPerms perms)
+{
+    panic_if(perms == PtPerms::None, "use unmap() instead");
+    auto slot = walkToPte(gva, false);
+    if (!slot)
+        return false;
+    cpu::GuestView view(guestVm.vcpu(vcpuIndex));
+    const std::uint64_t entry = view.read<std::uint64_t>(*slot);
+    if (!(entry & pteP))
+        return false;
+    view.write(*slot, encodePte(entry & pteAddrMask, perms));
+    return true;
+}
+
+std::optional<GvaTranslation>
+GuestPageTable::translate(Gva gva)
+{
+    auto slot = walkToPte(pageAlignDown(gva), false);
+    if (!slot)
+        return std::nullopt;
+    cpu::GuestView view(guestVm.vcpu(vcpuIndex));
+    const std::uint64_t entry = view.read<std::uint64_t>(*slot);
+    if (!(entry & pteP))
+        return std::nullopt;
+    return GvaTranslation{(entry & pteAddrMask) | (gva & pageMask),
+                          decodePerms(entry)};
+}
+
+std::optional<GvaTranslation>
+GuestPageTable::translateFor(Gva gva, ept::Access access,
+                             GuestPageFault *fault)
+{
+    auto result = translate(gva);
+    PtPerms need = PtPerms::Read;
+    switch (access) {
+      case ept::Access::Read:
+        need = PtPerms::Read;
+        break;
+      case ept::Access::Write:
+        need = PtPerms::Write;
+        break;
+      case ept::Access::Exec:
+        need = PtPerms::Exec;
+        break;
+    }
+    if (result && ptPermits(result->perms, need))
+        return result;
+    if (fault) {
+        fault->gva = gva;
+        fault->access = access;
+        fault->notPresent = !result.has_value();
+    }
+    return std::nullopt;
+}
+
+} // namespace elisa::guest

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Guest-virtual paging: x86-64 four-level page tables built by guest
+ * software inside its own RAM.
+ *
+ * This is the layer *underneath* which ELISA operates (ELISA swaps
+ * GPA->HPA translations; guest software additionally runs GVA->GPA
+ * paging of its own). The workloads address guest-physical memory
+ * directly for speed, but the substrate is complete: tests and the
+ * VirtView access path exercise full two-dimensional translation,
+ * and — because the walker reads PTEs through a GuestView — every
+ * guest page-table access is itself EPT-translated and costed, like
+ * the nested walks real hardware performs.
+ */
+
+#ifndef ELISA_GUEST_PAGE_TABLE_HH
+#define ELISA_GUEST_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cpu/guest_view.hh"
+#include "hv/vm.hh"
+
+namespace elisa::guest
+{
+
+/** A guest-virtual address. */
+using Gva = std::uint64_t;
+
+/** Guest PTE permission bits (subset of x86-64). */
+enum class PtPerms : std::uint8_t
+{
+    None = 0,
+    Read = 1 << 0,      ///< present
+    Write = 1 << 1,     ///< writable
+    Exec = 1 << 2,      ///< NOT no-execute
+    RW = Read | Write,
+    RX = Read | Exec,
+    RWX = Read | Write | Exec,
+};
+
+constexpr PtPerms
+operator|(PtPerms a, PtPerms b)
+{
+    return static_cast<PtPerms>(static_cast<std::uint8_t>(a) |
+                                static_cast<std::uint8_t>(b));
+}
+
+constexpr bool
+ptPermits(PtPerms have, PtPerms need)
+{
+    return (static_cast<std::uint8_t>(have) &
+            static_cast<std::uint8_t>(need)) ==
+           static_cast<std::uint8_t>(need);
+}
+
+/** A guest-level page fault (what the guest OS's #PF handler sees). */
+struct GuestPageFault
+{
+    Gva gva = 0;
+    ept::Access access = ept::Access::Read;
+    bool notPresent = false;
+};
+
+/** Result of a guest-PT walk. */
+struct GvaTranslation
+{
+    Gpa gpa = 0;
+    PtPerms perms = PtPerms::None;
+};
+
+/**
+ * A four-level guest page table rooted in guest RAM.
+ *
+ * All table manipulation and walking happens through a GuestView of
+ * the owning vCPU, so it is EPT-checked and costed like any other
+ * guest memory traffic.
+ */
+class GuestPageTable
+{
+  public:
+    /**
+     * Allocate and zero the root table (guest "CR3").
+     * @param vm the guest VM (tables live in its RAM).
+     * @param vcpu_index the vCPU whose view manipulates the tables.
+     */
+    GuestPageTable(hv::Vm &vm, unsigned vcpu_index = 0);
+
+    /** Guest-physical address of the root table (CR3 equivalent). */
+    Gpa root() const { return rootGpa; }
+
+    /**
+     * Map the 4 KiB guest-virtual page at @p gva to @p gpa.
+     * @return false if already mapped.
+     */
+    bool map(Gva gva, Gpa gpa, PtPerms perms);
+
+    /** Remove a mapping. @return false if it was absent. */
+    bool unmap(Gva gva);
+
+    /** Change permissions. @return false if unmapped. */
+    bool protect(Gva gva, PtPerms perms);
+
+    /**
+     * Walk for @p gva (the software walk a guest OS would do).
+     * @return the translation, or nullopt when not present.
+     */
+    std::optional<GvaTranslation> translate(Gva gva);
+
+    /**
+     * Walk and check for @p access as the MMU would; fills @p fault
+     * on failure.
+     */
+    std::optional<GvaTranslation>
+    translateFor(Gva gva, ept::Access access, GuestPageFault *fault);
+
+    /** Number of mapped 4 KiB pages. */
+    std::uint64_t mappedPages() const { return mappedCount; }
+
+  private:
+    /** PTE slot GPA for @p gva, allocating tables when asked. */
+    std::optional<Gpa> walkToPte(Gva gva, bool allocate);
+
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    Gpa rootGpa = 0;
+    std::uint64_t mappedCount = 0;
+};
+
+} // namespace elisa::guest
+
+#endif // ELISA_GUEST_PAGE_TABLE_HH

@@ -1,0 +1,209 @@
+#include "hv/hypervisor.hh"
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "cpu/guest_view.hh"
+
+namespace elisa::hv
+{
+
+Hypervisor::Hypervisor(std::uint64_t phys_mem_bytes,
+                       const sim::CostModel &cost)
+    : costModel(cost), physMem(phys_mem_bytes),
+      frames(phys_mem_bytes / pageSize)
+{
+    registerBaseHypercalls();
+}
+
+Hypervisor::~Hypervisor() = default;
+
+Vm &
+Hypervisor::createVm(const std::string &name, std::uint64_t ram_bytes,
+                     unsigned vcpu_count)
+{
+    const VmId id = nextVmId++;
+    auto vm = std::make_unique<Vm>(*this, id, name, ram_bytes, vcpu_count);
+    Vm &ref = *vm;
+    vms.emplace(id, std::move(vm));
+    statSet.inc("vm_created");
+    ELISA_TRACE(Hv, "created VM %u '%s' (%llu MiB RAM)", id,
+                ref.name().c_str(),
+                (unsigned long long)(ram_bytes >> 20));
+    return ref;
+}
+
+Vm &
+Hypervisor::vm(VmId id)
+{
+    auto it = vms.find(id);
+    panic_if(it == vms.end(), "no VM with id %u", id);
+    return *it->second;
+}
+
+void
+Hypervisor::destroyVm(VmId id)
+{
+    auto it = vms.find(id);
+    panic_if(it == vms.end(), "destroying unknown VM %u", id);
+    for (auto &hook : destroyHooks)
+        hook(id);
+    vms.erase(it);
+    statSet.inc("vm_destroyed");
+    ELISA_TRACE(Hv, "destroyed VM %u", id);
+}
+
+void
+Hypervisor::addVmDestroyHook(VmDestroyHook hook)
+{
+    panic_if(!hook, "registering empty destroy hook");
+    destroyHooks.push_back(std::move(hook));
+}
+
+void
+Hypervisor::registerHypercall(std::uint64_t nr, HypercallHandler handler)
+{
+    panic_if(!handler, "registering empty hypercall handler");
+    hypercalls[nr] = std::move(handler);
+}
+
+std::uint64_t
+Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
+                            const cpu::HypercallArgs &args)
+{
+    statSet.inc("hypercalls");
+    auto it = hypercalls.find(args.nr);
+    if (it == hypercalls.end()) {
+        statSet.inc("hypercall_unknown");
+        return hcError;
+    }
+    return it->second(vcpu, args);
+}
+
+std::optional<EptpIndex>
+Hypervisor::installEptp(cpu::Vcpu &vcpu, std::uint64_t eptp)
+{
+    auto index = vcpu.eptpList().findFree();
+    if (!index)
+        return std::nullopt;
+    vcpu.eptpList().set(*index, eptp);
+    statSet.inc("eptp_installed");
+    return index;
+}
+
+void
+Hypervisor::removeEptp(cpu::Vcpu &vcpu, EptpIndex index)
+{
+    panic_if(index == 0, "refusing to remove the default EPTP");
+    auto eptp = vcpu.eptpList().lookup(index);
+    if (!eptp)
+        return;
+    vcpu.eptpList().clear(index);
+    vcpu.tlb().flushEptp(*eptp);
+    statSet.inc("eptp_removed");
+}
+
+void
+Hypervisor::inveptAll(std::uint64_t eptp)
+{
+    for (auto &[id, vm] : vms) {
+        for (unsigned i = 0; i < vm->vcpuCount(); ++i)
+            vm->vcpu(i).tlb().flushEptp(eptp);
+    }
+}
+
+void
+Hypervisor::inveptGlobal()
+{
+    for (auto &[id, vm] : vms) {
+        for (unsigned i = 0; i < vm->vcpuCount(); ++i)
+            vm->vcpu(i).tlb().flushAll();
+    }
+}
+
+ChannelId
+Hypervisor::createChannel(std::size_t capacity)
+{
+    fatal_if(capacity == 0, "channel capacity must be positive");
+    channels.push_back(Channel{capacity, {}});
+    return static_cast<ChannelId>(channels.size() - 1);
+}
+
+bool
+Hypervisor::channelPush(ChannelId id, std::vector<std::uint8_t> msg)
+{
+    panic_if(id >= channels.size(), "bad channel id %u", id);
+    Channel &chan = channels[id];
+    if (chan.queue.size() >= chan.capacity)
+        return false;
+    chan.queue.push_back(std::move(msg));
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+Hypervisor::channelPop(ChannelId id)
+{
+    panic_if(id >= channels.size(), "bad channel id %u", id);
+    Channel &chan = channels[id];
+    if (chan.queue.empty())
+        return std::nullopt;
+    std::vector<std::uint8_t> msg = std::move(chan.queue.front());
+    chan.queue.pop_front();
+    return msg;
+}
+
+std::size_t
+Hypervisor::channelDepth(ChannelId id) const
+{
+    panic_if(id >= channels.size(), "bad channel id %u", id);
+    return channels[id].queue.size();
+}
+
+void
+Hypervisor::registerBaseHypercalls()
+{
+    registerHypercall(Hc::Nop,
+                      [](cpu::Vcpu &, const cpu::HypercallArgs &) {
+                          return std::uint64_t{0};
+                      });
+
+    registerHypercall(Hc::GetVmId,
+                      [](cpu::Vcpu &vcpu, const cpu::HypercallArgs &) {
+                          return std::uint64_t{vcpu.vm()};
+                      });
+
+    // ChanSend(chan, buf_gpa, len): copy out of the calling guest.
+    registerHypercall(
+        Hc::ChanSend,
+        [this](cpu::Vcpu &vcpu, const cpu::HypercallArgs &args) {
+            const auto chan = static_cast<ChannelId>(args.arg0);
+            if (chan >= channels.size())
+                return hcError;
+            std::vector<std::uint8_t> buf(args.arg2);
+            cpu::GuestView view(vcpu);
+            if (!buf.empty())
+                view.readBytes(args.arg1, buf.data(), buf.size());
+            return channelPush(chan, std::move(buf)) ? std::uint64_t{0}
+                                                     : hcError;
+        });
+
+    // ChanRecv(chan, buf_gpa, cap) -> length received, or hcError when
+    // the channel is empty.
+    registerHypercall(
+        Hc::ChanRecv,
+        [this](cpu::Vcpu &vcpu, const cpu::HypercallArgs &args) {
+            const auto chan = static_cast<ChannelId>(args.arg0);
+            if (chan >= channels.size())
+                return hcError;
+            auto msg = channelPop(chan);
+            if (!msg)
+                return hcError;
+            const std::uint64_t len =
+                std::min<std::uint64_t>(msg->size(), args.arg2);
+            cpu::GuestView view(vcpu);
+            if (len > 0)
+                view.writeBytes(args.arg1, msg->data(), len);
+            return len;
+        });
+}
+
+} // namespace elisa::hv

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The hypervisor: machine resources, VM lifecycle, hypercall dispatch,
+ * EPTP-list management, INVEPT, and inter-VM channels.
+ */
+
+#ifndef ELISA_HV_HYPERVISOR_HH
+#define ELISA_HV_HYPERVISOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/vcpu.hh"
+#include "hv/hypercall.hh"
+#include "hv/vm.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/host_memory.hh"
+#include "sim/cost_model.hh"
+#include "sim/stats.hh"
+
+namespace elisa::hv
+{
+
+/** Identifier of an inter-VM channel. */
+using ChannelId = std::uint32_t;
+
+/**
+ * The machine + hypervisor. Owns physical memory, the frame allocator,
+ * the cost model, and every VM.
+ */
+class Hypervisor : public cpu::HypercallSink
+{
+  public:
+    /**
+     * @param phys_mem_bytes machine physical memory size.
+     * @param cost timing parameters (copied).
+     */
+    explicit Hypervisor(std::uint64_t phys_mem_bytes,
+                        const sim::CostModel &cost = sim::CostModel{});
+
+    ~Hypervisor() override;
+
+    // ---- machine resources ----------------------------------------
+    mem::HostMemory &memory() { return physMem; }
+    mem::FrameAllocator &allocator() { return frames; }
+    const sim::CostModel &cost() const { return costModel; }
+    sim::StatSet &stats() { return statSet; }
+
+    // ---- VM lifecycle ----------------------------------------------
+    /** Create a VM; the hypervisor keeps ownership. */
+    Vm &createVm(const std::string &name, std::uint64_t ram_bytes,
+                 unsigned vcpu_count = 1);
+
+    /** Look up a VM by id (panics on bad id). */
+    Vm &vm(VmId id);
+
+    /** Destroy a VM, releasing its RAM, EPT contexts and vCPUs.
+     *  Registered destroy hooks run first (while the VM still
+     *  exists), letting services revoke state tied to it. */
+    void destroyVm(VmId id);
+
+    /** Callback invoked at the start of destroyVm(). */
+    using VmDestroyHook = std::function<void(VmId)>;
+
+    /** Register a VM-teardown observer (services use this). */
+    void addVmDestroyHook(VmDestroyHook hook);
+
+    /** Number of live VMs. */
+    std::size_t vmCount() const { return vms.size(); }
+
+    // ---- hypercalls --------------------------------------------------
+    /**
+     * Register @p handler for hypercall @p nr; replaces any previous
+     * registration (tests use that to interpose).
+     */
+    void registerHypercall(std::uint64_t nr, HypercallHandler handler);
+
+    /** Convenience overload for the Hc enum. */
+    void
+    registerHypercall(Hc nr, HypercallHandler handler)
+    {
+        registerHypercall(static_cast<std::uint64_t>(nr),
+                          std::move(handler));
+    }
+
+    /** cpu::HypercallSink: dispatch a VMCALL exit. */
+    std::uint64_t handleHypercall(cpu::Vcpu &vcpu,
+                                  const cpu::HypercallArgs &args) override;
+
+    /**
+     * Hand out a fresh hypercall number in the service range, for
+     * host-interposition services that register per-instance handlers.
+     */
+    std::uint64_t
+    allocServiceNr()
+    {
+        return nextServiceNr++;
+    }
+
+    // ---- EPTP-list management (the ELISA enabler) --------------------
+    /**
+     * Install @p eptp into @p vcpu's EPTP list.
+     * @return the chosen index, or nullopt when the list is full.
+     */
+    std::optional<EptpIndex> installEptp(cpu::Vcpu &vcpu,
+                                         std::uint64_t eptp);
+
+    /**
+     * Remove entry @p index from @p vcpu's list and flush its cached
+     * translations (INVEPT single-context).
+     */
+    void removeEptp(cpu::Vcpu &vcpu, EptpIndex index);
+
+    /** INVEPT single-context across every vCPU of every VM. */
+    void inveptAll(std::uint64_t eptp);
+
+    /** INVEPT global across every vCPU. */
+    void inveptGlobal();
+
+    // ---- inter-VM channels (negotiation slow path) -------------------
+    /**
+     * Create a message channel.
+     * @param capacity maximum queued messages.
+     */
+    ChannelId createChannel(std::size_t capacity = 64);
+
+    /** Host-side: push a message (no cost accounting). */
+    bool channelPush(ChannelId id, std::vector<std::uint8_t> msg);
+
+    /** Host-side: pop a message if available. */
+    std::optional<std::vector<std::uint8_t>> channelPop(ChannelId id);
+
+    /** Messages currently queued in @p id. */
+    std::size_t channelDepth(ChannelId id) const;
+
+  private:
+    struct Channel
+    {
+        std::size_t capacity;
+        std::deque<std::vector<std::uint8_t>> queue;
+    };
+
+    /** Install the Nop/GetVmId/Chan* base handlers. */
+    void registerBaseHypercalls();
+
+    sim::CostModel costModel;
+    mem::HostMemory physMem;
+    mem::FrameAllocator frames;
+    sim::StatSet statSet;
+    std::map<VmId, std::unique_ptr<Vm>> vms;
+    VmId nextVmId = 0;
+    VcpuId nextVcpuId = 0;
+    std::map<std::uint64_t, HypercallHandler> hypercalls;
+    std::vector<Channel> channels;
+    std::uint64_t nextServiceNr =
+        static_cast<std::uint64_t>(Hc::ServiceBase);
+    std::vector<VmDestroyHook> destroyHooks;
+
+    friend class Vm; // Vm construction pulls frames/vcpu ids.
+};
+
+} // namespace elisa::hv
+
+#endif // ELISA_HV_HYPERVISOR_HH

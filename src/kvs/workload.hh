@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multi-VM KVS scaling workload (the paper's Figure "KVS GET/PUT
+ * throughput vs number of VMs").
+ *
+ * Each client VM is an Engine actor performing uniform-random
+ * operations over a prepopulated key space; the conservative engine
+ * interleaves them so bucket-lock contention is arbitrated in
+ * simulated time.
+ */
+
+#ifndef ELISA_KVS_WORKLOAD_HH
+#define ELISA_KVS_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kvs/clients.hh"
+
+namespace elisa::kvs
+{
+
+/** Operation mix. */
+enum class Mix
+{
+    GetOnly,
+    PutOnly,
+    Mixed9010, ///< 90 % GET / 10 % PUT
+};
+
+/** Render a mix name. */
+const char *mixToString(Mix mix);
+
+/** Result of one workload run. */
+struct KvsRunResult
+{
+    /** Total operations across all clients. */
+    std::uint64_t ops = 0;
+
+    /** GETs that found their key (must equal GET count). */
+    std::uint64_t hits = 0;
+
+    /** GETs that returned a wrong value (must be 0). */
+    std::uint64_t corrupt = 0;
+
+    /** Operations that failed (bucket overflow; must be 0). */
+    std::uint64_t failed = 0;
+
+    /** Aggregate throughput in Mops/s (sum of per-client rates). */
+    double totalMops = 0.0;
+
+    /** Per-client rates in Mops/s. */
+    std::vector<double> perClientMops;
+};
+
+/**
+ * Run @p ops_per_client operations on every client concurrently.
+ *
+ * @param clients one client per VM (any mix of schemes — benches use
+ *        a homogeneous set per series).
+ * @param mix operation mix.
+ * @param key_space keys are uniform over [0, key_space); the caller
+ *        must have prepopulated exactly this range.
+ * @param ops_per_client operations per client.
+ * @param seed workload RNG seed (clients get decorrelated streams).
+ */
+KvsRunResult runKvsWorkload(const std::vector<KvsClient *> &clients,
+                            Mix mix, std::uint64_t key_space,
+                            std::uint64_t ops_per_client,
+                            std::uint64_t seed = 42);
+
+} // namespace elisa::kvs
+
+#endif // ELISA_KVS_WORKLOAD_HH

@@ -1,0 +1,103 @@
+#include "mem/frame_allocator.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::mem
+{
+
+FrameAllocator::FrameAllocator(std::uint64_t frame_count)
+    : totalFrames(frame_count), used(frame_count, false)
+{
+    fatal_if(frame_count == 0, "frame allocator needs at least 1 frame");
+}
+
+std::optional<Hpa>
+FrameAllocator::alloc(std::uint64_t count)
+{
+    panic_if(count == 0, "zero-length frame allocation");
+    if (count > freeFrames())
+        return std::nullopt;
+
+    // Rotating first-fit: scan from the hint, wrapping once.
+    auto scan_from = [this, count](std::uint64_t start,
+                                   std::uint64_t end)
+        -> std::optional<std::uint64_t> {
+        std::uint64_t run = 0;
+        for (std::uint64_t i = start; i < end; ++i) {
+            if (used[i]) {
+                run = 0;
+            } else if (++run == count) {
+                return i + 1 - count;
+            }
+        }
+        return std::nullopt;
+    };
+
+    std::optional<std::uint64_t> base = scan_from(searchHint, totalFrames);
+    if (!base)
+        base = scan_from(0, totalFrames);
+    if (!base)
+        return std::nullopt;
+
+    for (std::uint64_t i = *base; i < *base + count; ++i)
+        used[i] = true;
+    allocatedFrames += count;
+    searchHint = *base + count;
+    if (searchHint >= totalFrames)
+        searchHint = 0;
+    return *base * pageSize;
+}
+
+std::optional<Hpa>
+FrameAllocator::allocAligned(std::uint64_t count,
+                             std::uint64_t align_frames)
+{
+    panic_if(count == 0, "zero-length frame allocation");
+    panic_if(align_frames == 0, "zero alignment");
+    if (count > freeFrames())
+        return std::nullopt;
+
+    for (std::uint64_t base = 0; base + count <= totalFrames;
+         base += align_frames) {
+        bool fits = true;
+        for (std::uint64_t i = base; i < base + count; ++i) {
+            if (used[i]) {
+                fits = false;
+                break;
+            }
+        }
+        if (!fits)
+            continue;
+        for (std::uint64_t i = base; i < base + count; ++i)
+            used[i] = true;
+        allocatedFrames += count;
+        return base * pageSize;
+    }
+    return std::nullopt;
+}
+
+void
+FrameAllocator::free(Hpa base, std::uint64_t count)
+{
+    panic_if(!isPageAligned(base), "freeing unaligned HPA %llx",
+             (unsigned long long)base);
+    const std::uint64_t first = base / pageSize;
+    panic_if(first + count > totalFrames,
+             "freeing frames beyond physical memory");
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        panic_if(!used[i], "double free of frame %llu",
+                 (unsigned long long)i);
+        used[i] = false;
+    }
+    allocatedFrames -= count;
+}
+
+bool
+FrameAllocator::isAllocated(Hpa hpa) const
+{
+    const std::uint64_t frame = hpa / pageSize;
+    panic_if(frame >= totalFrames, "HPA outside physical memory");
+    return used[frame];
+}
+
+} // namespace elisa::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Physical frame allocator for the simulated machine.
+ *
+ * A bitmap allocator over 4 KiB frames with first-fit contiguous
+ * allocation. The hypervisor uses it for guest memory, EPT tables,
+ * EPTP-list pages, NIC rings, and shared regions.
+ */
+
+#ifndef ELISA_MEM_FRAME_ALLOCATOR_HH
+#define ELISA_MEM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace elisa::mem
+{
+
+/**
+ * Bitmap allocator handing out host-physical frames.
+ */
+class FrameAllocator
+{
+  public:
+    /** Manage @p frame_count frames starting at HPA 0. */
+    explicit FrameAllocator(std::uint64_t frame_count);
+
+    /**
+     * Allocate @p count physically contiguous frames.
+     * @return base HPA of the run, or std::nullopt when no run fits.
+     */
+    std::optional<Hpa> alloc(std::uint64_t count = 1);
+
+    /**
+     * Allocate @p count contiguous frames whose base frame index is a
+     * multiple of @p align_frames (e.g. 512 for a 2 MiB-aligned base).
+     * @return base HPA, or std::nullopt when no such run fits.
+     */
+    std::optional<Hpa> allocAligned(std::uint64_t count,
+                                    std::uint64_t align_frames);
+
+    /**
+     * Free @p count frames starting at @p base (must exactly match a
+     * previous allocation's frames; panics on double free).
+     */
+    void free(Hpa base, std::uint64_t count = 1);
+
+    /** Frames currently allocated. */
+    std::uint64_t allocated() const { return allocatedFrames; }
+
+    /** Frames currently free. */
+    std::uint64_t freeFrames() const
+    {
+        return totalFrames - allocatedFrames;
+    }
+
+    /** Total managed frames. */
+    std::uint64_t total() const { return totalFrames; }
+
+    /** True if the frame containing @p hpa is allocated. */
+    bool isAllocated(Hpa hpa) const;
+
+  private:
+    std::uint64_t totalFrames;
+    std::uint64_t allocatedFrames = 0;
+    /** Next frame index to start searching from (rotating first fit). */
+    std::uint64_t searchHint = 0;
+    std::vector<bool> used;
+};
+
+} // namespace elisa::mem
+
+#endif // ELISA_MEM_FRAME_ALLOCATOR_HH

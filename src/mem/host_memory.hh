@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulated host physical memory.
+ *
+ * The machine's physical address space is one contiguous range starting
+ * at HPA 0, backed by a host allocation. Raw access is reserved to
+ * "hardware" and hypervisor code (EPT walker, NIC DMA, host-interposition
+ * handlers); guest software must go through cpu::GuestView, which applies
+ * the EPT translation and permission checks.
+ */
+
+#ifndef ELISA_MEM_HOST_MEMORY_HH
+#define ELISA_MEM_HOST_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace elisa::mem
+{
+
+/**
+ * The physical memory of the simulated machine.
+ */
+class HostMemory
+{
+  public:
+    /** Create @p bytes of physical memory (page aligned, zeroed). */
+    explicit HostMemory(std::uint64_t bytes);
+
+    HostMemory(const HostMemory &) = delete;
+    HostMemory &operator=(const HostMemory &) = delete;
+
+    /** Total size in bytes. */
+    std::uint64_t size() const { return data.size(); }
+
+    /** Total size in frames. */
+    std::uint64_t frameCount() const { return size() / pageSize; }
+
+    /** True if [hpa, hpa+len) lies inside physical memory. */
+    bool
+    contains(Hpa hpa, std::uint64_t len = 1) const
+    {
+        return len != 0 && hpa < size() && len <= size() - hpa;
+    }
+
+    /**
+     * Raw pointer to host bytes backing @p hpa (privileged access).
+     * Panics when the range escapes physical memory: simulated hardware
+     * and the hypervisor are trusted and must not emit wild addresses.
+     */
+    std::uint8_t *
+    raw(Hpa hpa, std::uint64_t len = 1)
+    {
+        panic_if(!contains(hpa, len),
+                 "HPA range [%llx, +%llx) outside physical memory",
+                 (unsigned long long)hpa, (unsigned long long)len);
+        return data.data() + hpa;
+    }
+
+    /** Const overload of raw(). */
+    const std::uint8_t *
+    raw(Hpa hpa, std::uint64_t len = 1) const
+    {
+        panic_if(!contains(hpa, len),
+                 "HPA range [%llx, +%llx) outside physical memory",
+                 (unsigned long long)hpa, (unsigned long long)len);
+        return data.data() + hpa;
+    }
+
+    /** Read a little-endian 64-bit word at @p hpa. */
+    std::uint64_t
+    read64(Hpa hpa) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, raw(hpa, 8), 8);
+        return v;
+    }
+
+    /** Write a little-endian 64-bit word at @p hpa. */
+    void
+    write64(Hpa hpa, std::uint64_t value)
+    {
+        std::memcpy(raw(hpa, 8), &value, 8);
+    }
+
+    /** Copy @p len bytes out of physical memory. */
+    void
+    read(Hpa hpa, void *dst, std::uint64_t len) const
+    {
+        std::memcpy(dst, raw(hpa, len), len);
+    }
+
+    /** Copy @p len bytes into physical memory. */
+    void
+    write(Hpa hpa, const void *src, std::uint64_t len)
+    {
+        std::memcpy(raw(hpa, len), src, len);
+    }
+
+    /** Zero-fill a physical range. */
+    void
+    zero(Hpa hpa, std::uint64_t len)
+    {
+        std::memset(raw(hpa, len), 0, len);
+    }
+
+  private:
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace elisa::mem
+
+#endif // ELISA_MEM_HOST_MEMORY_HH

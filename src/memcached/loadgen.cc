@@ -1,0 +1,95 @@
+#include "memcached/loadgen.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace elisa::memcached
+{
+
+LoadPoint
+runLoadPoint(Server &server, net::PhysNic &nic, double offered_rps,
+             std::uint64_t requests, double set_ratio,
+             std::uint64_t key_space, std::uint64_t seed,
+             WakeMode wake)
+{
+    panic_if(offered_rps <= 0.0, "offered load must be positive");
+    panic_if(requests == 0, "empty load point");
+
+    const sim::CostModel &cost = server.vcpu().costModel();
+    const double mean_gap_ns = 1e9 / offered_rps;
+    sim::Rng rng(seed);
+
+    const std::uint64_t warmup = requests / 20;
+    const std::uint64_t total = requests + warmup;
+
+    sim::Histogram latency(6, 1ull << 40);
+    net::NetPath &path = server.path();
+
+    // Start the arrival process at the server's current time so
+    // consecutive load points on one server compose correctly.
+    double arrival = (double)server.vcpu().clock().now();
+    SimNs first_done = 0, last_done = 0;
+    std::uint64_t measured = 0;
+    SimNs busy_total = 0;
+
+    for (std::uint64_t i = 0; i < total; ++i) {
+        arrival += rng.exponential(mean_gap_ns);
+        const auto a = static_cast<SimNs>(arrival);
+
+        const bool is_set = rng.chance(set_ratio);
+        const std::uint64_t key_id = rng.below(key_space);
+        const std::uint32_t req_len =
+            is_set ? setRequestBytes : getRequestBytes;
+        const std::uint32_t resp_len =
+            is_set ? setResponseBytes : getResponseBytes;
+
+        // Client -> server: propagation, then the ingress wire, then
+        // the path's delivery machinery.
+        const SimNs at_nic = a + cost.netPropagationNs;
+        const SimNs wire_done = nic.rxArrive(at_nic, req_len);
+        SimNs ready = path.hostDeliverRx(
+            static_cast<std::uint32_t>(i), req_len, wire_done);
+
+        // Interrupt mode: a server that is idle when the request
+        // lands must first be woken (one posted-interrupt latency).
+        if (wake == WakeMode::Interrupt &&
+            server.vcpu().clock().now() < ready) {
+            ready += cost.ipiDeliverNs;
+        }
+
+        // Server (queueing on its vCPU clock) + response egress.
+        const SimNs before = server.vcpu().clock().now();
+        const SimNs tx_ready = server.serve(
+            static_cast<std::uint32_t>(i), is_set, key_id, ready);
+        const SimNs started = before > ready ? before : ready;
+        busy_total += server.vcpu().clock().now() - started;
+        const SimNs wire_out = nic.txDepart(tx_ready, resp_len);
+        const SimNs done = wire_out + cost.netPropagationNs;
+
+        if (i >= warmup) {
+            latency.record(done - a);
+            if (measured == 0)
+                first_done = done;
+            last_done = done;
+            ++measured;
+        }
+    }
+
+    LoadPoint point;
+    point.offeredRps = offered_rps;
+    point.requests = measured;
+    point.p50 = latency.percentile(0.50);
+    point.p99 = latency.percentile(0.99);
+    point.p999 = latency.percentile(0.999);
+    point.meanNs = latency.mean();
+    const SimNs span = last_done > first_done ? last_done - first_done : 1;
+    point.achievedRps = (double)(measured - 1) * 1e9 / (double)span;
+    point.cpuUtilization =
+        wake == WakeMode::Polling
+            ? 1.0
+            : std::min(1.0, (double)busy_total / (double)span);
+    return point;
+}
+
+} // namespace elisa::memcached

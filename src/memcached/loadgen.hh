@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Open-loop (mutilate-style) load generator for the memcached server.
+ *
+ * Requests arrive as a Poisson process at a configured offered rate;
+ * each flows: client -> propagation -> ingress wire -> datapath ->
+ * server (queueing happens naturally on the server vCPU clock) ->
+ * datapath -> egress wire -> propagation -> client. End-to-end
+ * latency is recorded per request; sweeping the offered rate produces
+ * the paper's p99-vs-throughput hockey sticks.
+ */
+
+#ifndef ELISA_MEMCACHED_LOADGEN_HH
+#define ELISA_MEMCACHED_LOADGEN_HH
+
+#include <cstdint>
+
+#include "memcached/server.hh"
+#include "sim/histogram.hh"
+#include "sim/rng.hh"
+
+namespace elisa::memcached
+{
+
+/** Server wake-up discipline. */
+enum class WakeMode
+{
+    /** Busy-poll the RX ring: lowest latency, a core burned. */
+    Polling,
+
+    /**
+     * Sleep until a doorbell rings (posted-interrupt latency added
+     * to each idle-arriving request): slightly slower, but the vCPU
+     * is free while idle.
+     */
+    Interrupt,
+};
+
+/** Result of one load point. */
+struct LoadPoint
+{
+    /** Offered load in requests/second. */
+    double offeredRps = 0.0;
+
+    /** Achieved throughput in requests/second. */
+    double achievedRps = 0.0;
+
+    /** Latency percentiles (ns). */
+    SimNs p50 = 0;
+    SimNs p99 = 0;
+    SimNs p999 = 0;
+    double meanNs = 0.0;
+
+    /** Requests measured. */
+    std::uint64_t requests = 0;
+
+    /**
+     * Fraction of the measurement span the server vCPU was occupied.
+     * Polling mode reports 1.0 (the poll loop burns the core);
+     * interrupt mode reports actual service time / span.
+     */
+    double cpuUtilization = 1.0;
+
+    /** Offered / achieved in Krps (the figures' unit). */
+    double offeredKrps() const { return offeredRps / 1e3; }
+    double achievedKrps() const { return achievedRps / 1e3; }
+
+    /** p99 in microseconds (the figures' unit). */
+    double p99Us() const { return (double)p99 / 1e3; }
+};
+
+/**
+ * Drive @p server at @p offered_rps for @p requests requests.
+ *
+ * @param server the server under test.
+ * @param nic the NIC whose wires the requests/responses cross.
+ * @param offered_rps offered load (Poisson).
+ * @param requests number of requests (plus 5 % warm-up, discarded).
+ * @param set_ratio fraction of SETs (0.1 = GET-heavy, 0.5 = SET-heavy).
+ * @param key_space key ids uniform in [0, key_space).
+ * @param seed RNG seed.
+ * @param wake polling (default) or doorbell-driven wake-up.
+ */
+LoadPoint runLoadPoint(Server &server, net::PhysNic &nic,
+                       double offered_rps, std::uint64_t requests,
+                       double set_ratio, std::uint64_t key_space,
+                       std::uint64_t seed = 7,
+                       WakeMode wake = WakeMode::Polling);
+
+} // namespace elisa::memcached
+
+#endif // ELISA_MEMCACHED_LOADGEN_HH

@@ -1,0 +1,406 @@
+#include "net/paths.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace elisa::net
+{
+
+namespace
+{
+
+/** Pack (seq, len) into the single return register of rx calls. */
+std::uint64_t
+packSeqLen(std::uint32_t seq, std::uint32_t len)
+{
+    return (std::uint64_t{seq} << 32) | len;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+unpackSeqLen(std::uint64_t packed)
+{
+    return {static_cast<std::uint32_t>(packed >> 32),
+            static_cast<std::uint32_t>(packed & 0xffffffffull)};
+}
+
+} // anonymous namespace
+
+SimNs
+NetPath::perPacketNs(const sim::CostModel &cost, std::uint32_t len,
+                     bool soft_switch)
+{
+    return cost.netPerPacketNs + (soft_switch ? cost.vswitchNs : 0) +
+           cost.memAccessNs * divCeil(len, 8);
+}
+
+// ---- SriovPath -------------------------------------------------------
+
+SriovPath::SriovPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index)
+    : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
+{
+    auto gpa = vm.allocGuestMem(2 * ringRegionPaged);
+    fatal_if(!gpa, "VM '%s' out of RAM for VF rings", vm.name().c_str());
+    ringsGpa = *gpa;
+
+    const Hpa hpa = vm.ramGpaToHpa(ringsGpa);
+    hostRxIo = std::make_unique<HostRegionIo>(hv.memory(), hpa);
+    hostTxIo = std::make_unique<HostRegionIo>(hv.memory(),
+                                              hpa + ringRegionPaged);
+    guestRxIo = std::make_unique<GuestRegionIo>(vcpu(), ringsGpa);
+    guestTxIo = std::make_unique<GuestRegionIo>(
+        vcpu(), ringsGpa + ringRegionPaged);
+    DescRing::init(*hostRxIo);
+    DescRing::init(*hostTxIo);
+}
+
+SimNs
+SriovPath::guestTx(std::uint32_t seq, std::uint32_t len)
+{
+    cpu::Vcpu &cpu = vcpu();
+    cpu.clock().advance(perPacketNs(hyper.cost(), len, false));
+    const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
+    panic_if(!ok, "VF TX ring overflow (workload pacing bug)");
+    return cpu.clock().now();
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+SriovPath::guestRx()
+{
+    auto pkt = DescRing::pop(*guestRxIo);
+    panic_if(!pkt, "VF RX ring empty (workload pacing bug)");
+    vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, false));
+    return {pkt->seq, pkt->len};
+}
+
+SimNs
+SriovPath::hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                         SimNs wire_done)
+{
+    const bool ok = DescRing::pushPattern(*hostRxIo, seq, len);
+    panic_if(!ok, "VF RX ring overflow");
+    return wire_done;
+}
+
+std::pair<Packet, SimNs>
+SriovPath::hostCollectTx(SimNs handoff)
+{
+    auto pkt = DescRing::pop(*hostTxIo);
+    panic_if(!pkt, "VF TX ring empty");
+    return {std::move(*pkt), handoff};
+}
+
+// ---- DirectPath ------------------------------------------------------
+
+DirectPath::DirectPath(hv::Hypervisor &hv, hv::Vm &vm,
+                       unsigned vcpu_index)
+    : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
+{
+    region = std::make_unique<hv::IvshmemRegion>(
+        hv, "nic-rings-" + vm.name(), 2 * ringRegionPaged);
+    fatal_if(!region->attach(vm, nicRegionGpa),
+             "NIC ring window collision in VM '%s'", vm.name().c_str());
+
+    hostRxIo = std::make_unique<HostRegionIo>(hv.memory(),
+                                              region->base());
+    hostTxIo = std::make_unique<HostRegionIo>(
+        hv.memory(), region->base() + ringRegionPaged);
+    guestRxIo = std::make_unique<GuestRegionIo>(vcpu(), nicRegionGpa);
+    guestTxIo = std::make_unique<GuestRegionIo>(
+        vcpu(), nicRegionGpa + ringRegionPaged);
+    DescRing::init(*hostRxIo);
+    DescRing::init(*hostTxIo);
+}
+
+DirectPath::~DirectPath()
+{
+    region->detach(guestVm, nicRegionGpa);
+}
+
+SimNs
+DirectPath::guestTx(std::uint32_t seq, std::uint32_t len)
+{
+    cpu::Vcpu &cpu = vcpu();
+    cpu.clock().advance(perPacketNs(hyper.cost(), len, true));
+    const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
+    panic_if(!ok, "direct TX ring overflow (workload pacing bug)");
+    return cpu.clock().now();
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+DirectPath::guestRx()
+{
+    auto pkt = DescRing::pop(*guestRxIo);
+    panic_if(!pkt, "direct RX ring empty (workload pacing bug)");
+    vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, true));
+    return {pkt->seq, pkt->len};
+}
+
+SimNs
+DirectPath::hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                          SimNs wire_done)
+{
+    const bool ok = DescRing::pushPattern(*hostRxIo, seq, len);
+    panic_if(!ok, "direct RX ring overflow");
+    return wire_done;
+}
+
+std::pair<Packet, SimNs>
+DirectPath::hostCollectTx(SimNs handoff)
+{
+    auto pkt = DescRing::pop(*hostTxIo);
+    panic_if(!pkt, "direct TX ring empty");
+    return {std::move(*pkt), handoff};
+}
+
+// ---- ElisaPath -------------------------------------------------------
+
+ElisaPath::ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
+                     core::ElisaGuest &guest,
+                     const std::string &export_name)
+    : hyper(hv), guestRt(guest)
+{
+    const sim::CostModel &cost = hv.cost();
+
+    // The shared code: per-packet NF work executed inside the sub EPT
+    // context. RX ring at object+0, TX ring at object+ringRegionPaged.
+    core::SharedFnTable fns;
+    fns.push_back([&cost](core::SubCallCtx &ctx) { // 0: tx(seq, len)
+        GuestRegionIo io(ctx.view.vcpu(), ctx.obj + ringRegionPaged);
+        const auto seq = static_cast<std::uint32_t>(ctx.arg0);
+        const auto len = static_cast<std::uint32_t>(ctx.arg1);
+        ctx.view.vcpu().clock().advance(perPacketNs(cost, len, true));
+        return DescRing::pushPattern(io, seq, len) ? std::uint64_t{1}
+                                                   : std::uint64_t{0};
+    });
+    fns.push_back([&cost](core::SubCallCtx &ctx) { // 1: rx()
+        GuestRegionIo io(ctx.view.vcpu(), ctx.obj);
+        auto pkt = DescRing::pop(io);
+        if (!pkt)
+            return ~std::uint64_t{0};
+        ctx.view.vcpu().clock().advance(
+            perPacketNs(cost, pkt->len, true));
+        return packSeqLen(pkt->seq, pkt->len);
+    });
+
+    auto exported = manager.exportObject(export_name,
+                                         2 * ringRegionPaged,
+                                         std::move(fns));
+    fatal_if(!exported, "exporting NIC rings '%s' failed",
+             export_name.c_str());
+
+    const Hpa obj_hpa =
+        manager.vm().ramGpaToHpa(exported->objectGpa);
+    hostRxIo = std::make_unique<HostRegionIo>(hv.memory(), obj_hpa);
+    hostTxIo = std::make_unique<HostRegionIo>(hv.memory(),
+                                              obj_hpa + ringRegionPaged);
+    DescRing::init(*hostRxIo);
+    DescRing::init(*hostTxIo);
+
+    auto g = guest.attach(export_name, manager);
+    fatal_if(!g, "attach to NIC rings '%s' failed", export_name.c_str());
+    gate = *g;
+}
+
+cpu::Vcpu &
+ElisaPath::vcpu()
+{
+    return guestRt.vcpu();
+}
+
+SimNs
+ElisaPath::guestTx(std::uint32_t seq, std::uint32_t len)
+{
+    const std::uint64_t ok = gate.call(0, seq, len);
+    panic_if(ok != 1, "ELISA TX ring overflow (workload pacing bug)");
+    return vcpu().clock().now();
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+ElisaPath::guestRx()
+{
+    const std::uint64_t packed = gate.call(1);
+    panic_if(packed == ~std::uint64_t{0},
+             "ELISA RX ring empty (workload pacing bug)");
+    return unpackSeqLen(packed);
+}
+
+SimNs
+ElisaPath::hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                         SimNs wire_done)
+{
+    const bool ok = DescRing::pushPattern(*hostRxIo, seq, len);
+    panic_if(!ok, "ELISA RX ring overflow");
+    return wire_done;
+}
+
+std::pair<Packet, SimNs>
+ElisaPath::hostCollectTx(SimNs handoff)
+{
+    auto pkt = DescRing::pop(*hostTxIo);
+    panic_if(!pkt, "ELISA TX ring empty");
+    return {std::move(*pkt), handoff};
+}
+
+// ---- VmcallPath ------------------------------------------------------
+
+VmcallPath::VmcallPath(hv::Hypervisor &hv, hv::Vm &vm,
+                       unsigned vcpu_index)
+    : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
+{
+    auto frames =
+        hv.allocator().alloc(2 * ringRegionPaged / pageSize);
+    fatal_if(!frames, "out of memory for host NIC rings");
+    ringsHpa = *frames;
+
+    hostRxIo = std::make_unique<HostRegionIo>(hv.memory(), ringsHpa);
+    hostTxIo = std::make_unique<HostRegionIo>(
+        hv.memory(), ringsHpa + ringRegionPaged);
+    DescRing::init(*hostRxIo);
+    DescRing::init(*hostTxIo);
+
+    hcTxNr = hv.allocServiceNr();
+    hcRxNr = hv.allocServiceNr();
+    const sim::CostModel &cost = hv.cost();
+
+    // Host-interposition handlers: the host does the ring work on the
+    // guest's behalf, charging the guest's clock for it.
+    hv.registerHypercall(
+        hcTxNr, [this, &cost](cpu::Vcpu &vcpu,
+                              const cpu::HypercallArgs &args) {
+            const auto seq = static_cast<std::uint32_t>(args.arg0);
+            const auto len = static_cast<std::uint32_t>(args.arg1);
+            vcpu.clock().advance(perPacketNs(cost, len, true));
+            return DescRing::pushPattern(*hostTxIo, seq, len)
+                       ? std::uint64_t{1}
+                       : std::uint64_t{0};
+        });
+    hv.registerHypercall(
+        hcRxNr, [this, &cost](cpu::Vcpu &vcpu,
+                              const cpu::HypercallArgs &) {
+            auto pkt = DescRing::pop(*hostRxIo);
+            if (!pkt)
+                return ~std::uint64_t{0};
+            vcpu.clock().advance(perPacketNs(cost, pkt->len, true));
+            return packSeqLen(pkt->seq, pkt->len);
+        });
+}
+
+VmcallPath::~VmcallPath()
+{
+    hyper.allocator().free(ringsHpa, 2 * ringRegionPaged / pageSize);
+}
+
+SimNs
+VmcallPath::guestTx(std::uint32_t seq, std::uint32_t len)
+{
+    cpu::HypercallArgs args;
+    args.nr = hcTxNr;
+    args.arg0 = seq;
+    args.arg1 = len;
+    const std::uint64_t ok = vcpu().vmcall(args);
+    panic_if(ok != 1, "VMCALL TX ring overflow (workload pacing bug)");
+    return vcpu().clock().now();
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+VmcallPath::guestRx()
+{
+    cpu::HypercallArgs args;
+    args.nr = hcRxNr;
+    const std::uint64_t packed = vcpu().vmcall(args);
+    panic_if(packed == ~std::uint64_t{0},
+             "VMCALL RX ring empty (workload pacing bug)");
+    return unpackSeqLen(packed);
+}
+
+SimNs
+VmcallPath::hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                          SimNs wire_done)
+{
+    const bool ok = DescRing::pushPattern(*hostRxIo, seq, len);
+    panic_if(!ok, "VMCALL RX ring overflow");
+    return wire_done;
+}
+
+std::pair<Packet, SimNs>
+VmcallPath::hostCollectTx(SimNs handoff)
+{
+    auto pkt = DescRing::pop(*hostTxIo);
+    panic_if(!pkt, "VMCALL TX ring empty");
+    return {std::move(*pkt), handoff};
+}
+
+// ---- VhostPath --------------------------------------------------
+
+VhostPath::VhostPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index)
+    : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
+{
+    auto gpa = vm.allocGuestMem(2 * ringRegionPaged);
+    fatal_if(!gpa, "VM '%s' out of RAM for virtio rings",
+             vm.name().c_str());
+    ringsGpa = *gpa;
+
+    const Hpa hpa = vm.ramGpaToHpa(ringsGpa);
+    hostRxIo = std::make_unique<HostRegionIo>(hv.memory(), hpa);
+    hostTxIo = std::make_unique<HostRegionIo>(hv.memory(),
+                                              hpa + ringRegionPaged);
+    guestRxIo = std::make_unique<GuestRegionIo>(vcpu(), ringsGpa);
+    guestTxIo = std::make_unique<GuestRegionIo>(
+        vcpu(), ringsGpa + ringRegionPaged);
+    DescRing::init(*hostRxIo);
+    DescRing::init(*hostTxIo);
+}
+
+SimNs
+VhostPath::backendServiceNs(std::uint32_t len) const
+{
+    const sim::CostModel &cost = hyper.cost();
+    return cost.vhostBackendNs +
+           static_cast<SimNs>(cost.netPerByteNs * len);
+}
+
+SimNs
+VhostPath::guestTx(std::uint32_t seq, std::uint32_t len)
+{
+    const sim::CostModel &cost = hyper.cost();
+    cpu::Vcpu &cpu = vcpu();
+    cpu.clock().advance(cost.virtioGuestNs + cost.virtioKickNs +
+                        cost.memAccessNs * divCeil(len, 8));
+    const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
+    panic_if(!ok, "virtio TX ring overflow (workload pacing bug)");
+    return cpu.clock().now();
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+VhostPath::guestRx()
+{
+    const sim::CostModel &cost = hyper.cost();
+    auto pkt = DescRing::pop(*guestRxIo);
+    panic_if(!pkt, "virtio RX ring empty (workload pacing bug)");
+    vcpu().clock().advance(cost.virtioGuestNs + cost.virtioKickNs +
+                           cost.memAccessNs * divCeil(pkt->len, 8));
+    return {pkt->seq, pkt->len};
+}
+
+SimNs
+VhostPath::hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                         SimNs wire_done)
+{
+    // The backend thread copies the frame into the virtio ring.
+    const SimNs ready = backend.submit(wire_done, backendServiceNs(len));
+    const bool ok = DescRing::pushPattern(*hostRxIo, seq, len);
+    panic_if(!ok, "virtio RX ring overflow");
+    return ready;
+}
+
+std::pair<Packet, SimNs>
+VhostPath::hostCollectTx(SimNs handoff)
+{
+    auto pkt = DescRing::pop(*hostTxIo);
+    panic_if(!pkt, "virtio TX ring empty");
+    const SimNs ready =
+        backend.submit(handoff, backendServiceNs(pkt->len));
+    return {std::move(*pkt), ready};
+}
+
+} // namespace elisa::net

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The five VM networking datapaths of the evaluation, behind one
+ * interface:
+ *
+ *   SriovPath    VF rings in guest RAM, hardware switching
+ *                (direct device assignment; no isolation problem
+ *                 because the IOMMU partitions the device).
+ *   DirectPath   NIC rings direct-mapped into the guest (ivshmem):
+ *                fastest software path, no isolation.
+ *   ElisaPath    rings live in a manager VM's exported object; the
+ *                guest's per-packet work runs in the sub EPT context
+ *                behind a 196 ns gate call. Isolated AND exit-less.
+ *   VmcallPath   rings hidden in the host; every packet costs a full
+ *                699 ns VMCALL round trip (host-interposition).
+ *   VhostPath    virtio rings + host backend thread (vhost-net-style):
+ *                isolated, but pays notifications and a backend hop.
+ *
+ * Timing contract: per-packet guest work is charged as calibrated
+ * lumps (netPerPacketNs + optional vswitchNs + payload beats) while
+ * ring bytes move functionally through simulated memory via uncharged
+ * but EPT-checked accesses; transition costs (gate call / VMCALL /
+ * kick) come from the respective mechanisms themselves.
+ */
+
+#ifndef ELISA_NET_PATHS_HH
+#define ELISA_NET_PATHS_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "hv/hypervisor.hh"
+#include "hv/ivshmem.hh"
+#include "net/desc_ring.hh"
+#include "net/packet.hh"
+#include "sim/resource.hh"
+
+namespace elisa::net
+{
+
+/** Ring region size rounded to whole pages. */
+inline constexpr std::uint64_t ringRegionPaged =
+    pageAlignUp(DescRing::regionBytes);
+
+/** Guest GPA where direct-mapped NIC ring regions appear. */
+inline constexpr Gpa nicRegionGpa = 0x500000000000ull;
+
+/**
+ * Abstract datapath bound to one guest vCPU.
+ */
+class NetPath
+{
+  public:
+    virtual ~NetPath() = default;
+
+    /** Scheme name as it appears in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /** The guest vCPU whose clock this path charges. */
+    virtual cpu::Vcpu &vcpu() = 0;
+
+    /**
+     * Guest-side transmit of packet (@p seq, @p len): charges guest
+     * cost and leaves the payload in the TX ring.
+     * @return the guest-clock "handoff" time after the produce.
+     */
+    virtual SimNs guestTx(std::uint32_t seq, std::uint32_t len) = 0;
+
+    /**
+     * Guest-side receive (ring guaranteed non-empty by the workload):
+     * charges guest cost.
+     * @return (seq, len) of the consumed packet.
+     */
+    virtual std::pair<std::uint32_t, std::uint32_t> guestRx() = 0;
+
+    /**
+     * Hardware/host ingress: a frame finished arriving at @p wire_done;
+     * place it into the RX ring.
+     * @return the time it becomes visible to the guest (later than
+     *         @p wire_done only for backend paths).
+     */
+    virtual SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                                SimNs wire_done) = 0;
+
+    /**
+     * Hardware/host egress: drain one packet from the TX ring.
+     * @param handoff guest time the packet was produced.
+     * @return the packet and the time it is ready for the wire.
+     */
+    virtual std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) = 0;
+
+    /**
+     * The calibrated per-packet guest work: driver/descriptor handling
+     * plus (for software-switched paths) the forwarding decision plus
+     * payload movement at one 8-byte beat per memAccessNs. Public so
+     * workload extensions (e.g. the NF-chain bench) can charge the
+     * identical base cost.
+     */
+    static SimNs perPacketNs(const sim::CostModel &cost,
+                             std::uint32_t len, bool soft_switch);
+};
+
+/** Direct device assignment (SR-IOV VF). */
+class SriovPath : public NetPath
+{
+  public:
+    SriovPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index = 0);
+
+    const char *name() const override { return "SR-IOV"; }
+    cpu::Vcpu &vcpu() override { return guestVm.vcpu(vcpuIndex); }
+    SimNs guestTx(std::uint32_t seq, std::uint32_t len) override;
+    std::pair<std::uint32_t, std::uint32_t> guestRx() override;
+    SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                        SimNs wire_done) override;
+    std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) override;
+
+  private:
+    hv::Hypervisor &hyper;
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    Gpa ringsGpa; ///< rx ring at +0, tx ring at +ringRegionPaged
+    std::unique_ptr<GuestRegionIo> guestRxIo, guestTxIo;
+    std::unique_ptr<HostRegionIo> hostRxIo, hostTxIo;
+};
+
+/** Direct-mapped shared NIC rings (ivshmem). */
+class DirectPath : public NetPath
+{
+  public:
+    DirectPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index = 0);
+    ~DirectPath() override;
+
+    const char *name() const override { return "ivshmem"; }
+    cpu::Vcpu &vcpu() override { return guestVm.vcpu(vcpuIndex); }
+    SimNs guestTx(std::uint32_t seq, std::uint32_t len) override;
+    std::pair<std::uint32_t, std::uint32_t> guestRx() override;
+    SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                        SimNs wire_done) override;
+    std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) override;
+
+  private:
+    hv::Hypervisor &hyper;
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    std::unique_ptr<hv::IvshmemRegion> region;
+    std::unique_ptr<GuestRegionIo> guestRxIo, guestTxIo;
+    std::unique_ptr<HostRegionIo> hostRxIo, hostTxIo;
+};
+
+/** ELISA: rings in a manager-VM export, per-packet work in the sub
+ *  context behind a gate call. */
+class ElisaPath : public NetPath
+{
+  public:
+    /**
+     * @param manager the manager-VM runtime that will own the rings.
+     * @param guest the client runtime on the consuming VM.
+     * @param export_name unique name for this path's ring object.
+     */
+    ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
+              core::ElisaGuest &guest, const std::string &export_name);
+
+    const char *name() const override { return "ELISA"; }
+    cpu::Vcpu &vcpu() override;
+    SimNs guestTx(std::uint32_t seq, std::uint32_t len) override;
+    std::pair<std::uint32_t, std::uint32_t> guestRx() override;
+    SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                        SimNs wire_done) override;
+    std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) override;
+
+  private:
+    hv::Hypervisor &hyper;
+    core::ElisaGuest &guestRt;
+    core::Gate gate;
+    std::unique_ptr<HostRegionIo> hostRxIo, hostTxIo;
+};
+
+/** Host-interposition: one VMCALL per packet. */
+class VmcallPath : public NetPath
+{
+  public:
+    VmcallPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index = 0);
+    ~VmcallPath() override;
+
+    const char *name() const override { return "VMCALL"; }
+    cpu::Vcpu &vcpu() override { return guestVm.vcpu(vcpuIndex); }
+    SimNs guestTx(std::uint32_t seq, std::uint32_t len) override;
+    std::pair<std::uint32_t, std::uint32_t> guestRx() override;
+    SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                        SimNs wire_done) override;
+    std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) override;
+
+  private:
+    hv::Hypervisor &hyper;
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    Hpa ringsHpa; ///< host-private rings
+    std::uint64_t hcTxNr, hcRxNr;
+    std::unique_ptr<HostRegionIo> hostRxIo, hostTxIo;
+};
+
+/** vhost-net-style virtio path with a host backend thread. */
+class VhostPath : public NetPath
+{
+  public:
+    VhostPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index = 0);
+
+    const char *name() const override { return "vhost-net"; }
+    cpu::Vcpu &vcpu() override { return guestVm.vcpu(vcpuIndex); }
+    SimNs guestTx(std::uint32_t seq, std::uint32_t len) override;
+    std::pair<std::uint32_t, std::uint32_t> guestRx() override;
+    SimNs hostDeliverRx(std::uint32_t seq, std::uint32_t len,
+                        SimNs wire_done) override;
+    std::pair<Packet, SimNs> hostCollectTx(SimNs handoff) override;
+
+    /** Backend utilization inspection (tests). */
+    const sim::SimResource &backendThread() const { return backend; }
+
+  private:
+    /** Per-packet backend service time (copy + virtio handling). */
+    SimNs backendServiceNs(std::uint32_t len) const;
+
+    hv::Hypervisor &hyper;
+    hv::Vm &guestVm;
+    unsigned vcpuIndex;
+    Gpa ringsGpa; ///< virtio rings in guest RAM
+    std::unique_ptr<GuestRegionIo> guestRxIo, guestTxIo;
+    std::unique_ptr<HostRegionIo> hostRxIo, hostTxIo;
+    sim::SimResource backend;
+};
+
+} // namespace elisa::net
+
+#endif // ELISA_NET_PATHS_HH

@@ -1,0 +1,3 @@
+#include "net/phys_nic.hh"
+
+// PhysNic is header-only; see phys_nic.hh.

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The physical NIC model: a line-rate-limited wire per direction.
+ *
+ * Frame serialization occupies the wire for
+ * (frame + preamble/IFG/CRC overhead) * 8 / line_rate seconds; the
+ * wire is a FIFO SimResource, so saturating senders experience exactly
+ * the line-rate ceiling the paper's large-packet results show.
+ */
+
+#ifndef ELISA_NET_PHYS_NIC_HH
+#define ELISA_NET_PHYS_NIC_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "sim/cost_model.hh"
+#include "sim/resource.hh"
+
+namespace elisa::net
+{
+
+/**
+ * One physical port: RX and TX wires.
+ */
+class PhysNic
+{
+  public:
+    explicit PhysNic(const sim::CostModel &cost_model)
+        : cost(cost_model)
+    {
+    }
+
+    /** Wire time for one frame of @p len bytes, in integer ns. */
+    SimNs
+    wireTime(std::uint32_t len) const
+    {
+        const double ns = cost.wireTimeNs(len);
+        const SimNs whole = static_cast<SimNs>(ns);
+        return whole == 0 ? 1 : whole;
+    }
+
+    /**
+     * An ingress frame hits the wire back-to-back with its
+     * predecessors, no earlier than @p not_before (the observation
+     * window start); returns the time its last bit arrives (i.e.,
+     * when DMA into a posted buffer can complete).
+     */
+    SimNs
+    rxArrive(SimNs not_before, std::uint32_t len)
+    {
+        return rxWire.submit(not_before, wireTime(len));
+    }
+
+    /**
+     * An egress frame starts serializing no earlier than @p ready;
+     * returns the time its last bit leaves.
+     */
+    SimNs
+    txDepart(SimNs ready, std::uint32_t len)
+    {
+        return txWire.submit(ready, wireTime(len));
+    }
+
+    /** Frames that crossed each wire (stats). */
+    std::uint64_t rxFrames() const { return rxWire.count(); }
+    std::uint64_t txFrames() const { return txWire.count(); }
+
+    /** Reset wire occupancy between experiment points. */
+    void
+    reset()
+    {
+        rxWire.reset();
+        txWire.reset();
+    }
+
+  private:
+    const sim::CostModel &cost;
+    sim::SimResource rxWire;
+    sim::SimResource txWire;
+};
+
+} // namespace elisa::net
+
+#endif // ELISA_NET_PHYS_NIC_HH

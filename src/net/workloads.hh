@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The three networking workloads of the evaluation (RX over NIC, TX
+ * over NIC, VM to VM), runnable against any NetPath.
+ *
+ * Workloads are exact pipeline recurrences in simulated time: each
+ * packet's availability/backpressure point is computed from wire,
+ * backend, and guest clocks, so throughput reflects whichever resource
+ * saturates first (guest CPU, backend thread, or line rate).
+ */
+
+#ifndef ELISA_NET_WORKLOADS_HH
+#define ELISA_NET_WORKLOADS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/paths.hh"
+#include "net/phys_nic.hh"
+
+namespace elisa::net
+{
+
+/** Result of one workload run. */
+struct NetResult
+{
+    /** Packets moved. */
+    std::uint64_t packets = 0;
+
+    /** Simulated duration of the run. */
+    SimNs elapsed = 0;
+
+    /** Packets that failed payload verification (must be 0). */
+    std::uint64_t corrupt = 0;
+
+    /** Throughput in packets/second. */
+    double
+    pps() const
+    {
+        return elapsed == 0
+                   ? 0.0
+                   : (double)packets * 1e9 / (double)elapsed;
+    }
+
+    /** Throughput in Mpps (the figures' unit). */
+    double mpps() const { return pps() / 1e6; }
+
+    /** Goodput in Gbit/s for @p len-byte packets. */
+    double
+    gbps(std::uint32_t len) const
+    {
+        return pps() * len * 8 / 1e9;
+    }
+};
+
+/**
+ * RX over NIC: a saturating external sender; the guest receives
+ * @p count packets of @p len bytes through @p path.
+ */
+NetResult runRx(NetPath &path, PhysNic &nic, std::uint32_t len,
+                std::uint64_t count);
+
+/**
+ * TX over NIC: the guest transmits @p count packets of @p len bytes;
+ * the ring-slot backpressure of the line-rate wire applies.
+ */
+NetResult runTx(NetPath &path, PhysNic &nic, std::uint32_t len,
+                std::uint64_t count);
+
+/**
+ * VM to VM: @p tx_path (VM A) sends to @p rx_path (VM B) through the
+ * software switch (or, when @p through_wire, through the NIC's
+ * hardware switch as SR-IOV must).
+ */
+NetResult runVm2Vm(NetPath &tx_path, NetPath &rx_path, PhysNic &nic,
+                   bool through_wire, std::uint32_t len,
+                   std::uint64_t count);
+
+/**
+ * Shared-NIC RX: @p paths (one per VM, same scheme) all receive their
+ * own flows from one saturated physical port. The NIC demultiplexes
+ * per-VM queues; the single wire serializes all arrivals, so the
+ * aggregate can never exceed line rate — the question is how many
+ * VMs (vCPUs) each scheme needs to get there.
+ *
+ * @return aggregate result (packets = sum, elapsed = max span).
+ */
+NetResult runRxShared(const std::vector<NetPath *> &paths,
+                      PhysNic &nic, std::uint32_t len,
+                      std::uint64_t count_per_vm);
+
+} // namespace elisa::net
+
+#endif // ELISA_NET_WORKLOADS_HH

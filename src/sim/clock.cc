@@ -1,0 +1,5 @@
+#include "sim/clock.hh"
+
+// SimClock is header-only; this translation unit exists so the library
+// always has at least one object for the module and to anchor potential
+// future out-of-line members.

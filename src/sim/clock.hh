@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-actor simulated clock.
+ *
+ * Every vCPU (and a few infrastructure actors such as load generators)
+ * owns a SimClock counting simulated nanoseconds. Clocks only move
+ * forward; cross-actor ordering is arbitrated by sim::Engine and the
+ * SimLock/SimResource primitives.
+ */
+
+#ifndef ELISA_SIM_CLOCK_HH
+#define ELISA_SIM_CLOCK_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace elisa::sim
+{
+
+/**
+ * A monotonically increasing nanosecond clock local to one actor.
+ */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current simulated time in nanoseconds. */
+    SimNs now() const { return nowNs; }
+
+    /** Advance the clock by @p ns nanoseconds. */
+    void advance(SimNs ns) { nowNs += ns; }
+
+    /**
+     * Move the clock forward to @p t if @p t is later than now.
+     * Used when an actor blocks on a resource that frees at time t.
+     * @return the amount of time waited.
+     */
+    SimNs
+    syncTo(SimNs t)
+    {
+        if (t <= nowNs)
+            return 0;
+        SimNs waited = t - nowNs;
+        nowNs = t;
+        return waited;
+    }
+
+    /** Reset to time zero (tests only). */
+    void reset() { nowNs = 0; }
+
+  private:
+    SimNs nowNs = 0;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_CLOCK_HH

@@ -1,0 +1,56 @@
+#include "sim/engine.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::sim
+{
+
+void
+Engine::add(Actor *actor)
+{
+    panic_if(actor == nullptr, "null actor");
+    active.push_back(actor);
+}
+
+void
+Engine::clear()
+{
+    active.clear();
+}
+
+std::uint64_t
+Engine::run(SimNs horizon_ns)
+{
+    std::uint64_t steps = 0;
+    while (!active.empty()) {
+        // Pick the actor with the smallest local clock. The population
+        // is small (tens of vCPUs at most), so a linear scan beats the
+        // bookkeeping of a priority queue with mutable keys.
+        std::size_t best = 0;
+        SimNs best_now = active[0]->actorNow();
+        for (std::size_t i = 1; i < active.size(); ++i) {
+            const SimNs now = active[i]->actorNow();
+            if (now < best_now) {
+                best = i;
+                best_now = now;
+            }
+        }
+
+        if (best_now >= horizon_ns)
+            break;
+
+        Actor *actor = active[best];
+        const bool more = actor->step();
+        panic_if(actor->actorNow() < best_now,
+                 "actor ran backwards in time");
+        ++steps;
+
+        if (!more) {
+            active[best] = active.back();
+            active.pop_back();
+        }
+    }
+    return steps;
+}
+
+} // namespace elisa::sim

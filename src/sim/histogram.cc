@@ -1,0 +1,149 @@
+#include "sim/histogram.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace elisa::sim
+{
+
+Histogram::Histogram(unsigned sub_bucket_bits, std::uint64_t max_value)
+    : subBits(sub_bucket_bits), maxValue(max_value)
+{
+    panic_if(subBits == 0 || subBits > 16, "bad sub_bucket_bits %u",
+             subBits);
+    panic_if(maxValue < (std::uint64_t{1} << subBits),
+             "max_value too small");
+    const unsigned max_exp = log2Floor(maxValue);
+    const std::size_t octaves = max_exp - subBits + 1;
+    const std::size_t sub_count = std::size_t{1} << subBits;
+    buckets.assign(sub_count * (octaves + 1), 0);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value) const
+{
+    const std::uint64_t sub_count = std::uint64_t{1} << subBits;
+    if (value < sub_count)
+        return static_cast<std::size_t>(value);
+    const unsigned octave = log2Floor(value);
+    const unsigned shift = octave - subBits;
+    const std::uint64_t sub = (value >> shift) - sub_count;
+    return static_cast<std::size_t>(
+        sub_count + std::uint64_t{shift} * sub_count + sub);
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t index) const
+{
+    const std::uint64_t sub_count = std::uint64_t{1} << subBits;
+    if (index < sub_count)
+        return index;
+    const std::uint64_t rel = index - sub_count;
+    const unsigned shift = static_cast<unsigned>(rel >> subBits);
+    const std::uint64_t sub = rel & (sub_count - 1);
+    return ((sub_count + sub + 1) << shift) - 1;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    recordN(value, 1);
+}
+
+void
+Histogram::recordN(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value > maxValue) {
+        saturatedCount += count;
+        value = maxValue;
+    }
+    const std::size_t idx = bucketIndex(value);
+    panic_if(idx >= buckets.size(), "histogram index out of range");
+    buckets[idx] += count;
+    total += count;
+    if (value < minSeen)
+        minSeen = value;
+    if (value > maxSeen)
+        maxSeen = value;
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i])
+            sum += static_cast<double>(buckets[i]) *
+                   static_cast<double>(bucketUpperBound(i));
+    }
+    return sum / static_cast<double>(total);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based, ceil semantics.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    return maxSeen;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(other.subBits != subBits || other.maxValue != maxValue,
+             "merging histograms with different geometry");
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
+    saturatedCount += other.saturatedCount;
+    if (other.total) {
+        if (other.minSeen < minSeen)
+            minSeen = other.minSeen;
+        if (other.maxSeen > maxSeen)
+            maxSeen = other.maxSeen;
+    }
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    saturatedCount = 0;
+    minSeen = ~std::uint64_t{0};
+    maxSeen = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    return detail::format(
+        "n=%llu mean=%s p50=%s p99=%s p999=%s max=%s",
+        (unsigned long long)total, humanNs(mean()).c_str(),
+        humanNs((double)percentile(0.50)).c_str(),
+        humanNs((double)percentile(0.99)).c_str(),
+        humanNs((double)percentile(0.999)).c_str(),
+        humanNs((double)max()).c_str());
+}
+
+} // namespace elisa::sim

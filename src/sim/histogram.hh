@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with percentile queries (HDR-style).
+ *
+ * Buckets are arranged as (exponent, linear sub-bucket) pairs: values up
+ * to 2^subBucketBits fall into exact unit buckets; beyond that, each
+ * power-of-two range is divided into 2^subBucketBits linear sub-buckets,
+ * bounding relative quantization error to 1/2^subBucketBits.
+ */
+
+#ifndef ELISA_SIM_HISTOGRAM_HH
+#define ELISA_SIM_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elisa::sim
+{
+
+/**
+ * Latency histogram over uint64 values (nanoseconds by convention).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits log2 of linear sub-buckets per octave;
+     *        6 bounds relative error to ~1.6 %.
+     * @param max_value largest representable value; larger samples are
+     *        clamped (and counted in saturated()).
+     */
+    explicit Histogram(unsigned sub_bucket_bits = 6,
+                       std::uint64_t max_value = 1ull << 40);
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Record @p count identical samples. */
+    void recordN(std::uint64_t value, std::uint64_t count);
+
+    /** Total number of recorded samples. */
+    std::uint64_t count() const { return total; }
+
+    /** Number of samples clamped to maxValue. */
+    std::uint64_t saturated() const { return saturatedCount; }
+
+    /** Mean of recorded samples (bucket-midpoint approximation). */
+    double mean() const;
+
+    /** Smallest / largest recorded sample (exact, not bucketed). */
+    std::uint64_t min() const { return total ? minSeen : 0; }
+    std::uint64_t max() const { return total ? maxSeen : 0; }
+
+    /**
+     * Value at quantile @p q in [0,1]; e.g. q=0.99 for the p99.
+     * Returns an upper bound of the bucket containing the quantile.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Merge another histogram (same geometry required). */
+    void merge(const Histogram &other);
+
+    /** Forget all samples. */
+    void clear();
+
+    /** Human-readable summary line. */
+    std::string summary() const;
+
+  private:
+    /** Index of the bucket holding @p value. */
+    std::size_t bucketIndex(std::uint64_t value) const;
+
+    /** Upper bound (inclusive) of bucket @p index. */
+    std::uint64_t bucketUpperBound(std::size_t index) const;
+
+    unsigned subBits;
+    std::uint64_t maxValue;
+    std::uint64_t total = 0;
+    std::uint64_t saturatedCount = 0;
+    std::uint64_t minSeen = ~std::uint64_t{0};
+    std::uint64_t maxSeen = 0;
+    std::vector<std::uint64_t> buckets;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_HISTOGRAM_HH

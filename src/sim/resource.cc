@@ -1,0 +1,3 @@
+#include "sim/resource.hh"
+
+// SimLock and SimResource are header-only; see resource.hh.

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Simulated-time synchronization and queueing primitives.
+ *
+ * These arbitrate between actors that each own a SimClock. They are only
+ * causally correct when actors are stepped in non-decreasing clock order,
+ * which sim::Engine guarantees (conservative discrete-event execution).
+ */
+
+#ifndef ELISA_SIM_RESOURCE_HH
+#define ELISA_SIM_RESOURCE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "sim/clock.hh"
+
+namespace elisa::sim
+{
+
+/**
+ * A mutual-exclusion lock in simulated time.
+ *
+ * acquire() advances the caller's clock to the time the lock frees (if
+ * it is held "in the simulated past/future"), then marks it held until
+ * release() (or for an explicit hold window with acquireFor()).
+ */
+class SimLock
+{
+  public:
+    /**
+     * Acquire at the caller's current time, waiting if needed.
+     * @return nanoseconds spent waiting.
+     */
+    SimNs
+    acquire(SimClock &clock)
+    {
+        const SimNs waited = clock.syncTo(freeAt);
+        ++acquisitions;
+        waitedTotal += waited;
+        return waited;
+    }
+
+    /** Release at the caller's current time. */
+    void
+    release(SimClock &clock)
+    {
+        if (clock.now() > freeAt)
+            freeAt = clock.now();
+    }
+
+    /**
+     * Convenience: acquire, hold for @p hold_ns, release. The caller's
+     * clock ends just after its own critical section.
+     * @return nanoseconds spent waiting for the lock.
+     */
+    SimNs
+    acquireFor(SimClock &clock, SimNs hold_ns)
+    {
+        const SimNs waited = acquire(clock);
+        clock.advance(hold_ns);
+        release(clock);
+        return waited;
+    }
+
+    /** Time at which the lock becomes free. */
+    SimNs freeTime() const { return freeAt; }
+
+    /** Total acquisitions (stats). */
+    std::uint64_t count() const { return acquisitions; }
+
+    /** Total simulated time actors spent waiting (stats). */
+    SimNs totalWait() const { return waitedTotal; }
+
+  private:
+    SimNs freeAt = 0;
+    std::uint64_t acquisitions = 0;
+    SimNs waitedTotal = 0;
+};
+
+/**
+ * A single FIFO server in simulated time (a host backend thread, a NIC
+ * wire, a memcached worker...). Work submitted at @p arrival with a
+ * given service time completes at max(arrival, busyUntil) + service.
+ */
+class SimResource
+{
+  public:
+    /**
+     * Submit one unit of work.
+     * @param arrival time the work becomes available to the server.
+     * @param service_ns time the server needs for it.
+     * @return completion time of this unit.
+     */
+    SimNs
+    submit(SimNs arrival, SimNs service_ns)
+    {
+        const SimNs start = arrival > busyUntilNs ? arrival : busyUntilNs;
+        busyUntilNs = start + service_ns;
+        busyTotal += service_ns;
+        ++jobs;
+        return busyUntilNs;
+    }
+
+    /** Earliest time new work could start. */
+    SimNs busyUntil() const { return busyUntilNs; }
+
+    /** Total service time accumulated (utilization numerator). */
+    SimNs totalBusy() const { return busyTotal; }
+
+    /** Number of jobs served. */
+    std::uint64_t count() const { return jobs; }
+
+    /** Reset (tests / repeated sweeps). */
+    void
+    reset()
+    {
+        busyUntilNs = 0;
+        busyTotal = 0;
+        jobs = 0;
+    }
+
+  private:
+    SimNs busyUntilNs = 0;
+    SimNs busyTotal = 0;
+    std::uint64_t jobs = 0;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_RESOURCE_HH

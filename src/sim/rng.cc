@@ -1,0 +1,99 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace elisa::sim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // A zero state would be absorbing; splitmix64 cannot emit four zero
+    // outputs in a row, so this expansion is always safe.
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = (__uint128_t)next() * bound;
+    std::uint64_t lo = (std::uint64_t)m;
+    if (lo < bound) {
+        std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            m = (__uint128_t)next() * bound;
+            lo = (std::uint64_t)m;
+        }
+    }
+    return (std::uint64_t)(m >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace elisa::sim

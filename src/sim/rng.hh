@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * xoshiro256** seeded through splitmix64: fast, high quality, and — unlike
+ * std::mt19937 uses across standard libraries — bit-reproducible, which
+ * keeps every experiment deterministic across hosts.
+ */
+
+#ifndef ELISA_SIM_RNG_HH
+#define ELISA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace elisa::sim
+{
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_RNG_HH

@@ -1,0 +1,88 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace elisa::sim
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    if (x < minV)
+        minV = x;
+    if (x > maxV)
+        maxV = x;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m - m;
+    const double combined = na + nb;
+    m += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    if (other.minV < minV)
+        minV = other.minV;
+    if (other.maxV > maxV)
+        maxV = other.maxV;
+}
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatSet::clear()
+{
+    counters.clear();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters)
+        out << name << " = " << value << '\n';
+    return out.str();
+}
+
+} // namespace elisa::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and running scalar statistics.
+ */
+
+#ifndef ELISA_SIM_STATS_HH
+#define ELISA_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace elisa::sim
+{
+
+/**
+ * Running statistics over a stream of samples (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Mean of samples (0 if empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (+inf if empty). */
+    double min() const { return minV; }
+
+    /** Largest sample (-inf if empty). */
+    double max() const { return maxV; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Merge another RunningStats into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named bag of integer counters, used by subsystems to export event
+ * counts (VM exits, EPT violations, TLB misses, packets dropped, ...).
+ */
+class StatSet
+{
+  public:
+    /** Increment @p name by @p delta (creating it at 0 if absent). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Read a counter (0 if it was never incremented). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    /** Render all counters, sorted by name, one per line. */
+    std::string dump() const;
+
+    /** Access to the underlying map (for iteration in tests). */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_STATS_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the simulated VT-x CPU: VMFUNC/VMCALL/CPUID semantics,
+ * their costs, and the GuestView access path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "cpu/exit.hh"
+#include "cpu/guest_view.hh"
+#include "cpu/vcpu.hh"
+#include "hv/hypervisor.hh"
+
+namespace
+{
+
+using namespace elisa;
+
+class CpuTest : public ::testing::Test
+{
+  protected:
+    CpuTest()
+        : hv(64 * MiB), vm(hv.createVm("guest", 4 * MiB, 1)),
+          cpu(vm.vcpu(0))
+    {
+    }
+
+    hv::Hypervisor hv;
+    hv::Vm &vm;
+    cpu::Vcpu &cpu;
+};
+
+TEST_F(CpuTest, VmLaunchActivatesDefaultContext)
+{
+    EXPECT_EQ(cpu.activeIndex(), 0u);
+    EXPECT_EQ(cpu.activeEptp(), vm.defaultEpt().eptp());
+}
+
+TEST_F(CpuTest, VmcallCostsPaperRoundTrip)
+{
+    const SimNs t0 = cpu.clock().now();
+    const std::uint64_t rc = cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+    EXPECT_EQ(rc, 0u);
+    EXPECT_EQ(cpu.clock().now() - t0, hv.cost().vmcallRttNs());
+    EXPECT_EQ(cpu.clock().now() - t0, 699u);
+}
+
+TEST_F(CpuTest, CpuidCostsCheaperExit)
+{
+    const SimNs t0 = cpu.clock().now();
+    cpu.cpuid(0);
+    EXPECT_EQ(cpu.clock().now() - t0, hv.cost().cpuidRttNs());
+    EXPECT_LT(hv.cost().cpuidRttNs(), hv.cost().vmcallRttNs());
+}
+
+TEST_F(CpuTest, GetVmIdHypercall)
+{
+    EXPECT_EQ(cpu.vmcall(hv::hcArgs(hv::Hc::GetVmId)), vm.id());
+}
+
+TEST_F(CpuTest, UnknownHypercallReturnsError)
+{
+    EXPECT_EQ(cpu.vmcall(hv::hcArgs(static_cast<hv::Hc>(0xdead))),
+              hv::hcError);
+    EXPECT_EQ(hv.stats().get("hypercall_unknown"), 1u);
+}
+
+TEST_F(CpuTest, VmfuncSwitchesWithoutExit)
+{
+    // Build a second context and install it.
+    ept::Ept other(hv.memory(), hv.allocator());
+    auto frame = hv.allocator().alloc();
+    other.map(0x0, *frame, ept::Perms::RW);
+    auto idx = hv.installEptp(cpu, other.eptp());
+    ASSERT_TRUE(idx);
+
+    const SimNs t0 = cpu.clock().now();
+    cpu.vmfunc(0, *idx);
+    EXPECT_EQ(cpu.clock().now() - t0, hv.cost().vmfuncNs);
+    EXPECT_EQ(cpu.activeEptp(), other.eptp());
+    EXPECT_EQ(cpu.activeIndex(), *idx);
+    EXPECT_EQ(cpu.stats().get("vmfunc"), 1u);
+    EXPECT_EQ(cpu.stats().get("vmfunc_fail"), 0u);
+
+    cpu.vmfunc(0, 0);
+    EXPECT_EQ(cpu.activeEptp(), vm.defaultEpt().eptp());
+    hv.allocator().free(*frame);
+}
+
+TEST_F(CpuTest, VmfuncInvalidIndexFaults)
+{
+    EXPECT_THROW(cpu.vmfunc(0, 7), cpu::VmExitEvent);
+    EXPECT_EQ(cpu.stats().get("vmfunc_fail"), 1u);
+    // Index out of the 512-entry architectural range.
+    EXPECT_THROW(cpu.vmfunc(0, 600), cpu::VmExitEvent);
+}
+
+TEST_F(CpuTest, VmfuncUnsupportedLeafFaults)
+{
+    try {
+        cpu.vmfunc(1, 0);
+        FAIL() << "expected VmfuncFail exit";
+    } catch (const cpu::VmExitEvent &e) {
+        EXPECT_EQ(e.reason(), cpu::ExitReason::VmfuncFail);
+        EXPECT_EQ(e.qualification(), 1u);
+    }
+}
+
+TEST_F(CpuTest, GuestViewReadWriteRoundTrip)
+{
+    cpu::GuestView view(cpu);
+    view.write<std::uint64_t>(0x1000, 0xfeedfacecafebeefull);
+    EXPECT_EQ(view.read<std::uint64_t>(0x1000), 0xfeedfacecafebeefull);
+
+    // The data really landed in the backing host frame.
+    const Hpa hpa = vm.ramGpaToHpa(0x1000);
+    EXPECT_EQ(hv.memory().read64(hpa), 0xfeedfacecafebeefull);
+}
+
+TEST_F(CpuTest, GuestViewCrossPageCopy)
+{
+    cpu::GuestView view(cpu);
+    std::vector<std::uint8_t> data(3 * pageSize, 0);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    view.writeBytes(0x1800, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    view.readBytes(0x1800, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST_F(CpuTest, GuestViewUnmappedAccessFaults)
+{
+    cpu::GuestView view(cpu);
+    try {
+        view.read<std::uint64_t>(vm.ramBytes() + 0x1000);
+        FAIL() << "expected EPT violation";
+    } catch (const cpu::VmExitEvent &e) {
+        EXPECT_EQ(e.reason(), cpu::ExitReason::EptViolation);
+        EXPECT_TRUE(e.violation().notMapped);
+    }
+    EXPECT_EQ(cpu.stats().get("ept_violation"), 1u);
+}
+
+TEST_F(CpuTest, GuestViewWriteToReadOnlyFaults)
+{
+    auto frame = hv.allocator().alloc();
+    const Gpa ro_gpa = 0x10000000;
+    vm.defaultEpt().map(ro_gpa, *frame, ept::Perms::Read);
+
+    cpu::GuestView view(cpu);
+    EXPECT_NO_THROW(view.read<std::uint32_t>(ro_gpa));
+    try {
+        view.write<std::uint32_t>(ro_gpa, 1);
+        FAIL() << "expected EPT violation";
+    } catch (const cpu::VmExitEvent &e) {
+        EXPECT_FALSE(e.violation().notMapped);
+        EXPECT_EQ(e.violation().present, ept::Perms::Read);
+        EXPECT_EQ(e.violation().access, ept::Access::Write);
+    }
+}
+
+TEST_F(CpuTest, FetchCheckRequiresExecute)
+{
+    cpu::GuestView view(cpu);
+    // Guest RAM is RWX: fetch succeeds.
+    EXPECT_NO_THROW(view.fetchCheck(0x2000));
+    // Remap a page without X.
+    vm.defaultEpt().protect(0x2000, ept::Perms::RW);
+    hv.inveptGlobal();
+    EXPECT_THROW(view.fetchCheck(0x2000), cpu::VmExitEvent);
+}
+
+TEST_F(CpuTest, AccessTimeChargedTlbMissThenHit)
+{
+    cpu::GuestView view(cpu);
+    const auto &cost = hv.cost();
+    // First touch of a fresh page: walk + access.
+    const Gpa gpa = 0x200000;
+    const SimNs t0 = cpu.clock().now();
+    view.read<std::uint64_t>(gpa);
+    const SimNs miss_cost = cpu.clock().now() - t0;
+    EXPECT_EQ(miss_cost, cost.eptWalkNs + cost.memAccessNs);
+
+    const SimNs t1 = cpu.clock().now();
+    view.read<std::uint64_t>(gpa);
+    const SimNs hit_cost = cpu.clock().now() - t1;
+    EXPECT_EQ(hit_cost, cost.memAccessNs);
+}
+
+TEST_F(CpuTest, NonChargingViewStillChecks)
+{
+    cpu::GuestView free_view(cpu, /*charge_time=*/false);
+    const SimNs t0 = cpu.clock().now();
+    free_view.write<std::uint64_t>(0x3000, 42);
+    EXPECT_EQ(free_view.read<std::uint64_t>(0x3000), 42u);
+    EXPECT_EQ(cpu.clock().now(), t0); // no time charged
+    // ... but the permission check still fires.
+    EXPECT_THROW(free_view.read<std::uint64_t>(vm.ramBytes() + pageSize),
+                 cpu::VmExitEvent);
+}
+
+TEST_F(CpuTest, ZeroAndCopyBytes)
+{
+    cpu::GuestView view(cpu);
+    std::vector<std::uint8_t> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    view.writeBytes(0x1000, data.data(), data.size());
+
+    // Guest-to-guest copy across page boundaries.
+    view.copyBytes(0x100000, 0x1000, data.size());
+    std::vector<std::uint8_t> back(data.size());
+    view.readBytes(0x100000, back.data(), back.size());
+    EXPECT_EQ(back, data);
+
+    // Zeroing a sub-range leaves neighbours intact.
+    view.zeroBytes(0x1100, 256);
+    EXPECT_EQ(view.read<std::uint8_t>(0x10ff), data[0xff]);
+    EXPECT_EQ(view.read<std::uint8_t>(0x1100), 0u);
+    EXPECT_EQ(view.read<std::uint8_t>(0x1200), data[0x200]);
+}
+
+TEST_F(CpuTest, ReadCString)
+{
+    cpu::GuestView view(cpu);
+    const char msg[] = "elisa";
+    view.writeBytes(0x4000, msg, sizeof(msg));
+    EXPECT_EQ(view.readCString(0x4000), "elisa");
+}
+
+TEST_F(CpuTest, RunConvertsFaultToResult)
+{
+    auto result = vm.run(0, [this] {
+        cpu::GuestView view(cpu);
+        view.read<std::uint64_t>(vm.ramBytes() + 0x5000);
+    });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+    // The fault policy parks the vCPU back in its default context.
+    EXPECT_EQ(cpu.activeIndex(), 0u);
+    EXPECT_EQ(hv.stats().get("exit_ept-violation"), 1u);
+}
+
+TEST_F(CpuTest, RunOkOnCleanCode)
+{
+    auto result = vm.run(0, [this] {
+        cpu::GuestView view(cpu);
+        view.write<std::uint32_t>(0x100, 7);
+    });
+    EXPECT_TRUE(result.ok);
+}
+
+} // namespace

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Tests for the ELISA core: export/attach negotiation, the exit-less
+ * gate call, exchange buffers, the shared-memory allocator, timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "elisa/shm_allocator.hh"
+#include "hv/hypervisor.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::core;
+
+/** Standard fixture: one manager VM, one guest VM, one export. */
+class ElisaTest : public ::testing::Test
+{
+  protected:
+    ElisaTest()
+        : hv(256 * MiB), svc(hv),
+          managerVm(hv.createVm("manager", 16 * MiB)),
+          guestVm(hv.createVm("guest", 16 * MiB)),
+          manager(managerVm, svc), guest(guestVm, svc)
+    {
+    }
+
+    /** A function table with: 0 = read64(obj+arg0), 1 = write64, 2 =
+     *  copy exchange->object, 3 = returns 42. */
+    SharedFnTable
+    basicFns()
+    {
+        SharedFnTable fns;
+        fns.push_back([](SubCallCtx &ctx) { // 0: read64
+            return ctx.view.read<std::uint64_t>(ctx.obj + ctx.arg0);
+        });
+        fns.push_back([](SubCallCtx &ctx) { // 1: write64
+            ctx.view.write<std::uint64_t>(ctx.obj + ctx.arg0, ctx.arg1);
+            return std::uint64_t{0};
+        });
+        fns.push_back([](SubCallCtx &ctx) { // 2: exch -> obj copy
+            ctx.view.copyBytes(ctx.obj + ctx.arg0, ctx.exch + ctx.arg1,
+                               ctx.arg2);
+            return std::uint64_t{0};
+        });
+        fns.push_back([](SubCallCtx &) { // 3: constant
+            return std::uint64_t{42};
+        });
+        return fns;
+    }
+
+    hv::Hypervisor hv;
+    ElisaService svc;
+    hv::Vm &managerVm;
+    hv::Vm &guestVm;
+    ElisaManager manager;
+    ElisaGuest guest;
+};
+
+TEST_F(ElisaTest, ExportSucceeds)
+{
+    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    EXPECT_EQ(exp->bytes, 64 * KiB);
+    EXPECT_EQ(svc.exportCount(), 1u);
+    EXPECT_NE(svc.findExport("kv"), nullptr);
+    EXPECT_EQ(svc.findExport("nope"), nullptr);
+}
+
+TEST_F(ElisaTest, ExportRejectsDuplicatesAndBadNames)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject("", 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject(std::string(80, 'x'), 4 * KiB,
+                                      basicFns()));
+}
+
+TEST_F(ElisaTest, NonManagerCannotExport)
+{
+    // The guest VM never registered as a manager; hand-roll the
+    // hypercall it would need.
+    svc.stageFunctions(guestVm.id(), basicFns());
+    cpu::GuestView v(guestVm.vcpu(0));
+    v.writeBytes(0x1000, "evil", 4);
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Export);
+    args.arg0 = 0x1000;
+    args.arg1 = 4;
+    args.arg2 = 0x2000;
+    args.arg3 = 4096;
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), hv::hcError);
+    EXPECT_EQ(svc.exportCount(), 0u);
+}
+
+TEST_F(ElisaTest, AttachNegotiationFullFlow)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 64 * KiB, basicFns()));
+
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    // Before the manager polls, the request is pending.
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_FALSE(guest.lastDenied());
+
+    EXPECT_EQ(manager.pollRequests(), 1u);
+    auto gate = guest.completeAttach(*req);
+    ASSERT_TRUE(gate);
+    EXPECT_TRUE(gate->valid());
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+    EXPECT_GT(gate->info().gateIndex, 0u);
+    EXPECT_GT(gate->info().subIndex, 0u);
+    EXPECT_NE(gate->info().gateIndex, gate->info().subIndex);
+}
+
+TEST_F(ElisaTest, AttachUnknownExportFails)
+{
+    EXPECT_FALSE(guest.requestAttach("missing"));
+}
+
+TEST_F(ElisaTest, ApproverPolicyDenies)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    manager.setApprover(
+        [](VmId, const std::string &) { return false; });
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    manager.pollRequests();
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_TRUE(guest.lastDenied());
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+}
+
+TEST_F(ElisaTest, GateCallReadsAndWritesObject)
+{
+    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+
+    // Manager initializes the object through its own default context.
+    auto mview = manager.view();
+    mview.write<std::uint64_t>(exp->objectGpa + 0x80, 0x1111beef);
+
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    // Guest reads the value the manager wrote: shared access works.
+    EXPECT_EQ(gate->call(0, 0x80), 0x1111beefu);
+
+    // Guest writes; the manager sees it in its own RAM.
+    EXPECT_EQ(gate->call(1, 0x90, 0x2222cafe), 0u);
+    EXPECT_EQ(mview.read<std::uint64_t>(exp->objectGpa + 0x90),
+              0x2222cafeu);
+}
+
+TEST_F(ElisaTest, GateCallRestoresDefaultContext)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(guest.vcpu().activeIndex(), 0u);
+    gate->call(3);
+    EXPECT_EQ(guest.vcpu().activeIndex(), 0u);
+    EXPECT_EQ(guest.vcpu().stats().get("elisa_calls"), 1u);
+}
+
+TEST_F(ElisaTest, GateCallCostsExactly196ns)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    // fn 3 touches no memory: the pure context round trip.
+    gate->call(3); // warm the gate path
+    const SimNs t0 = guest.vcpu().clock().now();
+    EXPECT_EQ(gate->call(3), 42u);
+    EXPECT_EQ(guest.vcpu().clock().now() - t0, 196u);
+    EXPECT_EQ(hv.cost().elisaRttNs(), 196u);
+}
+
+TEST_F(ElisaTest, ExchangeBufferCarriesBulkData)
+{
+    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    const char payload[] = "bulk payload through exchange";
+    gate->writeExchange(0x40, payload, sizeof(payload));
+    // fn 2: copy exchange[0x40] into object[0x200].
+    gate->call(2, 0x200, 0x40, sizeof(payload));
+
+    auto mview = manager.view();
+    char out[sizeof(payload)] = {};
+    mview.readBytes(exp->objectGpa + 0x200, out, sizeof(out));
+    EXPECT_STREQ(out, payload);
+}
+
+TEST_F(ElisaTest, BadFunctionIdFaults)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    auto result = guestVm.run(0, [&] { gate->call(99); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+    EXPECT_EQ(guest.vcpu().activeIndex(), 0u); // parked back
+}
+
+TEST_F(ElisaTest, DetachRevokesEptpEntries)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    const AttachInfo info = gate->info();
+
+    EXPECT_TRUE(guest.detach(*gate));
+    EXPECT_FALSE(gate->valid());
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_FALSE(guest.vcpu().eptpList().lookup(info.gateIndex));
+    EXPECT_FALSE(guest.vcpu().eptpList().lookup(info.subIndex));
+    // The exchange window is gone from the default context too.
+    cpu::GuestView v(guest.vcpu());
+    EXPECT_THROW(v.read<std::uint64_t>(info.exchangeGuestGpa),
+                 cpu::VmExitEvent);
+}
+
+TEST_F(ElisaTest, MultipleAttachmentsPerGuest)
+{
+    ASSERT_TRUE(manager.exportObject("a", 4 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject("b", 4 * KiB, basicFns()));
+    auto ga = guest.attach("a", manager);
+    auto gb = guest.attach("b", manager);
+    ASSERT_TRUE(ga && gb);
+    EXPECT_NE(ga->info().exchangeGuestGpa, gb->info().exchangeGuestGpa);
+    EXPECT_EQ(svc.attachmentCount(), 2u);
+
+    // Writes through gate a land in object a only.
+    ga->call(1, 0, 0xaaaa);
+    gb->call(1, 0, 0xbbbb);
+    EXPECT_EQ(ga->call(0, 0), 0xaaaau);
+    EXPECT_EQ(gb->call(0, 0), 0xbbbbu);
+}
+
+TEST_F(ElisaTest, TwoGuestsShareOneObject)
+{
+    hv::Vm &guest2Vm = hv.createVm("guest2", 16 * MiB);
+    ElisaGuest guest2(guest2Vm, svc);
+
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto g1 = guest.attach("kv", manager);
+    auto g2 = guest2.attach("kv", manager);
+    ASSERT_TRUE(g1 && g2);
+
+    g1->call(1, 0x10, 777);
+    EXPECT_EQ(g2->call(0, 0x10), 777u); // shared state visible
+}
+
+TEST_F(ElisaTest, RevokeExportInvalidatesLiveGates)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    EXPECT_TRUE(svc.revokeExport("kv"));
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_EQ(svc.exportCount(), 0u);
+
+    // The very next gate call faults on the stale EPTP index.
+    auto result = guestVm.run(0, [&] { gate->call(3); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+}
+
+TEST_F(ElisaTest, SetupCostsChargedOnSlowPath)
+{
+    const SimNs m0 = manager.vcpu().clock().now();
+    ASSERT_TRUE(manager.exportObject("kv", 64 * KiB, basicFns()));
+    EXPECT_GT(manager.vcpu().clock().now() - m0,
+              hv.cost().vmcallRttNs()); // export > bare hypercall
+
+    const SimNs g0 = guest.vcpu().clock().now();
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    // Attach needs at least request+query hypercalls and hops.
+    EXPECT_GT(guest.vcpu().clock().now() - g0,
+              2 * hv.cost().vmcallRttNs());
+}
+
+TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
+{
+    auto exp = manager.exportObject("kv", 4 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    // A non-owner cannot revoke it (the guest is no manager at all).
+    cpu::HypercallArgs evil;
+    evil.nr = static_cast<std::uint64_t>(ElisaHc::Revoke);
+    evil.arg0 = exp->id;
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(evil), hv::hcError);
+    EXPECT_EQ(svc.exportCount(), 1u);
+
+    // The owner can.
+    EXPECT_TRUE(manager.revoke(exp->id));
+    EXPECT_EQ(svc.exportCount(), 0u);
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    auto result = guestVm.run(0, [&] { gate->call(3); });
+    EXPECT_FALSE(result.ok);
+    // Unknown id fails gracefully.
+    EXPECT_FALSE(manager.revoke(exp->id));
+}
+
+TEST_F(ElisaTest, DumpStateReflectsLifecycle)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    const std::string dump = svc.dumpState();
+    EXPECT_NE(dump.find("'kv'"), std::string::npos);
+    EXPECT_NE(dump.find("attachments: 1"), std::string::npos);
+    EXPECT_NE(dump.find("exports: 1"), std::string::npos);
+
+    guest.detach(*gate);
+    EXPECT_NE(svc.dumpState().find("attachments: 0"),
+              std::string::npos);
+}
+
+TEST_F(ElisaTest, MultiVcpuGuestAttachesPerVcpu)
+{
+    hv::Vm &smp = hv.createVm("smp", 16 * MiB, /*vcpus=*/2);
+    ElisaGuest g0(smp, svc, 0);
+    ElisaGuest g1(smp, svc, 1);
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+
+    auto gate0 = g0.attach("kv", manager);
+    auto gate1 = g1.attach("kv", manager);
+    ASSERT_TRUE(gate0 && gate1);
+
+    // EPTP lists are per-vCPU: vCPU 1's indices mean nothing on
+    // vCPU 0 (beyond whatever IT has installed there).
+    EXPECT_TRUE(smp.vcpu(0).eptpList().lookup(
+        gate0->info().subIndex));
+    // Both vCPUs reach the same shared object.
+    gate0->call(1, 0x20, 0xabc);
+    EXPECT_EQ(gate1->call(0, 0x20), 0xabcu);
+
+    // Their clocks advance independently.
+    const SimNs c0 = smp.vcpu(0).clock().now();
+    gate1->call(3);
+    EXPECT_EQ(smp.vcpu(0).clock().now(), c0);
+}
+
+TEST_F(ElisaTest, BatchedCallAmortizesTransition)
+{
+    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    // Batch: write 0x10, read it back, constant.
+    std::vector<core::Gate::BatchEntry> batch(3);
+    batch[0] = {1, 0x10, 0x7777, 0, 0};
+    batch[1] = {0, 0x10, 0, 0, 0};
+    batch[2] = {3, 0, 0, 0, 0};
+
+    gate->callBatch(batch); // warm
+    const SimNs t0 = guest.vcpu().clock().now();
+    ASSERT_EQ(gate->callBatch(batch), 3u);
+    const SimNs elapsed = guest.vcpu().clock().now() - t0;
+
+    // Entries executed in order with correct results.
+    EXPECT_EQ(batch[1].ret, 0x7777u);
+    EXPECT_EQ(batch[2].ret, 42u);
+
+    // Only ONE 196 ns transition was paid (plus the small callee
+    // memory costs), far below three separate calls.
+    EXPECT_LT(elapsed, 2 * hv.cost().elisaRttNs());
+    EXPECT_GE(elapsed, hv.cost().elisaRttNs());
+}
+
+TEST_F(ElisaTest, BatchedCallBadFnFaultsWholeBatch)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    std::vector<core::Gate::BatchEntry> batch(2);
+    batch[0] = {3, 0, 0, 0, 0};
+    batch[1] = {99, 0, 0, 0, 0}; // invalid function id
+    auto result = guestVm.run(0, [&] { gate->callBatch(batch); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(guest.vcpu().activeIndex(), 0u);
+}
+
+TEST_F(ElisaTest, DestroyingGuestVmReapsItsAttachments)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    hv::Vm &doomed = hv.createVm("doomed", 16 * MiB);
+    {
+        ElisaGuest dguest(doomed, svc);
+        auto gate = dguest.attach("kv", manager);
+        ASSERT_TRUE(gate);
+        EXPECT_EQ(svc.attachmentCount(), 1u);
+    }
+    hv.destroyVm(doomed.id());
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_EQ(svc.exportCount(), 1u); // export survives its clients
+}
+
+TEST_F(ElisaTest, DestroyingManagerVmRevokesItsExports)
+{
+    hv::Vm &mgr2_vm = hv.createVm("manager2", 16 * MiB);
+    {
+        ElisaManager mgr2(mgr2_vm, svc);
+        ASSERT_TRUE(mgr2.exportObject("ephemeral", 4 * KiB,
+                                      basicFns()));
+        auto gate = guest.attach("ephemeral", mgr2);
+        ASSERT_TRUE(gate);
+        ASSERT_EQ(svc.attachmentCount(), 1u);
+
+        hv.destroyVm(mgr2_vm.id());
+        EXPECT_EQ(svc.attachmentCount(), 0u);
+        EXPECT_EQ(svc.exportCount(), 0u);
+
+        // The surviving guest's next call faults on the stale index.
+        auto result = guestVm.run(0, [&] { gate->call(0, 0); });
+        EXPECT_FALSE(result.ok);
+        EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+    }
+}
+
+// ---- ShmAllocator -----------------------------------------------------
+
+class ShmAllocTest : public ElisaTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        exp = manager.exportObject("heap", 256 * KiB, basicFns());
+        ASSERT_TRUE(exp);
+        mview = std::make_unique<cpu::GuestView>(manager.vcpu());
+        heap = std::make_unique<ShmAllocator>(*mview,
+                                              exp->objectGpa);
+        heap->format(exp->bytes);
+    }
+
+    std::optional<ElisaManager::Exported> exp;
+    std::unique_ptr<cpu::GuestView> mview;
+    std::unique_ptr<ShmAllocator> heap;
+};
+
+TEST_F(ShmAllocTest, FormatAndCapacity)
+{
+    EXPECT_TRUE(heap->formatted());
+    EXPECT_GT(heap->capacity(), 250 * KiB);
+    EXPECT_EQ(heap->freeBytes(), heap->capacity());
+}
+
+TEST_F(ShmAllocTest, AllocFreeCoalesce)
+{
+    auto a = heap->alloc(100);
+    auto b = heap->alloc(200);
+    auto c = heap->alloc(300);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_NE(*a, *b);
+    EXPECT_NE(*b, *c);
+
+    const std::uint64_t free_mid = heap->freeBytes();
+    heap->free(*b);
+    heap->free(*a);
+    heap->free(*c);
+    // Full coalescing back to one block.
+    EXPECT_EQ(heap->freeBytes(), heap->capacity());
+    EXPECT_GT(heap->freeBytes(), free_mid);
+
+    // Re-allocate something bigger than any single fragment would be.
+    EXPECT_TRUE(heap->alloc(200 * KiB));
+}
+
+TEST_F(ShmAllocTest, ExhaustionReturnsNullopt)
+{
+    auto big = heap->alloc(200 * KiB);
+    ASSERT_TRUE(big);
+    EXPECT_FALSE(heap->alloc(200 * KiB));
+}
+
+TEST_F(ShmAllocTest, AllocationsVisibleThroughGate)
+{
+    auto off = heap->alloc(64);
+    ASSERT_TRUE(off);
+    mview->write<std::uint64_t>(exp->objectGpa + *off, 0xfeed);
+
+    auto gate = guest.attach("heap", manager);
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(gate->call(0, *off), 0xfeedu);
+}
+
+TEST_F(ShmAllocTest, RandomAllocFreeKeepsAccounting)
+{
+    sim::Rng rng(3);
+    std::vector<std::uint64_t> live;
+    for (int i = 0; i < 300; ++i) {
+        if (live.empty() || rng.chance(0.6)) {
+            auto off = heap->alloc(16 + rng.below(600));
+            if (off)
+                live.push_back(*off);
+        } else {
+            const std::size_t pick = rng.below(live.size());
+            heap->free(live[pick]);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    for (auto off : live)
+        heap->free(off);
+    EXPECT_EQ(heap->freeBytes(), heap->capacity());
+}
+
+} // namespace

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit + property tests for the EPT substrate: entries, hierarchies,
+ * the hardware walker, EPTP lists, and the tagged TLB.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "ept/ept.hh"
+#include "ept/ept_entry.hh"
+#include "ept/eptp_list.hh"
+#include "ept/tlb.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::ept;
+
+class EptTest : public ::testing::Test
+{
+  protected:
+    EptTest() : memory(32 * MiB), alloc(memory.frameCount()) {}
+
+    mem::HostMemory memory;
+    mem::FrameAllocator alloc;
+};
+
+TEST(EptEntry, EncodeDecodeRoundTrip)
+{
+    const Hpa addr = 0x123456000ull;
+    EptEntry e = EptEntry::make(addr, Perms::RW);
+    EXPECT_TRUE(e.present());
+    EXPECT_EQ(e.addr(), addr);
+    EXPECT_EQ(e.perms(), Perms::RW);
+    e.setPerms(Perms::Read);
+    EXPECT_EQ(e.perms(), Perms::Read);
+    EXPECT_EQ(e.addr(), addr);
+}
+
+TEST(EptEntry, ZeroIsNotPresent)
+{
+    EXPECT_FALSE(EptEntry(0).present());
+}
+
+TEST(EptEntry, PermsChecks)
+{
+    EXPECT_TRUE(permits(Perms::RWX, Perms::Read));
+    EXPECT_TRUE(permits(Perms::RWX, Perms::RW));
+    EXPECT_FALSE(permits(Perms::Read, Perms::Write));
+    EXPECT_FALSE(permits(Perms::RW, Perms::Exec));
+    EXPECT_EQ(permsToString(Perms::RX), "r-x");
+    EXPECT_EQ(permsToString(Perms::None), "---");
+}
+
+TEST(EptEntry, IndexExtraction)
+{
+    // GPA with distinct 9-bit groups: PML4=1, PDPT=2, PD=3, PT=4.
+    const Gpa gpa = (1ull << 39) | (2ull << 30) | (3ull << 21) |
+                    (4ull << 12) | 0x123;
+    EXPECT_EQ(eptIndex(gpa, 3), 1u);
+    EXPECT_EQ(eptIndex(gpa, 2), 2u);
+    EXPECT_EQ(eptIndex(gpa, 1), 3u);
+    EXPECT_EQ(eptIndex(gpa, 0), 4u);
+}
+
+TEST_F(EptTest, MapTranslateUnmap)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame);
+
+    EXPECT_FALSE(ept.translate(0x5000));
+    EXPECT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+    auto t = ept.translate(0x5000);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->hpa, *frame);
+    EXPECT_EQ(t->perms, Perms::RW);
+
+    // Offsets within the page are preserved.
+    auto t2 = ept.translate(0x5abc);
+    ASSERT_TRUE(t2);
+    EXPECT_EQ(t2->hpa, *frame + 0xabc);
+
+    EXPECT_TRUE(ept.unmap(0x5000));
+    EXPECT_FALSE(ept.translate(0x5000));
+    EXPECT_FALSE(ept.unmap(0x5000)); // second unmap fails
+}
+
+TEST_F(EptTest, DoubleMapRejected)
+{
+    Ept ept(memory, alloc);
+    auto f1 = alloc.alloc();
+    auto f2 = alloc.alloc();
+    EXPECT_TRUE(ept.map(0x1000, *f1, Perms::Read));
+    EXPECT_FALSE(ept.map(0x1000, *f2, Perms::Read));
+    auto t = ept.translate(0x1000);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->hpa, *f1); // original mapping intact
+}
+
+TEST_F(EptTest, MapRangeAllOrNothing)
+{
+    Ept ept(memory, alloc);
+    auto run = alloc.alloc(4);
+    ASSERT_TRUE(run);
+    auto blocker = alloc.alloc();
+    EXPECT_TRUE(ept.map(0x2000, *blocker, Perms::Read));
+
+    // Range [0, 4 pages) collides with the page at 0x2000.
+    EXPECT_FALSE(ept.mapRange(0x0000, *run, 4 * pageSize, Perms::RW));
+    // Nothing from the failed range may have been mapped.
+    EXPECT_FALSE(ept.translate(0x0000));
+    EXPECT_FALSE(ept.translate(0x1000));
+    EXPECT_FALSE(ept.translate(0x3000));
+
+    EXPECT_TRUE(ept.mapRange(0x10000, *run, 4 * pageSize, Perms::RW));
+    EXPECT_EQ(ept.mappedPages(), 5u);
+}
+
+TEST_F(EptTest, ProtectChangesLeafPerms)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    EXPECT_TRUE(ept.map(0x7000, *frame, Perms::RW));
+    EXPECT_TRUE(ept.protect(0x7000, Perms::Read));
+    auto t = ept.translate(0x7000);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->perms, Perms::Read);
+    EXPECT_FALSE(ept.protect(0x9000, Perms::Read)); // unmapped
+}
+
+TEST_F(EptTest, TranslateForChecksPermissions)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    EXPECT_TRUE(ept.map(0x3000, *frame, Perms::Read));
+
+    EptViolation v;
+    EXPECT_TRUE(ept.translateFor(0x3000, Access::Read, &v));
+    EXPECT_FALSE(ept.translateFor(0x3000, Access::Write, &v));
+    EXPECT_EQ(v.gpa, 0x3000u);
+    EXPECT_EQ(v.access, Access::Write);
+    EXPECT_FALSE(v.notMapped);
+    EXPECT_EQ(v.present, Perms::Read);
+
+    EXPECT_FALSE(ept.translateFor(0x4000, Access::Read, &v));
+    EXPECT_TRUE(v.notMapped);
+}
+
+TEST_F(EptTest, GenerationBumpsOnRevocation)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    const std::uint64_t g0 = ept.generation();
+    ept.map(0x1000, *frame, Perms::RW);
+    EXPECT_EQ(ept.generation(), g0); // map is not a revocation
+    ept.protect(0x1000, Perms::Read);
+    EXPECT_GT(ept.generation(), g0);
+    const std::uint64_t g1 = ept.generation();
+    ept.unmap(0x1000);
+    EXPECT_GT(ept.generation(), g1);
+}
+
+TEST_F(EptTest, TablePagesFreedOnDestruction)
+{
+    const std::uint64_t before = alloc.allocated();
+    {
+        Ept ept(memory, alloc);
+        auto frame = alloc.alloc();
+        // Map widely separated GPAs to force distinct table subtrees.
+        ept.map(0x0000, *frame, Perms::Read);
+        ept.map(1ull << 30, *frame, Perms::Read);
+        ept.map(1ull << 39, *frame, Perms::Read);
+        EXPECT_GE(ept.tablePages(), 7u);
+        alloc.free(*frame);
+    }
+    EXPECT_EQ(alloc.allocated(), before);
+}
+
+TEST_F(EptTest, HardwareWalkMatchesTranslate)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ept.map(0xabc000, *frame, Perms::RX);
+
+    auto hw = hardwareWalk(memory, ept.eptp(), 0xabc123);
+    ASSERT_TRUE(hw);
+    EXPECT_EQ(hw->hpa, *frame + 0x123);
+    EXPECT_EQ(hw->perms, Perms::RX);
+    EXPECT_FALSE(hardwareWalk(memory, ept.eptp(), 0xdef000));
+}
+
+TEST_F(EptTest, EptpEncodesRootAndConfig)
+{
+    Ept ept(memory, alloc);
+    const std::uint64_t eptp = ept.eptp();
+    EXPECT_EQ(Ept::rootOfEptp(eptp) & pageMask, 0u);
+    // SDM config bits: WB (6) + walk length 3 (bits 5:3).
+    EXPECT_EQ(eptp & 0x7, 0x6u);
+    EXPECT_EQ((eptp >> 3) & 0x7, 0x3u);
+}
+
+/** Property: a random mapping set walks back exactly. */
+class EptProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EptProperty, RandomMappingsRoundTrip)
+{
+    mem::HostMemory memory(64 * MiB);
+    mem::FrameAllocator alloc(memory.frameCount());
+    Ept ept(memory, alloc);
+    sim::Rng rng(GetParam());
+
+    std::map<Gpa, Translation> expected;
+    const Perms choices[] = {Perms::Read, Perms::RW, Perms::RX,
+                             Perms::RWX, Perms::Exec};
+    for (int i = 0; i < 400; ++i) {
+        const Gpa gpa = pageAlignDown(rng.below(maxGpa));
+        auto frame = alloc.alloc();
+        ASSERT_TRUE(frame);
+        const Perms perms = choices[rng.below(5)];
+        if (expected.contains(gpa)) {
+            EXPECT_FALSE(ept.map(gpa, *frame, perms));
+            alloc.free(*frame);
+        } else {
+            ASSERT_TRUE(ept.map(gpa, *frame, perms));
+            expected[gpa] = Translation{*frame, perms};
+        }
+    }
+    EXPECT_EQ(ept.mappedPages(), expected.size());
+    for (const auto &[gpa, want] : expected) {
+        auto got = ept.translate(gpa + 0x10);
+        ASSERT_TRUE(got) << std::hex << gpa;
+        EXPECT_EQ(got->hpa, want.hpa + 0x10);
+        EXPECT_EQ(got->perms, want.perms);
+        auto hw = hardwareWalk(memory, ept.eptp(), gpa + 0x10);
+        ASSERT_TRUE(hw);
+        EXPECT_EQ(hw->hpa, got->hpa);
+    }
+    // Unmap half, verify the rest survives.
+    std::size_t k = 0;
+    for (auto it = expected.begin(); it != expected.end();) {
+        if (k++ % 2 == 0) {
+            EXPECT_TRUE(ept.unmap(it->first));
+            it = expected.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (const auto &[gpa, want] : expected)
+        EXPECT_TRUE(ept.translate(gpa));
+    EXPECT_EQ(ept.mappedPages(), expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EptProperty,
+                         ::testing::Values(1u, 7u, 99u, 12345u));
+
+// ---- EPTP list ---------------------------------------------------------
+
+class EptpListTest : public EptTest
+{
+};
+
+TEST_F(EptpListTest, SetLookupClear)
+{
+    EptpList list(memory, alloc);
+    EXPECT_FALSE(list.lookup(0));
+    list.set(0, 0x1000 | 0x1e);
+    auto v = list.lookup(0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 0x1000u | 0x1e);
+    list.clear(0);
+    EXPECT_FALSE(list.lookup(0));
+}
+
+TEST_F(EptpListTest, OutOfRangeLookupIsInvalid)
+{
+    EptpList list(memory, alloc);
+    EXPECT_FALSE(list.lookup(512));
+    EXPECT_FALSE(list.lookup(60000));
+}
+
+TEST_F(EptpListTest, FindFreeAndFind)
+{
+    EptpList list(memory, alloc);
+    EXPECT_EQ(*list.findFree(), 0u);
+    list.set(0, 0xa000 | 0x1e);
+    list.set(1, 0xb000 | 0x1e);
+    EXPECT_EQ(*list.findFree(), 2u);
+    EXPECT_EQ(*list.find(0xb000 | 0x1e), 1u);
+    EXPECT_FALSE(list.find(0xc000 | 0x1e));
+    EXPECT_EQ(list.validCount(), 2u);
+}
+
+TEST_F(EptpListTest, FullListHasNoFreeSlot)
+{
+    EptpList list(memory, alloc);
+    for (unsigned i = 0; i < eptpListSize; ++i)
+        list.set(static_cast<EptpIndex>(i), 0x1000 | 0x1e);
+    EXPECT_FALSE(list.findFree());
+    EXPECT_EQ(list.validCount(), eptpListSize);
+}
+
+// ---- TLB ------------------------------------------------------------
+
+TEST(Tlb, HitAfterFillMissBefore)
+{
+    Tlb tlb(64);
+    const std::uint64_t eptp = 0x10000 | 0x1e;
+    EXPECT_FALSE(tlb.lookup(eptp, 0x5123));
+    EXPECT_EQ(tlb.misses(), 1u);
+    tlb.fill(eptp, 0x5123, Translation{0x99123, Perms::RW});
+    auto hit = tlb.lookup(eptp, 0x5456);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->hpa, 0x99456u);
+    EXPECT_EQ(hit->perms, Perms::RW);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(Tlb, EptpTagsSeparateContexts)
+{
+    Tlb tlb(64);
+    const std::uint64_t a = 0x10000 | 0x1e;
+    const std::uint64_t b = 0x20000 | 0x1e;
+    tlb.fill(a, 0x1000, Translation{0x111000, Perms::RW});
+    // Same GPA under a different EPTP must not hit.
+    EXPECT_FALSE(tlb.lookup(b, 0x1000));
+    EXPECT_TRUE(tlb.lookup(a, 0x1000));
+}
+
+TEST(Tlb, FlushEptpIsSelective)
+{
+    Tlb tlb(64);
+    const std::uint64_t a = 0x10000 | 0x1e;
+    const std::uint64_t b = 0x20000 | 0x1e;
+    tlb.fill(a, 0x1000, Translation{0x111000, Perms::RW});
+    tlb.fill(b, 0x2000, Translation{0x222000, Perms::RW});
+    tlb.flushEptp(a);
+    EXPECT_FALSE(tlb.lookup(a, 0x1000));
+    EXPECT_TRUE(tlb.lookup(b, 0x2000));
+    tlb.flushAll();
+    EXPECT_FALSE(tlb.lookup(b, 0x2000));
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST(Tlb, StaleEntryReplacedByFill)
+{
+    Tlb tlb(64);
+    const std::uint64_t eptp = 0x10000 | 0x1e;
+    tlb.fill(eptp, 0x1000, Translation{0xaaa000, Perms::RW});
+    tlb.fill(eptp, 0x1000, Translation{0xbbb000, Perms::Read});
+    auto hit = tlb.lookup(eptp, 0x1000);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->hpa, 0xbbb000u);
+    EXPECT_EQ(hit->perms, Perms::Read);
+}
+
+} // namespace

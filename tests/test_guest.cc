@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the guest-virtual paging substrate: guest page tables,
+ * the two-dimensional VirtView access path, the mmap-style address
+ * space, and the interaction with EPT-level isolation (a guest page
+ * table cannot confer access the EPT does not grant).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "guest/address_space.hh"
+#include "hv/hypervisor.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::guest;
+
+class GuestPagingTest : public ::testing::Test
+{
+  protected:
+    GuestPagingTest() : hv(128 * MiB), vm(hv.createVm("g", 16 * MiB))
+    {
+    }
+
+    hv::Hypervisor hv;
+    hv::Vm &vm;
+};
+
+TEST_F(GuestPagingTest, MapTranslateUnmap)
+{
+    GuestPageTable pt(vm);
+    auto frame = vm.allocGuestMem(pageSize);
+    ASSERT_TRUE(frame);
+
+    const Gva gva = 0x7f0000400000;
+    EXPECT_FALSE(pt.translate(gva));
+    EXPECT_TRUE(pt.map(gva, *frame, PtPerms::RW));
+    EXPECT_FALSE(pt.map(gva, *frame, PtPerms::RW)); // double map
+
+    auto t = pt.translate(gva + 0x123);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->gpa, *frame + 0x123);
+    EXPECT_TRUE(ptPermits(t->perms, PtPerms::Write));
+    EXPECT_FALSE(ptPermits(t->perms, PtPerms::Exec)); // NX set
+
+    EXPECT_TRUE(pt.unmap(gva));
+    EXPECT_FALSE(pt.unmap(gva));
+    EXPECT_FALSE(pt.translate(gva));
+}
+
+TEST_F(GuestPagingTest, PermissionChecks)
+{
+    GuestPageTable pt(vm);
+    auto frame = vm.allocGuestMem(pageSize);
+    ASSERT_TRUE(pt.map(0x400000, *frame, PtPerms::Read));
+
+    GuestPageFault fault;
+    EXPECT_TRUE(pt.translateFor(0x400000, ept::Access::Read, &fault));
+    EXPECT_FALSE(pt.translateFor(0x400000, ept::Access::Write, &fault));
+    EXPECT_EQ(fault.gva, 0x400000u);
+    EXPECT_FALSE(fault.notPresent);
+    EXPECT_FALSE(pt.translateFor(0x400000, ept::Access::Exec, &fault));
+
+    ASSERT_TRUE(pt.protect(0x400000, PtPerms::RWX));
+    EXPECT_TRUE(pt.translateFor(0x400000, ept::Access::Exec, &fault));
+}
+
+TEST_F(GuestPagingTest, PageTableReadsAreChargedGuestTraffic)
+{
+    GuestPageTable pt(vm);
+    auto frame = vm.allocGuestMem(pageSize);
+    const SimNs t0 = vm.vcpu(0).clock().now();
+    ASSERT_TRUE(pt.map(0x400000, *frame, PtPerms::RW));
+    // Building the four levels walked + wrote PTEs through the EPT:
+    // simulated time must have advanced.
+    EXPECT_GT(vm.vcpu(0).clock().now(), t0);
+}
+
+TEST_F(GuestPagingTest, VirtViewTwoDimensionalAccess)
+{
+    AddressSpace as(vm);
+    auto base = as.mmap(3 * pageSize);
+    ASSERT_TRUE(base);
+    VirtView view = as.view();
+
+    // Write through GVA, verify through GPA (the backing frames).
+    view.write<std::uint64_t>(*base + 0x10, 0xfeedface);
+    const Gpa gpa = as.pageTable().translate(*base + 0x10)->gpa;
+    cpu::GuestView phys(vm.vcpu(0));
+    EXPECT_EQ(phys.read<std::uint64_t>(gpa), 0xfeedfaceu);
+
+    // Cross-page bulk I/O.
+    std::vector<std::uint8_t> data(2 * pageSize + 100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13);
+    view.writeBytes(*base + 0x800, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    view.readBytes(*base + 0x800, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST_F(GuestPagingTest, UnmappedGvaFaults)
+{
+    AddressSpace as(vm);
+    VirtView view = as.view();
+    try {
+        view.read<std::uint64_t>(0xdead000);
+        FAIL() << "expected guest page fault";
+    } catch (const GuestFaultEvent &e) {
+        EXPECT_EQ(e.fault().gva, 0xdead000u);
+        EXPECT_TRUE(e.fault().notPresent);
+    }
+}
+
+TEST_F(GuestPagingTest, GuardPagesBetweenMappings)
+{
+    AddressSpace as(vm);
+    auto a = as.mmap(pageSize);
+    auto b = as.mmap(pageSize);
+    ASSERT_TRUE(a && b);
+    EXPECT_GE(*b, *a + 2 * pageSize); // at least one guard page
+    VirtView view = as.view();
+    EXPECT_THROW(view.read<std::uint8_t>(*a + pageSize),
+                 GuestFaultEvent);
+}
+
+TEST_F(GuestPagingTest, MunmapAndMprotect)
+{
+    AddressSpace as(vm);
+    auto base = as.mmap(2 * pageSize);
+    ASSERT_TRUE(base);
+    VirtView view = as.view();
+    view.write<std::uint32_t>(*base, 7);
+
+    ASSERT_TRUE(as.mprotect(*base, PtPerms::Read));
+    EXPECT_EQ(view.read<std::uint32_t>(*base), 7u);
+    EXPECT_THROW(view.write<std::uint32_t>(*base, 8), GuestFaultEvent);
+
+    ASSERT_TRUE(as.munmap(*base));
+    EXPECT_FALSE(as.munmap(*base));
+    EXPECT_THROW(view.read<std::uint32_t>(*base), GuestFaultEvent);
+}
+
+TEST_F(GuestPagingTest, GuestPagingCannotBypassEpt)
+{
+    // A malicious guest builds a PTE pointing at a GPA outside its
+    // RAM (hoping to reach foreign memory). The guest-level walk
+    // succeeds — the PTE is the guest's own business — but the EPT
+    // stops the data access.
+    GuestPageTable pt(vm);
+    const Gpa foreign = vm.ramBytes() + 0x1000; // not mapped in EPT
+    ASSERT_TRUE(pt.map(0x400000, foreign, PtPerms::RW));
+
+    VirtView view(vm.vcpu(0), pt);
+    try {
+        view.read<std::uint64_t>(0x400000);
+        FAIL() << "expected EPT violation";
+    } catch (const cpu::VmExitEvent &e) {
+        EXPECT_EQ(e.reason(), cpu::ExitReason::EptViolation);
+        EXPECT_EQ(e.violation().gpa, foreign);
+    }
+}
+
+TEST_F(GuestPagingTest, GuestAppCanDriveElisaThroughVirtualMemory)
+{
+    // End-to-end nesting: an application working purely in guest-
+    // virtual memory marshals data into an ELISA exchange buffer and
+    // calls through the gate.
+    core::ElisaService svc(hv);
+    hv::Vm &mgr_vm = hv.createVm("manager", 32 * MiB);
+    core::ElisaManager manager(mgr_vm, svc);
+    core::ElisaGuest guest(vm, svc);
+
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &ctx) { // copy exch -> obj
+        ctx.view.copyBytes(ctx.obj, ctx.exch, ctx.arg0);
+        return std::uint64_t{0};
+    });
+    auto exported =
+        manager.exportObject("app-obj", pageSize, std::move(fns));
+    ASSERT_TRUE(exported);
+    auto gate = guest.attach("app-obj", manager);
+    ASSERT_TRUE(gate);
+
+    // The app's buffer lives at a GVA; it reads it through its own
+    // page tables, then stages it into the exchange window.
+    AddressSpace as(vm);
+    auto buf_gva = as.mmap(pageSize);
+    ASSERT_TRUE(buf_gva);
+    VirtView app = as.view();
+    const char msg[] = "virtual-memory app data";
+    app.writeBytes(*buf_gva, msg, sizeof(msg));
+
+    char staged[sizeof(msg)];
+    app.readBytes(*buf_gva, staged, sizeof(staged));
+    gate->writeExchange(0, staged, sizeof(staged));
+    gate->call(0, sizeof(staged));
+
+    // The manager sees the app's bytes in the shared object.
+    char out[sizeof(msg)] = {};
+    manager.view().readBytes(exported->objectGpa, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+/** Property: random mmap/write/read traffic matches a shadow map. */
+class GuestPagingProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GuestPagingProperty, RandomTrafficMatchesShadow)
+{
+    hv::Hypervisor hv(128 * MiB);
+    hv::Vm &vm = hv.createVm("g", 32 * MiB);
+    AddressSpace as(vm);
+    VirtView view = as.view();
+    sim::Rng rng(GetParam());
+
+    struct Range
+    {
+        Gva base;
+        std::vector<std::uint8_t> shadow;
+    };
+    std::vector<Range> ranges;
+
+    for (int iter = 0; iter < 800; ++iter) {
+        const unsigned action = (unsigned)rng.below(4);
+        if (action == 0 && ranges.size() < 16) {
+            const std::uint64_t len =
+                pageSize * (1 + rng.below(4));
+            auto base = as.mmap(len);
+            if (base)
+                ranges.push_back(
+                    {*base, std::vector<std::uint8_t>(len, 0)});
+        } else if (!ranges.empty()) {
+            Range &r = ranges[rng.below(ranges.size())];
+            const std::uint64_t off =
+                rng.below(r.shadow.size());
+            const std::uint64_t len =
+                1 + rng.below(r.shadow.size() - off);
+            if (action == 1) { // write
+                std::vector<std::uint8_t> data(len);
+                for (auto &b : data)
+                    b = static_cast<std::uint8_t>(rng.next());
+                view.writeBytes(r.base + off, data.data(), len);
+                std::copy(data.begin(), data.end(),
+                          r.shadow.begin() + (long)off);
+            } else { // read
+                std::vector<std::uint8_t> got(len);
+                view.readBytes(r.base + off, got.data(), len);
+                ASSERT_TRUE(std::equal(
+                    got.begin(), got.end(),
+                    r.shadow.begin() + (long)off));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestPagingProperty,
+                         ::testing::Values(3u, 14u, 159u));
+
+} // namespace

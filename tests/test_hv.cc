@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the hypervisor: VM lifecycle, resource accounting,
+ * hypercall registration, EPTP-list management, channels, ivshmem.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "cpu/guest_view.hh"
+#include "hv/doorbell.hh"
+#include "hv/hypervisor.hh"
+#include "hv/ivshmem.hh"
+
+namespace
+{
+
+using namespace elisa;
+
+class HvTest : public ::testing::Test
+{
+  protected:
+    HvTest() : hv(128 * MiB) {}
+
+    hv::Hypervisor hv;
+};
+
+TEST_F(HvTest, CreateAndDestroyVmReleasesFrames)
+{
+    const std::uint64_t before = hv.allocator().allocated();
+    hv::Vm &vm = hv.createVm("a", 8 * MiB, 2);
+    EXPECT_EQ(vm.vcpuCount(), 2u);
+    EXPECT_GT(hv.allocator().allocated(), before);
+    const VmId id = vm.id();
+    hv.destroyVm(id);
+    EXPECT_EQ(hv.allocator().allocated(), before);
+    EXPECT_EQ(hv.vmCount(), 0u);
+}
+
+TEST_F(HvTest, VmIdsAreUnique)
+{
+    hv::Vm &a = hv.createVm("a", 2 * MiB);
+    hv::Vm &b = hv.createVm("b", 2 * MiB);
+    EXPECT_NE(a.id(), b.id());
+    EXPECT_EQ(&hv.vm(a.id()), &a);
+    EXPECT_EQ(&hv.vm(b.id()), &b);
+}
+
+TEST_F(HvTest, GuestRamIsolatedBetweenVms)
+{
+    hv::Vm &a = hv.createVm("a", 2 * MiB);
+    hv::Vm &b = hv.createVm("b", 2 * MiB);
+    cpu::GuestView va(a.vcpu(0)), vb(b.vcpu(0));
+    va.write<std::uint64_t>(0x1000, 0xaaaa);
+    vb.write<std::uint64_t>(0x1000, 0xbbbb);
+    EXPECT_EQ(va.read<std::uint64_t>(0x1000), 0xaaaau);
+    EXPECT_EQ(vb.read<std::uint64_t>(0x1000), 0xbbbbu);
+    EXPECT_NE(a.ramGpaToHpa(0x1000), b.ramGpaToHpa(0x1000));
+}
+
+TEST_F(HvTest, AllocGuestMemBumpsWithinRam)
+{
+    hv::Vm &vm = hv.createVm("a", 1 * MiB);
+    auto r1 = vm.allocGuestMem(4096);
+    auto r2 = vm.allocGuestMem(10000);
+    ASSERT_TRUE(r1 && r2);
+    EXPECT_NE(*r1, *r2);
+    EXPECT_TRUE(isPageAligned(*r2));
+    // Exhaustion.
+    EXPECT_FALSE(vm.allocGuestMem(2 * MiB));
+}
+
+TEST_F(HvTest, RegisterHypercallOverrides)
+{
+    hv::Vm &vm = hv.createVm("a", 2 * MiB);
+    hv.registerHypercall(0x42, [](cpu::Vcpu &,
+                                  const cpu::HypercallArgs &args) {
+        return args.arg0 + args.arg1;
+    });
+    cpu::HypercallArgs args;
+    args.nr = 0x42;
+    args.arg0 = 40;
+    args.arg1 = 2;
+    EXPECT_EQ(vm.vcpu(0).vmcall(args), 42u);
+}
+
+TEST_F(HvTest, HandlerCanChargeGuestTime)
+{
+    hv::Vm &vm = hv.createVm("a", 2 * MiB);
+    hv.registerHypercall(0x43, [](cpu::Vcpu &vcpu,
+                                  const cpu::HypercallArgs &) {
+        vcpu.clock().advance(1000);
+        return std::uint64_t{0};
+    });
+    const SimNs t0 = vm.vcpu(0).clock().now();
+    vm.vcpu(0).vmcall(hv::hcArgs(static_cast<hv::Hc>(0x43)));
+    EXPECT_EQ(vm.vcpu(0).clock().now() - t0,
+              hv.cost().vmcallRttNs() + 1000);
+}
+
+TEST_F(HvTest, InstallAndRemoveEptp)
+{
+    hv::Vm &vm = hv.createVm("a", 2 * MiB);
+    cpu::Vcpu &cpu = vm.vcpu(0);
+
+    ept::Ept ctx(hv.memory(), hv.allocator());
+    auto idx = hv.installEptp(cpu, ctx.eptp());
+    ASSERT_TRUE(idx);
+    EXPECT_EQ(*idx, 1u); // slot 0 = default
+    EXPECT_EQ(*cpu.eptpList().lookup(*idx), ctx.eptp());
+
+    hv.removeEptp(cpu, *idx);
+    EXPECT_FALSE(cpu.eptpList().lookup(*idx));
+    // Switching there now faults.
+    EXPECT_THROW(cpu.vmfunc(0, *idx), cpu::VmExitEvent);
+}
+
+TEST_F(HvTest, ChannelRoundTripThroughGuestMemory)
+{
+    hv::Vm &a = hv.createVm("a", 2 * MiB);
+    hv::Vm &b = hv.createVm("b", 2 * MiB);
+    const hv::ChannelId chan = hv.createChannel();
+
+    // a sends "ping" from its RAM.
+    cpu::GuestView va(a.vcpu(0));
+    const char ping[] = "ping";
+    va.writeBytes(0x1000, ping, 4);
+    EXPECT_EQ(a.vcpu(0).vmcall(hv::hcArgs(hv::Hc::ChanSend, chan,
+                                          0x1000, 4)),
+              0u);
+    EXPECT_EQ(hv.channelDepth(chan), 1u);
+
+    // b receives into its RAM.
+    EXPECT_EQ(b.vcpu(0).vmcall(hv::hcArgs(hv::Hc::ChanRecv, chan,
+                                          0x2000, 64)),
+              4u);
+    cpu::GuestView vb(b.vcpu(0));
+    char out[5] = {};
+    vb.readBytes(0x2000, out, 4);
+    EXPECT_STREQ(out, "ping");
+
+    // Empty now.
+    EXPECT_EQ(b.vcpu(0).vmcall(hv::hcArgs(hv::Hc::ChanRecv, chan,
+                                          0x2000, 64)),
+              hv::hcError);
+}
+
+TEST_F(HvTest, ChannelCapacityBounds)
+{
+    const hv::ChannelId chan = hv.createChannel(2);
+    EXPECT_TRUE(hv.channelPush(chan, {1}));
+    EXPECT_TRUE(hv.channelPush(chan, {2}));
+    EXPECT_FALSE(hv.channelPush(chan, {3}));
+    auto m = hv.channelPop(chan);
+    ASSERT_TRUE(m);
+    EXPECT_EQ((*m)[0], 1u);
+}
+
+TEST_F(HvTest, IvshmemSharedBetweenVms)
+{
+    hv::Vm &a = hv.createVm("a", 2 * MiB);
+    hv::Vm &b = hv.createVm("b", 2 * MiB);
+    hv::IvshmemRegion shm(hv, "shm0", 64 * KiB);
+
+    const Gpa where = 0x40000000;
+    ASSERT_TRUE(shm.attach(a, where));
+    ASSERT_TRUE(shm.attach(b, where));
+    EXPECT_EQ(shm.attachCount(), 2u);
+
+    cpu::GuestView va(a.vcpu(0)), vb(b.vcpu(0));
+    va.write<std::uint64_t>(where + 0x10, 0x123456789ull);
+    // Direct mapping: b sees a's write immediately.
+    EXPECT_EQ(vb.read<std::uint64_t>(where + 0x10), 0x123456789ull);
+
+    shm.detach(b, where);
+    EXPECT_THROW(vb.read<std::uint64_t>(where + 0x10),
+                 cpu::VmExitEvent);
+    // a is unaffected.
+    EXPECT_EQ(va.read<std::uint64_t>(where + 0x10), 0x123456789ull);
+    shm.detach(a, where);
+}
+
+TEST_F(HvTest, DoorbellDeliversAfterIpiLatency)
+{
+    hv::Doorbell bell(hv.cost());
+    sim::SimClock receiver;
+
+    EXPECT_EQ(bell.wait(receiver), 0u); // nothing pending
+    const SimNs deliver = bell.ring(1000);
+    EXPECT_EQ(deliver, 1000 + hv.cost().ipiDeliverNs);
+    EXPECT_EQ(bell.pending(), 1u);
+
+    EXPECT_EQ(bell.wait(receiver), 1u);
+    EXPECT_EQ(receiver.now(), deliver); // receiver slept until it
+    EXPECT_EQ(bell.pending(), 0u);
+}
+
+TEST_F(HvTest, DoorbellCoalescesLikeAnInterruptLine)
+{
+    hv::Doorbell bell(hv.cost());
+    bell.ring(100);
+    bell.ring(200);
+    bell.ring(300);
+    EXPECT_EQ(bell.pending(), 3u);
+    sim::SimClock receiver;
+    // One wake-up consumes all three; delivery at the earliest ring.
+    EXPECT_EQ(bell.wait(receiver), 3u);
+    EXPECT_EQ(receiver.now(), 100 + hv.cost().ipiDeliverNs);
+}
+
+TEST_F(HvTest, DoorbellPollRespectsDeliveryTime)
+{
+    hv::Doorbell bell(hv.cost());
+    sim::SimClock receiver;
+    bell.ring(receiver.now() + 5000);
+    // Not yet delivered at the receiver's current time.
+    EXPECT_EQ(bell.poll(receiver), 0u);
+    receiver.advance(5000 + hv.cost().ipiDeliverNs);
+    EXPECT_EQ(bell.poll(receiver), 1u);
+    EXPECT_EQ(bell.pending(), 0u);
+}
+
+TEST_F(HvTest, DoorbellAlreadyLateReceiverDoesNotRewind)
+{
+    hv::Doorbell bell(hv.cost());
+    sim::SimClock receiver;
+    receiver.advance(1000000);
+    bell.ring(10);
+    bell.wait(receiver);
+    EXPECT_EQ(receiver.now(), 1000000u); // clock never goes back
+}
+
+TEST_F(HvTest, VmDestroyHooksRunBeforeTeardown)
+{
+    hv::Vm &vm = hv.createVm("observed", 2 * MiB);
+    const VmId id = vm.id();
+    bool saw_alive = false;
+    hv.addVmDestroyHook([&](VmId dying) {
+        if (dying == id) {
+            // The VM must still be resolvable inside the hook.
+            saw_alive = (hv.vm(dying).name() == "observed");
+        }
+    });
+    hv.destroyVm(id);
+    EXPECT_TRUE(saw_alive);
+}
+
+TEST_F(HvTest, IvshmemAttachConflictRejected)
+{
+    hv::Vm &a = hv.createVm("a", 2 * MiB);
+    hv::IvshmemRegion shm(hv, "shm0", 64 * KiB);
+    // Overlaps guest RAM at GPA 0.
+    EXPECT_FALSE(shm.attach(a, 0));
+    EXPECT_EQ(shm.attachCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Security-property tests: the Table-1 claims, demonstrated on the
+ * access path rather than asserted.
+ *
+ *   direct-mapping      shared, NOT isolated (a compromised guest can
+ *                       trash its peers' view);
+ *   host-interposition  isolated (host checks), expensive;
+ *   ELISA               isolated: guests only reach the object through
+ *                       hypervisor-installed EPT contexts, and every
+ *                       escape attempt faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+#include "hv/ivshmem.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::core;
+
+class IsolationTest : public ::testing::Test
+{
+  protected:
+    IsolationTest()
+        : hv(256 * MiB), svc(hv),
+          managerVm(hv.createVm("manager", 16 * MiB)),
+          victimVm(hv.createVm("victim", 16 * MiB)),
+          attackerVm(hv.createVm("attacker", 16 * MiB)),
+          manager(managerVm, svc), victim(victimVm, svc),
+          attacker(attackerVm, svc)
+    {
+    }
+
+    SharedFnTable
+    fns()
+    {
+        SharedFnTable t;
+        t.push_back([](SubCallCtx &ctx) {
+            return ctx.view.read<std::uint64_t>(ctx.obj + ctx.arg0);
+        });
+        t.push_back([](SubCallCtx &ctx) {
+            ctx.view.write<std::uint64_t>(ctx.obj + ctx.arg0, ctx.arg1);
+            return std::uint64_t{0};
+        });
+        return t;
+    }
+
+    hv::Hypervisor hv;
+    ElisaService svc;
+    hv::Vm &managerVm;
+    hv::Vm &victimVm;
+    hv::Vm &attackerVm;
+    ElisaManager manager;
+    ElisaGuest victim;
+    ElisaGuest attacker;
+};
+
+// ---- The direct-mapping hazard the paper motivates -----------------
+
+TEST_F(IsolationTest, DirectMappingIsNotIsolated)
+{
+    hv::IvshmemRegion shm(hv, "shared", 64 * KiB);
+    const Gpa where = 0x40000000;
+    ASSERT_TRUE(shm.attach(victimVm, where));
+    ASSERT_TRUE(shm.attach(attackerVm, where));
+
+    // Victim stores data; a compromised attacker VM can overwrite it
+    // wholesale — no mechanism intervenes.
+    cpu::GuestView vv(victimVm.vcpu(0)), av(attackerVm.vcpu(0));
+    vv.write<std::uint64_t>(where, 0x600d);
+    av.write<std::uint64_t>(where, 0xbad);
+    EXPECT_EQ(vv.read<std::uint64_t>(where), 0xbadu);
+
+    shm.detach(victimVm, where);
+    shm.detach(attackerVm, where);
+}
+
+// ---- ELISA isolation properties ---------------------------------------
+
+TEST_F(IsolationTest, GuestCannotTouchManagerObjectFromDefaultContext)
+{
+    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    ASSERT_TRUE(exp);
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    cpu::GuestView v(victimVm.vcpu(0));
+    // The object GPA window only exists inside the sub context; from
+    // the default context it is unmapped address space.
+    EXPECT_THROW(v.read<std::uint64_t>(objectGpa), cpu::VmExitEvent);
+    // The manager's RAM is likewise unreachable.
+    EXPECT_THROW(v.read<std::uint64_t>(exp->objectGpa + (1ull << 40)),
+                 cpu::VmExitEvent);
+}
+
+TEST_F(IsolationTest, UnattachedGuestCannotVmfuncAnywhere)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    // The attacker guesses the victim's indices: its own EPTP list
+    // has no such entries, so the switch faults.
+    auto result = attackerVm.run(0, [&] {
+        attackerVm.vcpu(0).vmfunc(0, gate->info().subIndex);
+    });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+}
+
+TEST_F(IsolationTest, DirectVmfuncToSubContextStrandsTheGuest)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    // A malicious guest skips the gate and VMFUNCs straight into the
+    // sub context. The switch itself succeeds (the entry is in its
+    // list), but its own code/data pages are not mapped there: the
+    // very next fetch from its own RAM faults.
+    auto result = victimVm.run(0, [&] {
+        cpu::Vcpu &cpu = victimVm.vcpu(0);
+        cpu.vmfunc(0, gate->info().subIndex);
+        cpu::GuestView view(cpu);
+        view.fetchCheck(0x1000); // its own code address
+    });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+    EXPECT_TRUE(result.exit.violation.notMapped);
+    // The fault policy parked it back in the default context.
+    EXPECT_EQ(victimVm.vcpu(0).activeIndex(), 0u);
+}
+
+TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    // Even *trusted* shared code cannot read the caller's RAM: GPA
+    // 0x1000 (guest RAM) is unmapped in the sub context. A leak
+    // through a compromised shared function is thus impossible.
+    SharedFnTable leak;
+    leak.push_back([](SubCallCtx &ctx) {
+        return ctx.view.read<std::uint64_t>(0x1000);
+    });
+    // Splice the leaky table in via a second export.
+    ASSERT_TRUE(manager.exportObject("leaky", 4 * KiB,
+                                     std::move(leak)));
+    auto leaky_gate = victim.attach("leaky", manager);
+    ASSERT_TRUE(leaky_gate);
+
+    auto result = victimVm.run(0, [&] { leaky_gate->call(0); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+}
+
+TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto g_victim = victim.attach("obj", manager);
+    auto g_attacker = attacker.attach("obj", manager);
+    ASSERT_TRUE(g_victim && g_attacker);
+
+    const char secret[] = "victim secret";
+    g_victim->writeExchange(0, secret, sizeof(secret));
+
+    // The attacker's exchange window is a different buffer: reading
+    // its own window never reveals the victim's data...
+    char probe[sizeof(secret)] = {};
+    g_attacker->readExchange(0, probe, sizeof(probe));
+    EXPECT_STRNE(probe, secret);
+
+    // ...and probing the victim's window GPA from the attacker VM hits
+    // (at most) the attacker's own buffer, never the victim's bytes.
+    cpu::GuestView av(attackerVm.vcpu(0));
+    char probe2[sizeof(secret)] = {};
+    av.readBytes(g_victim->info().exchangeGuestGpa, probe2,
+                 sizeof(probe2));
+    EXPECT_STRNE(probe2, secret);
+
+    // Within one VM, distinct attachments get distinct window GPAs.
+    auto g_second = victim.attach("obj", manager);
+    ASSERT_TRUE(g_second);
+    EXPECT_NE(g_second->info().exchangeGuestGpa,
+              g_victim->info().exchangeGuestGpa);
+}
+
+TEST_F(IsolationTest, ReadOnlyExportRejectsWrites)
+{
+    auto exp = manager.exportObject("ro", 4 * KiB, fns(),
+                                    ept::Perms::Read);
+    ASSERT_TRUE(exp);
+    manager.view().write<std::uint64_t>(exp->objectGpa, 0x1234);
+
+    auto gate = victim.attach("ro", manager);
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(gate->call(0, 0), 0x1234u); // reads fine
+
+    auto result = victimVm.run(0, [&] { gate->call(1, 0, 0xbad); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+    EXPECT_EQ(result.exit.violation.access, ept::Access::Write);
+    // The object is untouched.
+    EXPECT_EQ(manager.view().read<std::uint64_t>(exp->objectGpa),
+              0x1234u);
+}
+
+TEST_F(IsolationTest, PerClientPermissionGrants)
+{
+    // One RW export; the victim gets RW, the attacker only R.
+    auto exp = manager.exportObject("shared", 4 * KiB, fns());
+    ASSERT_TRUE(exp);
+    manager.setPermsPolicy(
+        [&](VmId vm, const std::string &)
+            -> std::optional<ept::Perms> {
+            return vm == victimVm.id() ? ept::Perms::RW
+                                       : ept::Perms::Read;
+        });
+
+    auto g_rw = victim.attach("shared", manager);
+    auto g_ro = attacker.attach("shared", manager);
+    ASSERT_TRUE(g_rw && g_ro);
+
+    // Writer writes; reader reads — shared state, asymmetric rights.
+    EXPECT_EQ(g_rw->call(1, 0x10, 0x5a5a), 0u);
+    EXPECT_EQ(g_ro->call(0, 0x10), 0x5a5au);
+
+    // The read-only client's writes fault at the EPT.
+    auto result = attackerVm.run(0, [&] { g_ro->call(1, 0x10, 1); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::EptViolation);
+    EXPECT_EQ(result.exit.violation.access, ept::Access::Write);
+    EXPECT_EQ(g_rw->call(0, 0x10), 0x5a5au); // data intact
+}
+
+TEST_F(IsolationTest, PermissionEscalationRefused)
+{
+    // A read-only export cannot be granted RW, even by its manager.
+    ASSERT_TRUE(manager.exportObject("ro-only", 4 * KiB, fns(),
+                                     ept::Perms::Read));
+    manager.setPermsPolicy(
+        [](VmId, const std::string &) -> std::optional<ept::Perms> {
+            return ept::Perms::RW; // illegal escalation attempt
+        });
+    auto req = victim.requestAttach("ro-only");
+    ASSERT_TRUE(req);
+    manager.pollRequests();
+    // The Approve hypercall is refused; the request stays pending.
+    EXPECT_FALSE(victim.completeAttach(*req));
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+}
+
+TEST_F(IsolationTest, DetachedIndexCannotBeReplayed)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+    const EptpIndex stale = gate->info().subIndex;
+    ASSERT_TRUE(victim.detach(*gate));
+
+    auto result = victimVm.run(0, [&] {
+        victimVm.vcpu(0).vmfunc(0, stale);
+    });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+}
+
+TEST_F(IsolationTest, TlbDoesNotLeakAcrossRevocation)
+{
+    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    ASSERT_TRUE(exp);
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    // Warm the victim's TLB with sub-context translations.
+    gate->call(1, 0, 0x111);
+    EXPECT_EQ(gate->call(0, 0), 0x111u);
+
+    // Revoke. The cached translations must not survive.
+    ASSERT_TRUE(victim.detach(*gate));
+    auto result = victimVm.run(0, [&] {
+        cpu::GuestView v(victimVm.vcpu(0));
+        v.read<std::uint64_t>(objectGpa);
+    });
+    EXPECT_FALSE(result.ok);
+}
+
+TEST_F(IsolationTest, GuestCannotDetachForeignAttachment)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto gate = victim.attach("obj", manager);
+    ASSERT_TRUE(gate);
+
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Detach);
+    args.arg0 = gate->info().attachment;
+    EXPECT_EQ(attackerVm.vcpu(0).vmcall(args), hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 1u); // still alive
+
+    // The rightful owner still works.
+    EXPECT_NO_THROW(gate->call(0, 0));
+}
+
+TEST_F(IsolationTest, GuestCannotApproveItsOwnRequest)
+{
+    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
+    auto req = attacker.requestAttach("obj");
+    ASSERT_TRUE(req);
+
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Approve);
+    args.arg0 = *req;
+    EXPECT_EQ(attackerVm.vcpu(0).vmcall(args), hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+}
+
+TEST_F(IsolationTest, HostInterpositionIsIsolatedButCostly)
+{
+    // Baseline sanity for Table 1: a VMCALL-mediated access is checked
+    // by the host (isolated) but costs the full exit round trip.
+    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    ASSERT_TRUE(exp);
+    const Hpa obj_hpa = managerVm.ramGpaToHpa(exp->objectGpa);
+
+    hv.registerHypercall(0x300, [&](cpu::Vcpu &vcpu,
+                                    const cpu::HypercallArgs &args) {
+        // Host-side bounds check = the interposition.
+        if (args.arg0 + 8 > 4096)
+            return hv::hcError;
+        vcpu.clock().advance(hv.cost().memAccessNs);
+        return hv.memory().read64(obj_hpa + args.arg0);
+    });
+
+    manager.view().write<std::uint64_t>(exp->objectGpa + 8, 0x77);
+    cpu::Vcpu &cpu = victimVm.vcpu(0);
+    const SimNs t0 = cpu.clock().now();
+    EXPECT_EQ(cpu.vmcall(hv::hcArgs(static_cast<hv::Hc>(0x300), 8)),
+              0x77u);
+    EXPECT_GE(cpu.clock().now() - t0, hv.cost().vmcallRttNs());
+    // Out-of-bounds is refused by the host.
+    EXPECT_EQ(cpu.vmcall(hv::hcArgs(static_cast<hv::Hc>(0x300), 9000)),
+              hv::hcError);
+}
+
+} // namespace

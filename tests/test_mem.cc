@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit + property tests for simulated physical memory and the frame
+ * allocator.
+ */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/host_memory.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::mem;
+
+TEST(HostMemory, SizeAndContains)
+{
+    HostMemory m(1 * MiB);
+    EXPECT_EQ(m.size(), 1 * MiB);
+    EXPECT_EQ(m.frameCount(), 256u);
+    EXPECT_TRUE(m.contains(0));
+    EXPECT_TRUE(m.contains(MiB - 1));
+    EXPECT_FALSE(m.contains(MiB));
+    EXPECT_TRUE(m.contains(0, MiB));
+    EXPECT_FALSE(m.contains(1, MiB));
+    EXPECT_FALSE(m.contains(0, 0)); // zero-length is invalid
+}
+
+TEST(HostMemory, ReadWrite64)
+{
+    HostMemory m(64 * KiB);
+    m.write64(0x100, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read64(0x100), 0xdeadbeefcafef00dull);
+    // Initially zeroed.
+    EXPECT_EQ(m.read64(0x2000), 0u);
+}
+
+TEST(HostMemory, BulkCopyAndZero)
+{
+    HostMemory m(64 * KiB);
+    std::vector<std::uint8_t> src(5000);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7);
+    m.write(0x800, src.data(), src.size());
+    std::vector<std::uint8_t> dst(src.size());
+    m.read(0x800, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    m.zero(0x800, src.size());
+    m.read(0x800, dst.data(), dst.size());
+    EXPECT_TRUE(std::all_of(dst.begin(), dst.end(),
+                            [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(HostMemory, RawPointerIsStable)
+{
+    HostMemory m(64 * KiB);
+    std::uint8_t *p = m.raw(0x1000);
+    *p = 0x5a;
+    EXPECT_EQ(m.raw(0x1000)[0], 0x5a);
+}
+
+TEST(FrameAllocator, AllocFreeBasics)
+{
+    FrameAllocator a(16);
+    EXPECT_EQ(a.total(), 16u);
+    auto f1 = a.alloc();
+    ASSERT_TRUE(f1);
+    EXPECT_TRUE(isPageAligned(*f1));
+    EXPECT_EQ(a.allocated(), 1u);
+    EXPECT_TRUE(a.isAllocated(*f1));
+    a.free(*f1);
+    EXPECT_EQ(a.allocated(), 0u);
+    EXPECT_FALSE(a.isAllocated(*f1));
+}
+
+TEST(FrameAllocator, ContiguousRuns)
+{
+    FrameAllocator a(16);
+    auto run = a.alloc(8);
+    ASSERT_TRUE(run);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_TRUE(a.isAllocated(*run + i * pageSize));
+    auto run2 = a.alloc(8);
+    ASSERT_TRUE(run2);
+    EXPECT_NE(*run, *run2);
+    // Now full.
+    EXPECT_FALSE(a.alloc(1));
+    a.free(*run, 8);
+    auto run3 = a.alloc(8);
+    ASSERT_TRUE(run3);
+}
+
+TEST(FrameAllocator, ExhaustionReturnsNullopt)
+{
+    FrameAllocator a(4);
+    EXPECT_TRUE(a.alloc(4));
+    EXPECT_FALSE(a.alloc(1));
+}
+
+TEST(FrameAllocator, FragmentationHandled)
+{
+    FrameAllocator a(8);
+    auto f0 = a.alloc(2);
+    auto f1 = a.alloc(2);
+    auto f2 = a.alloc(2);
+    auto f3 = a.alloc(2);
+    ASSERT_TRUE(f0 && f1 && f2 && f3);
+    a.free(*f1, 2);
+    a.free(*f3, 2);
+    // 4 free frames but no contiguous run of 4 (2+2 split).
+    EXPECT_EQ(a.freeFrames(), 4u);
+    EXPECT_FALSE(a.alloc(4));
+    EXPECT_TRUE(a.alloc(2));
+}
+
+/** Property sweep: random alloc/free never double-allocates. */
+class FrameAllocatorProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FrameAllocatorProperty, NoOverlapUnderRandomWorkload)
+{
+    const unsigned seed = GetParam();
+    sim::Rng rng(seed);
+    FrameAllocator alloc(128);
+    // Track every frame we believe we own.
+    std::set<std::uint64_t> owned;
+    std::vector<std::pair<Hpa, std::uint64_t>> live;
+
+    for (int iter = 0; iter < 2000; ++iter) {
+        if (live.empty() || rng.chance(0.6)) {
+            const std::uint64_t count = 1 + rng.below(6);
+            auto base = alloc.alloc(count);
+            if (!base)
+                continue;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const std::uint64_t frame = *base / pageSize + i;
+                // The core property: never hand out an owned frame.
+                ASSERT_TRUE(owned.insert(frame).second)
+                    << "frame " << frame << " double-allocated";
+            }
+            live.emplace_back(*base, count);
+        } else {
+            const std::size_t pick = rng.below(live.size());
+            auto [base, count] = live[pick];
+            alloc.free(base, count);
+            for (std::uint64_t i = 0; i < count; ++i)
+                owned.erase(base / pageSize + i);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(alloc.allocated(), owned.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameAllocatorProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u));
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the memcached application model: single-request sanity,
+ * queueing behaviour (hockey-stick latency), and the cross-scheme
+ * ordering of the latency/throughput curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "elisa/negotiation.hh"
+#include "memcached/loadgen.hh"
+#include "memcached/server.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::memcached;
+
+class McTest : public ::testing::Test
+{
+  protected:
+    McTest()
+        : hv(1024 * MiB), svc(hv), nic(hv.cost()),
+          managerVm(hv.createVm("mcmgr", 64 * MiB)),
+          serverVm(hv.createVm("mc-server", 64 * MiB)),
+          manager(managerVm, svc), guest(serverVm, svc)
+    {
+    }
+
+    hv::Hypervisor hv;
+    core::ElisaService svc;
+    net::PhysNic nic;
+    hv::Vm &managerVm;
+    hv::Vm &serverVm;
+    core::ElisaManager manager;
+    core::ElisaGuest guest;
+};
+
+TEST_F(McTest, SingleRequestLatencyFloor)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+    auto point = runLoadPoint(server, nic, 1000.0, 200, 0.1, 1024);
+
+    // At 1 Krps the server is idle: latency ~= 2x propagation +
+    // wire + service, far below 100 us, and p50 ~= p99.
+    EXPECT_GT(point.p50, 2 * hv.cost().netPropagationNs);
+    EXPECT_LT(point.p99, 100u * 1000u);
+    EXPECT_LT((double)point.p99, 1.6 * (double)point.p50);
+    EXPECT_NEAR(point.achievedKrps(), 1.0, 0.15);
+}
+
+TEST_F(McTest, SaturationCapsAchievedThroughput)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+
+    // Service ~= rx(113) + core(1800) + kvs-get(590) + tx(~120)
+    // => capacity ~380 Krps. Offer way beyond it.
+    auto point = runLoadPoint(server, nic, 2e6, 4000, 0.1, 1024);
+    EXPECT_LT(point.achievedKrps(), 450.0);
+    EXPECT_GT(point.achievedKrps(), 250.0);
+    // Queueing is unbounded open-loop: p99 explodes past 1 ms.
+    EXPECT_GT(point.p99Us(), 1000.0);
+}
+
+TEST_F(McTest, LatencyIsMonotoneInLoad)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+    const double loads[] = {20e3, 100e3, 250e3};
+    SimNs last_p99 = 0;
+    for (double l : loads) {
+        auto p = runLoadPoint(server, nic, l, 3000, 0.1, 1024);
+        EXPECT_GE(p.p99, last_p99);
+        last_p99 = p.p99;
+    }
+}
+
+TEST_F(McTest, ElisaSustainsMoreThanVmcall)
+{
+    net::ElisaPath epath(hv, manager, guest, "mc-elisa");
+    Server eserver(hv, serverVm, epath);
+
+    hv::Vm &server2 = hv.createVm("mc-server2", 64 * MiB);
+    net::VmcallPath vpath(hv, server2);
+    Server vserver(hv, server2, vpath);
+
+    net::PhysNic nic2(hv.cost());
+    // Drive both at a load between their capacities.
+    auto e = runLoadPoint(eserver, nic, 300e3, 5000, 0.1, 1024);
+    auto v = runLoadPoint(vserver, nic2, 300e3, 5000, 0.1, 1024);
+
+    // VMCALL's extra ~1.4 us/request (two transitions) pushes it into
+    // saturation first: lower achieved throughput, higher p99.
+    EXPECT_GT(e.achievedKrps(), v.achievedKrps());
+    EXPECT_GT(v.p99, e.p99);
+}
+
+TEST_F(McTest, SetHeavyIsSlowerThanGetHeavy)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+    auto get_heavy = runLoadPoint(server, nic, 2e6, 3000, 0.1, 1024);
+
+    hv::Vm &server2 = hv.createVm("mc-server3", 64 * MiB);
+    net::DirectPath path2(hv, server2);
+    Server server2obj(hv, server2, path2);
+    net::PhysNic nic2(hv.cost());
+    auto set_heavy = runLoadPoint(server2obj, nic2, 2e6, 3000, 0.5,
+                                  1024);
+
+    // PUT core work > GET core work => lower saturation throughput.
+    EXPECT_GT(get_heavy.achievedKrps(), set_heavy.achievedKrps());
+}
+
+TEST_F(McTest, InterruptModeTradesLatencyForCpu)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+    auto poll = runLoadPoint(server, nic, 20e3, 2000, 0.1, 256, 7,
+                             WakeMode::Polling);
+
+    hv::Vm &server2 = hv.createVm("mc-irq", 64 * MiB);
+    net::DirectPath path2(hv, server2);
+    Server srv2(hv, server2, path2);
+    net::PhysNic nic2(hv.cost());
+    auto irq = runLoadPoint(srv2, nic2, 20e3, 2000, 0.1, 256, 7,
+                            WakeMode::Interrupt);
+
+    // Interrupt wake-up adds roughly one IPI latency to the median...
+    EXPECT_GT(irq.p50, poll.p50);
+    EXPECT_LT((double)irq.p50,
+              (double)poll.p50 + 2.0 * (double)hv.cost().ipiDeliverNs);
+    // ...but releases the core at this low load.
+    EXPECT_DOUBLE_EQ(poll.cpuUtilization, 1.0);
+    EXPECT_LT(irq.cpuUtilization, 0.2);
+}
+
+TEST_F(McTest, ServerMissesAreZeroAfterWarmup)
+{
+    net::DirectPath path(hv, serverVm);
+    Server server(hv, serverVm, path);
+    // SET-only first pass populates every key in a small space.
+    runLoadPoint(server, nic, 50e3, 2000, 1.0, 64);
+    const std::uint64_t misses_after_sets = server.misses();
+    runLoadPoint(server, nic, 50e3, 2000, 0.0, 64);
+    // GET-only second pass: no new misses.
+    EXPECT_EQ(server.misses(), misses_after_sets);
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Property-based tests: each data structure that lives in simulated
+ * shared memory is driven with long random operation sequences and
+ * checked, step by step, against a plain-C++ reference model. A
+ * negotiation fuzzer additionally feeds the ELISA hypercall surface
+ * adversarial inputs and verifies the service's invariants hold.
+ */
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "elisa/shm_allocator.hh"
+#include "hv/hypervisor.hh"
+#include "kvs/shm_kvs.hh"
+#include "net/desc_ring.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace elisa;
+
+// ---- ShmKvs vs std::unordered_map ------------------------------------
+
+class KvsModelProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(KvsModelProperty, MatchesReferenceMap)
+{
+    mem::HostMemory memory(32 * MiB);
+    net::HostRegionIo io(memory, 0);
+    const std::uint64_t buckets = 512;
+    kvs::ShmKvs::format(io, buckets);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> model;
+    sim::Rng rng(GetParam());
+    const std::uint64_t key_space = 600; // ~15 % slot load
+
+    for (int iter = 0; iter < 20000; ++iter) {
+        const std::uint64_t id = rng.below(key_space);
+        const auto key = kvs::makeKey(id);
+        switch (rng.below(3)) {
+          case 0: { // put
+            const std::uint64_t version = rng.next();
+            const bool ok =
+                kvs::ShmKvs::put(io, key, kvs::makeValue(version));
+            if (ok)
+                model[id] = version;
+            else
+                ASSERT_FALSE(model.contains(id)); // only overflow
+            break;
+          }
+          case 1: { // get
+            auto got = kvs::ShmKvs::get(io, key);
+            auto want = model.find(id);
+            ASSERT_EQ(got.has_value(), want != model.end());
+            if (got) {
+                ASSERT_EQ(*got, kvs::makeValue(want->second));
+            }
+            break;
+          }
+          case 2: { // remove
+            const bool ok = kvs::ShmKvs::remove(io, key);
+            ASSERT_EQ(ok, model.erase(id) == 1);
+            break;
+          }
+        }
+        ASSERT_EQ(kvs::ShmKvs::size(io), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvsModelProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- DescRing vs std::deque ----------------------------------------
+
+class RingModelProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RingModelProperty, MatchesReferenceQueue)
+{
+    mem::HostMemory memory(8 * MiB);
+    net::HostRegionIo io(memory, 0);
+    net::DescRing::init(io);
+
+    std::deque<std::pair<std::uint32_t, std::uint32_t>> model;
+    sim::Rng rng(GetParam());
+    std::uint32_t next_seq = 0;
+
+    for (int iter = 0; iter < 30000; ++iter) {
+        if (rng.chance(0.55)) {
+            const auto len = static_cast<std::uint32_t>(
+                64 + rng.below(net::maxPacketBytes - 64));
+            const bool ok =
+                net::DescRing::pushPattern(io, next_seq, len);
+            ASSERT_EQ(ok, model.size() < net::DescRing::ringEntries);
+            if (ok)
+                model.emplace_back(next_seq++, len);
+        } else {
+            auto pkt = net::DescRing::pop(io);
+            ASSERT_EQ(pkt.has_value(), !model.empty());
+            if (pkt) {
+                ASSERT_EQ(pkt->seq, model.front().first);
+                ASSERT_EQ(pkt->len, model.front().second);
+                ASSERT_TRUE(net::checkPattern(pkt->data.data(),
+                                              pkt->seq, pkt->len));
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(net::DescRing::count(io), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingModelProperty,
+                         ::testing::Values(5u, 6u, 7u));
+
+// ---- ShmAllocator vs reference interval accounting -----------------
+
+class ShmAllocProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ShmAllocProperty, NoOverlapNoLeak)
+{
+    hv::Hypervisor hv(64 * MiB);
+    hv::Vm &vm = hv.createVm("guest", 16 * MiB);
+    cpu::GuestView view(vm.vcpu(0));
+    const Gpa base = 0x100000;
+    core::ShmAllocator heap(view, base);
+    heap.format(512 * KiB);
+    const std::uint64_t cap = heap.capacity();
+
+    // offset -> size of live allocations.
+    std::map<std::uint64_t, std::uint64_t> live;
+    sim::Rng rng(GetParam());
+
+    for (int iter = 0; iter < 4000; ++iter) {
+        if (live.empty() || rng.chance(0.55)) {
+            const std::uint64_t want = 16 + rng.below(3000);
+            auto off = heap.alloc(want);
+            if (!off)
+                continue;
+            // Overlap check against every live block.
+            auto next = live.lower_bound(*off);
+            if (next != live.end()) {
+                ASSERT_LE(*off + want, next->first);
+            }
+            if (next != live.begin()) {
+                auto prev = std::prev(next);
+                ASSERT_LE(prev->first + prev->second, *off);
+            }
+            live[*off] = want;
+        } else {
+            auto pick = live.begin();
+            std::advance(pick,
+                         (long)rng.below(live.size()));
+            heap.free(pick->first);
+            live.erase(pick);
+        }
+    }
+    for (auto &[off, size] : live)
+        heap.free(off);
+    // Everything freed coalesces back to full capacity: no leaks.
+    ASSERT_EQ(heap.freeBytes(), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmAllocProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ---- GuestView vs direct host access --------------------------------
+
+class GuestViewProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GuestViewProperty, MirrorsHostMemoryExactly)
+{
+    hv::Hypervisor hv(64 * MiB);
+    hv::Vm &vm = hv.createVm("guest", 4 * MiB);
+    cpu::GuestView view(vm.vcpu(0));
+    sim::Rng rng(GetParam());
+
+    // Shadow copy maintained with plain host writes.
+    std::vector<std::uint8_t> shadow(1 * MiB, 0);
+    const Gpa base = 0x100000;
+
+    for (int iter = 0; iter < 3000; ++iter) {
+        const std::uint64_t off = rng.below(shadow.size() - 9000);
+        const std::uint64_t len = 1 + rng.below(8999); // crosses pages
+        if (rng.chance(0.5)) {
+            std::vector<std::uint8_t> data(len);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            view.writeBytes(base + off, data.data(), len);
+            std::copy(data.begin(), data.end(),
+                      shadow.begin() + (long)off);
+        } else {
+            std::vector<std::uint8_t> got(len);
+            view.readBytes(base + off, got.data(), len);
+            ASSERT_TRUE(std::equal(got.begin(), got.end(),
+                                   shadow.begin() + (long)off));
+        }
+    }
+
+    // The shadow also matches the raw backing frames.
+    const Hpa hpa = vm.ramGpaToHpa(base);
+    ASSERT_EQ(std::memcmp(hv.memory().raw(hpa, shadow.size()),
+                          shadow.data(), shadow.size()),
+              0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestViewProperty,
+                         ::testing::Values(1u, 2u));
+
+// ---- negotiation fuzz ---------------------------------------------
+
+class NegotiationFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(NegotiationFuzz, AdversarialHypercallsNeverCorruptTheService)
+{
+    hv::Hypervisor hv(512 * MiB);
+    core::ElisaService svc(hv);
+    hv::Vm &mgr_vm = hv.createVm("manager", 32 * MiB);
+    hv::Vm &guest_vm = hv.createVm("guest", 32 * MiB);
+    core::ElisaManager manager(mgr_vm, svc);
+    core::ElisaGuest guest(guest_vm, svc);
+
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &ctx) {
+        return ctx.view.read<std::uint64_t>(ctx.obj);
+    });
+    ASSERT_TRUE(manager.exportObject("target", 4 * KiB,
+                                     std::move(fns)));
+
+    sim::Rng rng(GetParam());
+    std::vector<core::Gate> gates;
+
+    for (int iter = 0; iter < 1200; ++iter) {
+        const unsigned action = (unsigned)rng.below(7);
+        switch (action) {
+          case 0: { // legitimate attach
+            if (gates.size() < 40) {
+                auto g = guest.attach("target", manager);
+                if (g)
+                    gates.push_back(*g);
+            }
+            break;
+          }
+          case 1: { // legitimate detach
+            if (!gates.empty()) {
+                const std::size_t pick = rng.below(gates.size());
+                guest.detach(gates[pick]);
+                gates[pick] = gates.back();
+                gates.pop_back();
+            }
+            break;
+          }
+          case 2: { // call through a random live gate
+            if (!gates.empty()) {
+                auto &g = gates[rng.below(gates.size())];
+                auto result = guest_vm.run(
+                    0, [&] { g.call((unsigned)rng.below(3)); });
+                (void)result; // fn id 1/2 fault; that's fine
+            }
+            break;
+          }
+          case 3: { // raw hypercall with random args from the guest
+            // Detach (0x107) is excluded: a random detach by the
+            // owner is legitimate and would invalidate our tracked
+            // gates by design, not by corruption.
+            cpu::HypercallArgs args;
+            args.nr = 0x100 + rng.below(7);
+            args.arg0 = rng.below(2) ? rng.next() : rng.below(64);
+            args.arg1 = rng.below(2) ? rng.next() : rng.below(64);
+            args.arg2 = rng.below(8192);
+            args.arg3 = rng.below(2) ? rng.next()
+                                     : rng.below(64) * pageSize;
+            auto result = guest_vm.run(0, [&] {
+                guest_vm.vcpu(0).vmcall(args);
+            });
+            (void)result;
+            break;
+          }
+          case 4: { // raw hypercall from the manager
+            cpu::HypercallArgs args;
+            args.nr = 0x100 + rng.below(8);
+            args.arg0 = rng.below(128);
+            args.arg1 = rng.below(64);
+            args.arg2 = rng.below(4096);
+            args.arg3 = rng.below(16) * pageSize;
+            auto result = mgr_vm.run(0, [&] {
+                mgr_vm.vcpu(0).vmcall(args);
+            });
+            (void)result;
+            break;
+          }
+          case 5: { // random VMFUNC attempts
+            auto result = guest_vm.run(0, [&] {
+                guest_vm.vcpu(0).vmfunc(rng.below(2),
+                                        (EptpIndex)rng.below(600));
+            });
+            // A guessed index may legitimately hit one of this
+            // vCPU's OWN granted contexts: the switch succeeds (the
+            // guest merely strands itself, as the isolation tests
+            // show). Walk back home for the next iteration.
+            if (result.ok &&
+                guest_vm.vcpu(0).activeIndex() != 0) {
+                guest_vm.vcpu(0).vmfunc(0, 0);
+            }
+            break;
+          }
+          case 6: { // drain any requests the fuzz enqueued
+            manager.pollRequests();
+            break;
+          }
+        }
+
+        // Invariants after every step:
+        // the export still exists and carries the manager's data...
+        ASSERT_NE(svc.findExport("target"), nullptr);
+        // ...every live gate still works end to end...
+        if (!gates.empty()) {
+            auto &g = gates[rng.below(gates.size())];
+            auto probe = guest_vm.run(0, [&] { g.call(0); });
+            ASSERT_TRUE(probe.ok);
+        }
+        // ...and the guest always lands back in its default context.
+        ASSERT_EQ(guest_vm.vcpu(0).activeIndex(), 0u);
+    }
+
+    // Cleanup path stays consistent: tracked gates detach cleanly,
+    // and revoking the export reaps any attachment the fuzzer's
+    // random-but-valid AttachRequests may have created.
+    for (auto &g : gates)
+        guest.detach(g);
+    EXPECT_TRUE(svc.revokeExport("target"));
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_EQ(svc.exportCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegotiationFuzz,
+                         ::testing::Values(1000u, 2000u, 3000u));
+
+} // namespace
