@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gate.dir/bench/bench_ablation_gate.cc.o"
+  "CMakeFiles/bench_ablation_gate.dir/bench/bench_ablation_gate.cc.o.d"
+  "bench/bench_ablation_gate"
+  "bench/bench_ablation_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

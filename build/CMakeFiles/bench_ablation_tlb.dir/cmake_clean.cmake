@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tlb.dir/bench/bench_ablation_tlb.cc.o"
+  "CMakeFiles/bench_ablation_tlb.dir/bench/bench_ablation_tlb.cc.o.d"
+  "bench/bench_ablation_tlb"
+  "bench/bench_ablation_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

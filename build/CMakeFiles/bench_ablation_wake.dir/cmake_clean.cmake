@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wake.dir/bench/bench_ablation_wake.cc.o"
+  "CMakeFiles/bench_ablation_wake.dir/bench/bench_ablation_wake.cc.o.d"
+  "bench/bench_ablation_wake"
+  "bench/bench_ablation_wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

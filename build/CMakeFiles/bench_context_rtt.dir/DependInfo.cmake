@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_context_rtt.cc" "CMakeFiles/bench_context_rtt.dir/bench/bench_context_rtt.cc.o" "gcc" "CMakeFiles/bench_context_rtt.dir/bench/bench_context_rtt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

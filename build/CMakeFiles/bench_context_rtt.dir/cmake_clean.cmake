@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_rtt.dir/bench/bench_context_rtt.cc.o"
+  "CMakeFiles/bench_context_rtt.dir/bench/bench_context_rtt.cc.o.d"
+  "bench/bench_context_rtt"
+  "bench/bench_context_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kvs_get.dir/bench/bench_kvs_get.cc.o"
+  "CMakeFiles/bench_kvs_get.dir/bench/bench_kvs_get.cc.o.d"
+  "bench/bench_kvs_get"
+  "bench/bench_kvs_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kvs_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kvs_put.dir/bench/bench_kvs_put.cc.o"
+  "CMakeFiles/bench_kvs_put.dir/bench/bench_kvs_put.cc.o.d"
+  "bench/bench_kvs_put"
+  "bench/bench_kvs_put.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kvs_put.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memcached_set.dir/bench/bench_memcached_set.cc.o"
+  "CMakeFiles/bench_memcached_set.dir/bench/bench_memcached_set.cc.o.d"
+  "bench/bench_memcached_set"
+  "bench/bench_memcached_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memcached_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_multivm.dir/bench/bench_net_multivm.cc.o"
+  "CMakeFiles/bench_net_multivm.dir/bench/bench_net_multivm.cc.o.d"
+  "bench/bench_net_multivm"
+  "bench/bench_net_multivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_multivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_rx.dir/bench/bench_net_rx.cc.o"
+  "CMakeFiles/bench_net_rx.dir/bench/bench_net_rx.cc.o.d"
+  "bench/bench_net_rx"
+  "bench/bench_net_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_tx.dir/bench/bench_net_tx.cc.o"
+  "CMakeFiles/bench_net_tx.dir/bench/bench_net_tx.cc.o.d"
+  "bench/bench_net_tx"
+  "bench/bench_net_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

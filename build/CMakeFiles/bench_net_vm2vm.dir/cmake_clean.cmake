@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_vm2vm.dir/bench/bench_net_vm2vm.cc.o"
+  "CMakeFiles/bench_net_vm2vm.dir/bench/bench_net_vm2vm.cc.o.d"
+  "bench/bench_net_vm2vm"
+  "bench/bench_net_vm2vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_vm2vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nf_chain.dir/bench/bench_nf_chain.cc.o"
+  "CMakeFiles/bench_nf_chain.dir/bench/bench_nf_chain.cc.o.d"
+  "bench/bench_nf_chain"
+  "bench/bench_nf_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nf_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

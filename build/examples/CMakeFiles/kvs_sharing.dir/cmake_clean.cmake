@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_sharing.dir/kvs_sharing.cpp.o"
+  "CMakeFiles/kvs_sharing.dir/kvs_sharing.cpp.o.d"
+  "kvs_sharing"
+  "kvs_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_migration.dir/object_migration.cpp.o"
+  "CMakeFiles/object_migration.dir/object_migration.cpp.o.d"
+  "object_migration"
+  "object_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

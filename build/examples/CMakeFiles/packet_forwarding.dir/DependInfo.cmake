@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/packet_forwarding.cpp" "examples/CMakeFiles/packet_forwarding.dir/packet_forwarding.cpp.o" "gcc" "examples/CMakeFiles/packet_forwarding.dir/packet_forwarding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_forwarding.dir/packet_forwarding.cpp.o"
+  "CMakeFiles/packet_forwarding.dir/packet_forwarding.cpp.o.d"
+  "packet_forwarding"
+  "packet_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

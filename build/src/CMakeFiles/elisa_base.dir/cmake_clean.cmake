@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_base.dir/base/logging.cc.o"
+  "CMakeFiles/elisa_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/elisa_base.dir/base/strutil.cc.o"
+  "CMakeFiles/elisa_base.dir/base/strutil.cc.o.d"
+  "CMakeFiles/elisa_base.dir/base/trace.cc.o"
+  "CMakeFiles/elisa_base.dir/base/trace.cc.o.d"
+  "libelisa_base.a"
+  "libelisa_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

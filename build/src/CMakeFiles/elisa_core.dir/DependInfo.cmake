@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elisa/gate.cc" "src/CMakeFiles/elisa_core.dir/elisa/gate.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/gate.cc.o.d"
+  "/root/repo/src/elisa/guest_api.cc" "src/CMakeFiles/elisa_core.dir/elisa/guest_api.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/guest_api.cc.o.d"
+  "/root/repo/src/elisa/manager.cc" "src/CMakeFiles/elisa_core.dir/elisa/manager.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/manager.cc.o.d"
+  "/root/repo/src/elisa/negotiation.cc" "src/CMakeFiles/elisa_core.dir/elisa/negotiation.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/negotiation.cc.o.d"
+  "/root/repo/src/elisa/shm_allocator.cc" "src/CMakeFiles/elisa_core.dir/elisa/shm_allocator.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/shm_allocator.cc.o.d"
+  "/root/repo/src/elisa/sub_context.cc" "src/CMakeFiles/elisa_core.dir/elisa/sub_context.cc.o" "gcc" "src/CMakeFiles/elisa_core.dir/elisa/sub_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_core.dir/elisa/gate.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/gate.cc.o.d"
+  "CMakeFiles/elisa_core.dir/elisa/guest_api.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/guest_api.cc.o.d"
+  "CMakeFiles/elisa_core.dir/elisa/manager.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/manager.cc.o.d"
+  "CMakeFiles/elisa_core.dir/elisa/negotiation.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/negotiation.cc.o.d"
+  "CMakeFiles/elisa_core.dir/elisa/shm_allocator.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/shm_allocator.cc.o.d"
+  "CMakeFiles/elisa_core.dir/elisa/sub_context.cc.o"
+  "CMakeFiles/elisa_core.dir/elisa/sub_context.cc.o.d"
+  "libelisa_core.a"
+  "libelisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

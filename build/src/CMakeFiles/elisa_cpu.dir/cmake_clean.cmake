@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_cpu.dir/cpu/exit.cc.o"
+  "CMakeFiles/elisa_cpu.dir/cpu/exit.cc.o.d"
+  "CMakeFiles/elisa_cpu.dir/cpu/guest_view.cc.o"
+  "CMakeFiles/elisa_cpu.dir/cpu/guest_view.cc.o.d"
+  "CMakeFiles/elisa_cpu.dir/cpu/vcpu.cc.o"
+  "CMakeFiles/elisa_cpu.dir/cpu/vcpu.cc.o.d"
+  "libelisa_cpu.a"
+  "libelisa_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ept/ept.cc" "src/CMakeFiles/elisa_ept.dir/ept/ept.cc.o" "gcc" "src/CMakeFiles/elisa_ept.dir/ept/ept.cc.o.d"
+  "/root/repo/src/ept/ept_entry.cc" "src/CMakeFiles/elisa_ept.dir/ept/ept_entry.cc.o" "gcc" "src/CMakeFiles/elisa_ept.dir/ept/ept_entry.cc.o.d"
+  "/root/repo/src/ept/eptp_list.cc" "src/CMakeFiles/elisa_ept.dir/ept/eptp_list.cc.o" "gcc" "src/CMakeFiles/elisa_ept.dir/ept/eptp_list.cc.o.d"
+  "/root/repo/src/ept/tlb.cc" "src/CMakeFiles/elisa_ept.dir/ept/tlb.cc.o" "gcc" "src/CMakeFiles/elisa_ept.dir/ept/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

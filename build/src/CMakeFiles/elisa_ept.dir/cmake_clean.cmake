@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_ept.dir/ept/ept.cc.o"
+  "CMakeFiles/elisa_ept.dir/ept/ept.cc.o.d"
+  "CMakeFiles/elisa_ept.dir/ept/ept_entry.cc.o"
+  "CMakeFiles/elisa_ept.dir/ept/ept_entry.cc.o.d"
+  "CMakeFiles/elisa_ept.dir/ept/eptp_list.cc.o"
+  "CMakeFiles/elisa_ept.dir/ept/eptp_list.cc.o.d"
+  "CMakeFiles/elisa_ept.dir/ept/tlb.cc.o"
+  "CMakeFiles/elisa_ept.dir/ept/tlb.cc.o.d"
+  "libelisa_ept.a"
+  "libelisa_ept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_ept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_guest.dir/guest/address_space.cc.o"
+  "CMakeFiles/elisa_guest.dir/guest/address_space.cc.o.d"
+  "CMakeFiles/elisa_guest.dir/guest/page_table.cc.o"
+  "CMakeFiles/elisa_guest.dir/guest/page_table.cc.o.d"
+  "libelisa_guest.a"
+  "libelisa_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

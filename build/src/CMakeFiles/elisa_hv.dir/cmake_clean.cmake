@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_hv.dir/hv/hypervisor.cc.o"
+  "CMakeFiles/elisa_hv.dir/hv/hypervisor.cc.o.d"
+  "CMakeFiles/elisa_hv.dir/hv/ivshmem.cc.o"
+  "CMakeFiles/elisa_hv.dir/hv/ivshmem.cc.o.d"
+  "CMakeFiles/elisa_hv.dir/hv/vm.cc.o"
+  "CMakeFiles/elisa_hv.dir/hv/vm.cc.o.d"
+  "libelisa_hv.a"
+  "libelisa_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

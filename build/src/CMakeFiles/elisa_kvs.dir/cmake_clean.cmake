@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_kvs.dir/kvs/clients.cc.o"
+  "CMakeFiles/elisa_kvs.dir/kvs/clients.cc.o.d"
+  "CMakeFiles/elisa_kvs.dir/kvs/shm_kvs.cc.o"
+  "CMakeFiles/elisa_kvs.dir/kvs/shm_kvs.cc.o.d"
+  "CMakeFiles/elisa_kvs.dir/kvs/workload.cc.o"
+  "CMakeFiles/elisa_kvs.dir/kvs/workload.cc.o.d"
+  "libelisa_kvs.a"
+  "libelisa_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelisa_kvs.a"
+)

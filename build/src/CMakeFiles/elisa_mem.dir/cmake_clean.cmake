@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_mem.dir/mem/frame_allocator.cc.o"
+  "CMakeFiles/elisa_mem.dir/mem/frame_allocator.cc.o.d"
+  "CMakeFiles/elisa_mem.dir/mem/host_memory.cc.o"
+  "CMakeFiles/elisa_mem.dir/mem/host_memory.cc.o.d"
+  "libelisa_mem.a"
+  "libelisa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_memcached.dir/memcached/loadgen.cc.o"
+  "CMakeFiles/elisa_memcached.dir/memcached/loadgen.cc.o.d"
+  "CMakeFiles/elisa_memcached.dir/memcached/server.cc.o"
+  "CMakeFiles/elisa_memcached.dir/memcached/server.cc.o.d"
+  "libelisa_memcached.a"
+  "libelisa_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

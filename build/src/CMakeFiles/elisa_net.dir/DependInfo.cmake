@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/desc_ring.cc" "src/CMakeFiles/elisa_net.dir/net/desc_ring.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/desc_ring.cc.o.d"
+  "/root/repo/src/net/nf.cc" "src/CMakeFiles/elisa_net.dir/net/nf.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/nf.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/elisa_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/paths.cc" "src/CMakeFiles/elisa_net.dir/net/paths.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/paths.cc.o.d"
+  "/root/repo/src/net/phys_nic.cc" "src/CMakeFiles/elisa_net.dir/net/phys_nic.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/phys_nic.cc.o.d"
+  "/root/repo/src/net/workloads.cc" "src/CMakeFiles/elisa_net.dir/net/workloads.cc.o" "gcc" "src/CMakeFiles/elisa_net.dir/net/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_net.dir/net/desc_ring.cc.o"
+  "CMakeFiles/elisa_net.dir/net/desc_ring.cc.o.d"
+  "CMakeFiles/elisa_net.dir/net/nf.cc.o"
+  "CMakeFiles/elisa_net.dir/net/nf.cc.o.d"
+  "CMakeFiles/elisa_net.dir/net/packet.cc.o"
+  "CMakeFiles/elisa_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/elisa_net.dir/net/paths.cc.o"
+  "CMakeFiles/elisa_net.dir/net/paths.cc.o.d"
+  "CMakeFiles/elisa_net.dir/net/phys_nic.cc.o"
+  "CMakeFiles/elisa_net.dir/net/phys_nic.cc.o.d"
+  "CMakeFiles/elisa_net.dir/net/workloads.cc.o"
+  "CMakeFiles/elisa_net.dir/net/workloads.cc.o.d"
+  "libelisa_net.a"
+  "libelisa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

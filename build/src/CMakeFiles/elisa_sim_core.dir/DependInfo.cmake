@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/histogram.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/histogram.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/histogram.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/elisa_sim_core.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/elisa_sim_core.dir/sim/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

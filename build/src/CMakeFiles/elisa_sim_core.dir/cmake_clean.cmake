@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elisa_sim_core.dir/sim/clock.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/clock.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/cost_model.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/engine.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/engine.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/histogram.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/histogram.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/resource.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/resource.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/rng.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/rng.cc.o.d"
+  "CMakeFiles/elisa_sim_core.dir/sim/stats.cc.o"
+  "CMakeFiles/elisa_sim_core.dir/sim/stats.cc.o.d"
+  "libelisa_sim_core.a"
+  "libelisa_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elisa_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

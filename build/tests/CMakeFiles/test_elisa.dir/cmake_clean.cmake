@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elisa.dir/test_elisa.cc.o"
+  "CMakeFiles/test_elisa.dir/test_elisa.cc.o.d"
+  "test_elisa"
+  "test_elisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

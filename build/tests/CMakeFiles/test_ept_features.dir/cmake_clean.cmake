@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ept_features.dir/test_ept_features.cc.o"
+  "CMakeFiles/test_ept_features.dir/test_ept_features.cc.o.d"
+  "test_ept_features"
+  "test_ept_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ept_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

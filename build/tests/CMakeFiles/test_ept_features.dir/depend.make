@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ept_features.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv.dir/test_hv.cc.o"
+  "CMakeFiles/test_hv.dir/test_hv.cc.o.d"
+  "test_hv"
+  "test_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvs.dir/test_kvs.cc.o"
+  "CMakeFiles/test_kvs.dir/test_kvs.cc.o.d"
+  "test_kvs"
+  "test_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

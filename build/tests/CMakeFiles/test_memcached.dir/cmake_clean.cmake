@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memcached.dir/test_memcached.cc.o"
+  "CMakeFiles/test_memcached.dir/test_memcached.cc.o.d"
+  "test_memcached"
+  "test_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

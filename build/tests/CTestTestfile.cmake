@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_base "/root/repo/build/tests/test_base")
+set_tests_properties(test_base PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build/tests/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ept "/root/repo/build/tests/test_ept")
+set_tests_properties(test_ept PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ept_features "/root/repo/build/tests/test_ept_features")
+set_tests_properties(test_ept_features PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cpu "/root/repo/build/tests/test_cpu")
+set_tests_properties(test_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hv "/root/repo/build/tests/test_hv")
+set_tests_properties(test_hv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_elisa "/root/repo/build/tests/test_elisa")
+set_tests_properties(test_elisa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isolation "/root/repo/build/tests/test_isolation")
+set_tests_properties(test_isolation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kvs "/root/repo/build/tests/test_kvs")
+set_tests_properties(test_kvs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memcached "/root/repo/build/tests/test_memcached")
+set_tests_properties(test_memcached PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_props "/root/repo/build/tests/test_props")
+set_tests_properties(test_props PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_guest "/root/repo/build/tests/test_guest")
+set_tests_properties(test_guest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;elisa_add_test;/root/repo/tests/CMakeLists.txt;0;")
