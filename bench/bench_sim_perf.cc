@@ -116,6 +116,83 @@ BM_GuestBulkCopy4K(benchmark::State &state)
 }
 BENCHMARK(BM_GuestBulkCopy4K);
 
+/** Raw 8-byte read/write pair on one hot page (the L0 fast path). */
+void
+BM_GuestReadWrite(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::GuestView view(m.guestVm.vcpu(0));
+    view.write<std::uint64_t>(0x2000, 1);
+    for (auto _ : state) {
+        auto v = view.read<std::uint64_t>(0x2000);
+        view.write<std::uint64_t>(0x2000, v + 1);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_GuestReadWrite);
+
+/**
+ * Stride over more distinct pages than the direct-mapped Tlb has
+ * slots, so every access misses both the L0 line and the shared Tlb
+ * and pays the full simulated walk.
+ */
+void
+BM_TlbMissAccess(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::GuestView view(m.guestVm.vcpu(0));
+    // 2048 pages (8 MiB of the 64 MiB guest) > the 1024-entry Tlb.
+    constexpr std::uint64_t pages = 2048;
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        auto v = view.read<std::uint64_t>(0x100000 + page * pageSize);
+        benchmark::DoNotOptimize(v);
+        page = (page + 1) % pages;
+    }
+}
+BENCHMARK(BM_TlbMissAccess);
+
+/** Guest-to-guest 4 KiB copy (frame-to-frame, no bounce). */
+void
+BM_GuestCopyBytes4K(benchmark::State &state)
+{
+    Machine &m = machine();
+    cpu::GuestView view(m.guestVm.vcpu(0));
+    std::vector<std::uint8_t> buf(4096, 0xcd);
+    view.writeBytes(0x20000, buf.data(), buf.size());
+    for (auto _ : state) {
+        view.copyBytes(0x30000, 0x20000, 4096);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_GuestCopyBytes4K);
+
+/** Interned-id counter increment (the hot-path idiom). */
+void
+BM_StatIncInterned(benchmark::State &state)
+{
+    sim::StatSet stats;
+    const sim::StatId id = stats.id("bench_counter");
+    for (auto _ : state) {
+        stats.inc(id);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StatIncInterned);
+
+/** String-keyed counter increment (the legacy slow path, for scale). */
+void
+BM_StatIncString(benchmark::State &state)
+{
+    sim::StatSet stats;
+    stats.id("bench_counter");
+    for (auto _ : state) {
+        stats.inc("bench_counter");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_StatIncString);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -228,19 +228,22 @@ CMakeFiles/bench_context_rtt.dir/bench/bench_context_rtt.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/base/types.hh \
- /root/repo/src/cpu/guest_view.hh /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/cpu/exit.hh \
+ /root/repo/src/cpu/guest_view.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/cpu/exit.hh \
  /root/repo/src/ept/ept.hh /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ept/ept_entry.hh \
  /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
  /root/repo/src/cpu/vcpu.hh /root/repo/src/ept/eptp_list.hh \
- /root/repo/src/ept/tlb.hh /root/repo/src/sim/clock.hh \
- /root/repo/src/sim/cost_model.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/ept/tlb.hh /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/elisa/negotiation.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/elisa/sub_context.hh /root/repo/src/hv/hypervisor.hh \
- /root/repo/src/hv/hypercall.hh /root/repo/src/hv/vm.hh \
- /root/repo/src/elisa/manager.hh
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/elisa/negotiation.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/elisa/sub_context.hh \
+ /root/repo/src/hv/hypervisor.hh /root/repo/src/hv/hypercall.hh \
+ /root/repo/src/hv/vm.hh /root/repo/src/elisa/manager.hh

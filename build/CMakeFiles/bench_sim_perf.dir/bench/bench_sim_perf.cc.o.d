@@ -185,12 +185,6 @@ CMakeFiles/bench_sim_perf.dir/bench/bench_sim_perf.cc.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/base/units.hh /root/repo/src/cpu/guest_view.hh \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/types.hh /root/repo/src/cpu/exit.hh \
- /root/repo/src/ept/ept.hh /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/ept/ept_entry.hh /root/repo/src/mem/frame_allocator.hh \
- /root/repo/src/mem/host_memory.hh /root/repo/src/base/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/cpu/vcpu.hh \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -220,9 +214,16 @@ CMakeFiles/bench_sim_perf.dir/bench/bench_sim_perf.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/base/types.hh \
+ /root/repo/src/cpu/exit.hh /root/repo/src/ept/ept.hh \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/ept/ept_entry.hh /root/repo/src/mem/frame_allocator.hh \
+ /root/repo/src/mem/host_memory.hh /root/repo/src/base/logging.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/cpu/vcpu.hh \
  /root/repo/src/ept/eptp_list.hh /root/repo/src/ept/tlb.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
- /root/repo/src/sim/stats.hh /root/repo/src/elisa/gate.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/elisa/gate.hh \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/elisa/abi.hh /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

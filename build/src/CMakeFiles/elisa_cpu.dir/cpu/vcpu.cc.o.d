@@ -205,12 +205,12 @@ src/CMakeFiles/elisa_cpu.dir/cpu/vcpu.cc.o: /root/repo/src/cpu/vcpu.cc \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/ept/tlb.hh /root/repo/src/ept/ept_entry.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
  /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/cpu/exit.hh \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/cpu/exit.hh \
  /root/repo/src/ept/ept.hh /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

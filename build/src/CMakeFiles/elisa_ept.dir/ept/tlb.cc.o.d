@@ -128,6 +128,14 @@ src/CMakeFiles/elisa_ept.dir/ept/tlb.cc.o: /root/repo/src/ept/tlb.cc \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/base/bitops.hh \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/base/bitops.hh \
  /usr/include/c++/12/bit /root/repo/src/base/logging.hh \
  /usr/include/c++/12/cstdarg

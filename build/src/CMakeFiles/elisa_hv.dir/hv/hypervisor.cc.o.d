@@ -204,17 +204,19 @@ src/CMakeFiles/elisa_hv.dir/hv/hypervisor.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/types.hh \
- /usr/include/c++/12/cstddef /root/repo/src/cpu/vcpu.hh \
- /root/repo/src/ept/eptp_list.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/cstddef /root/repo/src/cpu/exit.hh \
+ /root/repo/src/ept/ept.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/ept/ept_entry.hh /root/repo/src/mem/frame_allocator.hh \
+ /root/repo/src/mem/host_memory.hh /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/ept/tlb.hh /root/repo/src/ept/ept_entry.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
- /root/repo/src/hv/hypercall.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/cpu/vcpu.hh /root/repo/src/ept/eptp_list.hh \
+ /root/repo/src/ept/tlb.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/limits /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/hv/hypercall.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -222,6 +224,8 @@ src/CMakeFiles/elisa_hv.dir/hv/hypervisor.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/hv/vm.hh \
- /root/repo/src/cpu/exit.hh /root/repo/src/ept/ept.hh \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/cpu/guest_view.hh /root/repo/src/base/trace.hh
+ /root/repo/src/cpu/guest_view.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/base/trace.hh

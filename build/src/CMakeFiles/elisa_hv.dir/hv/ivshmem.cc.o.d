@@ -216,12 +216,16 @@ src/CMakeFiles/elisa_hv.dir/hv/ivshmem.cc.o: /root/repo/src/hv/ivshmem.cc \
  /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/cpu/guest_view.hh /root/repo/src/cpu/vcpu.hh \
+ /root/repo/src/cpu/guest_view.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/cpu/vcpu.hh \
  /root/repo/src/ept/eptp_list.hh /root/repo/src/ept/tlb.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
  /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hv/hypervisor.hh \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/hv/hypervisor.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/hv/hypercall.hh

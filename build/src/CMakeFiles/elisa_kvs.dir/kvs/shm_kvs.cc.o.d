@@ -127,18 +127,18 @@ src/CMakeFiles/elisa_kvs.dir/kvs/shm_kvs.cc.o: \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/net/desc_ring.hh /root/repo/src/base/types.hh \
  /usr/include/c++/12/cstddef /root/repo/src/cpu/guest_view.hh \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/cpu/exit.hh /usr/include/c++/12/stdexcept \
- /root/repo/src/ept/ept.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ept/ept_entry.hh \
- /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
- /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/cpu/vcpu.hh /usr/include/c++/12/memory \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -164,7 +164,8 @@ src/CMakeFiles/elisa_kvs.dir/kvs/shm_kvs.cc.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
+ /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -205,15 +206,22 @@ src/CMakeFiles/elisa_kvs.dir/kvs/shm_kvs.cc.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/ept/eptp_list.hh /root/repo/src/ept/tlb.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/cpu/exit.hh \
+ /root/repo/src/ept/ept.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/ept/ept_entry.hh \
+ /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
+ /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/cpu/vcpu.hh /root/repo/src/ept/eptp_list.hh \
+ /root/repo/src/ept/tlb.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/net/packet.hh
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/net/packet.hh

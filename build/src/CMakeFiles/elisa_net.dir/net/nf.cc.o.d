@@ -204,13 +204,21 @@ src/CMakeFiles/elisa_net.dir/net/nf.cc.o: /root/repo/src/net/nf.cc \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/ept/tlb.hh /root/repo/src/ept/ept_entry.hh \
- /root/repo/src/sim/clock.hh /root/repo/src/sim/cost_model.hh \
  /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/net/desc_ring.hh \
- /root/repo/src/cpu/guest_view.hh /root/repo/src/cpu/exit.hh \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/clock.hh \
+ /root/repo/src/sim/cost_model.hh /root/repo/src/net/desc_ring.hh \
+ /root/repo/src/cpu/guest_view.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/base/bitops.hh /root/repo/src/cpu/exit.hh \
  /root/repo/src/ept/ept.hh /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/packet.hh

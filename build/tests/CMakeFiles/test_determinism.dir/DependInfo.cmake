@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elisa_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elisa_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

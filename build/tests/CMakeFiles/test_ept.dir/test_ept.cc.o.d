@@ -297,4 +297,5 @@ tests/CMakeFiles/test_ept.dir/test_ept.cc.o: /root/repo/tests/test_ept.cc \
  /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/host_memory.hh \
  /usr/include/c++/12/cstring /root/repo/src/base/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/ept/eptp_list.hh \
- /root/repo/src/ept/tlb.hh /root/repo/src/sim/rng.hh
+ /root/repo/src/ept/tlb.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/rng.hh

@@ -36,6 +36,10 @@ enum class ExitReason : std::uint8_t
     Hlt,
 };
 
+/** Number of ExitReason values (for per-reason counter tables). */
+inline constexpr unsigned exitReasonCount =
+    static_cast<unsigned>(ExitReason::Hlt) + 1;
+
 /** Render an exit reason. */
 const char *exitReasonToString(ExitReason reason);
 

@@ -1,6 +1,7 @@
 #include "cpu/guest_view.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "base/bitops.hh"
 #include "base/logging.hh"
@@ -8,11 +9,57 @@
 namespace elisa::cpu
 {
 
+namespace
+{
+
+/**
+ * Copy a small run without libc memcpy: the compiler expands a
+ * dynamic-length memcpy into `rep movs`, whose startup cost dwarfs the
+ * 8..64-byte descriptor/spill copies that dominate the access path.
+ */
+inline void
+copySmall(std::uint8_t *dst, const std::uint8_t *src, std::uint64_t len)
+{
+    while (len >= 8) {
+        std::uint64_t w;
+        std::memcpy(&w, src, 8);
+        std::memcpy(dst, &w, 8);
+        src += 8;
+        dst += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        *dst++ = *src++;
+        --len;
+    }
+}
+
+/** Largest length routed through copySmall(); beyond this the real
+ *  memcpy's startup amortizes. */
+constexpr std::uint64_t smallCopyMax = 64;
+
+} // anonymous namespace
+
 Hpa
 GuestView::translateChunk(Gpa gpa, std::uint64_t len, ept::Access access)
 {
     const std::uint64_t eptp = cpu.activeEptp();
     panic_if(eptp == 0, "guest access before EPT activation");
+
+    ept::Tlb &tlb = cpu.tlb();
+    const Gpa page = pageAlignDown(gpa);
+
+    // L0 fast path: the line was filled after a successful permission
+    // check for this access kind, and no fill / flush / EPTP switch
+    // has happened since (epoch), so the shared Tlb would return the
+    // same translation and charge the same time (one hit, no walk).
+    L0Entry &line = l0[static_cast<unsigned>(access)];
+    if (line.eptp == eptp && line.gpaPage == page &&
+        line.epoch == tlb.epoch()) {
+        cpu.stats().inc(cpu.statIds().l0Hit);
+        chargeAccess(len);
+        return line.hpaPage | (gpa & pageMask);
+    }
 
     const auto &cost = cpu.costModel();
     ept::Perms need = ept::Perms::Read;
@@ -29,29 +76,25 @@ GuestView::translateChunk(Gpa gpa, std::uint64_t len, ept::Access access)
     }
 
     const bool is_write = access == ept::Access::Write;
-    auto cached = cpu.tlb().lookup(eptp, gpa);
+    auto cached = tlb.lookup(eptp, gpa);
     if (!cached) {
         cached = ept::hardwareWalkAd(cpu.memory(), eptp, gpa, is_write);
         if (charging)
-            cpu.clock().advance(cost.eptWalkNs);
-        cpu.stats().inc("ept_walk");
+            pendingNs += cost.eptWalkNs;
+        cpu.stats().inc(cpu.statIds().eptWalk);
         if (cached)
-            cpu.tlb().fill(eptp, gpa, *cached, is_write);
-    } else if (is_write && !cpu.tlb().dirtyKnown(eptp, gpa)) {
+            tlb.fill(eptp, gpa, *cached, is_write);
+    } else if (is_write && !tlb.dirtyKnown(eptp, gpa)) {
         // First write through a read-filled entry: the hardware
         // re-walks to set the leaf's dirty flag.
         ept::hardwareWalkAd(cpu.memory(), eptp, gpa, true);
-        cpu.tlb().setDirtyKnown(eptp, gpa);
+        tlb.setDirtyKnown(eptp, gpa);
         if (charging)
-            cpu.clock().advance(cost.eptWalkNs);
-        cpu.stats().inc("ept_ad_update");
+            pendingNs += cost.eptWalkNs;
+        cpu.stats().inc(cpu.statIds().eptAdUpdate);
     }
     // Charge the access itself (per 8-byte beat).
-    if (charging) {
-        cpu.clock().advance(
-            cost.memAccessNs *
-            divCeil(std::max<std::uint64_t>(len, 1), 8));
-    }
+    chargeAccess(len);
 
     if (!cached || !ept::permits(cached->perms, need)) {
         ept::EptViolation violation;
@@ -60,16 +103,26 @@ GuestView::translateChunk(Gpa gpa, std::uint64_t len, ept::Access access)
         violation.present =
             cached ? cached->perms : ept::Perms::None;
         violation.notMapped = !cached.has_value();
-        cpu.stats().inc("ept_violation");
+        cpu.stats().inc(cpu.statIds().eptViolation);
+        // The faulting access was charged (walk + beats), exactly as
+        // before batching: settle the clock before unwinding.
+        flushTime();
         throw VmExitEvent(violation);
     }
+
+    line.eptp = eptp;
+    line.epoch = tlb.epoch();
+    line.gpaPage = page;
+    line.hpaPage = pageAlignDown(cached->hpa);
     return cached->hpa;
 }
 
 Hpa
 GuestView::translate(Gpa gpa, ept::Access access)
 {
-    return translateChunk(gpa, 1, access);
+    const Hpa hpa = translateChunk(gpa, 1, access);
+    flushTime();
+    return hpa;
 }
 
 void
@@ -80,11 +133,15 @@ GuestView::readBytes(Gpa gpa, void *dst, std::uint64_t len)
         const std::uint64_t in_page =
             std::min<std::uint64_t>(len, pageSize - (gpa & pageMask));
         const Hpa hpa = translateChunk(gpa, in_page, ept::Access::Read);
-        cpu.memory().read(hpa, out, in_page);
+        if (in_page <= smallCopyMax)
+            copySmall(out, cpu.memory().raw(hpa, in_page), in_page);
+        else
+            cpu.memory().read(hpa, out, in_page);
         gpa += in_page;
         out += in_page;
         len -= in_page;
     }
+    flushTime();
 }
 
 void
@@ -95,11 +152,15 @@ GuestView::writeBytes(Gpa gpa, const void *src, std::uint64_t len)
         const std::uint64_t in_page =
             std::min<std::uint64_t>(len, pageSize - (gpa & pageMask));
         const Hpa hpa = translateChunk(gpa, in_page, ept::Access::Write);
-        cpu.memory().write(hpa, in, in_page);
+        if (in_page <= smallCopyMax)
+            copySmall(cpu.memory().raw(hpa, in_page), in, in_page);
+        else
+            cpu.memory().write(hpa, in, in_page);
         gpa += in_page;
         in += in_page;
         len -= in_page;
     }
+    flushTime();
 }
 
 void
@@ -113,29 +174,109 @@ GuestView::zeroBytes(Gpa gpa, std::uint64_t len)
         gpa += in_page;
         len -= in_page;
     }
+    flushTime();
 }
 
 void
 GuestView::copyBytes(Gpa dst, Gpa src, std::uint64_t len)
 {
-    // Page-chunked copy through a bounce buffer: the two ranges may be
-    // mapped to unrelated host frames.
-    std::uint8_t bounce[pageSize];
+    // Page-chunked copy. Translation order per chunk is the same as
+    // the historical read-to-bounce-then-write implementation (all
+    // source pieces, then all destination pieces), so charged time and
+    // fault order are identical; the data movement is frame-to-frame
+    // unless the chunk's host ranges overlap, in which case a bounce
+    // buffer preserves the "snapshot source chunk first" semantics.
+    struct Piece
+    {
+        Hpa hpa;
+        std::uint64_t len;
+    };
     while (len > 0) {
         const std::uint64_t chunk =
             std::min<std::uint64_t>(len, pageSize);
-        readBytes(src, bounce, chunk);
-        writeBytes(dst, bounce, chunk);
+
+        // A <= 4 KiB chunk spans at most two pages on either side.
+        Piece src_p[2];
+        unsigned src_n = 0;
+        for (std::uint64_t done = 0; done < chunk;) {
+            const Gpa g = src + done;
+            const std::uint64_t in_page = std::min<std::uint64_t>(
+                chunk - done, pageSize - (g & pageMask));
+            src_p[src_n++] =
+                {translateChunk(g, in_page, ept::Access::Read), in_page};
+            done += in_page;
+        }
+        Piece dst_p[2];
+        unsigned dst_n = 0;
+        for (std::uint64_t done = 0; done < chunk;) {
+            const Gpa g = dst + done;
+            const std::uint64_t in_page = std::min<std::uint64_t>(
+                chunk - done, pageSize - (g & pageMask));
+            dst_p[dst_n++] =
+                {translateChunk(g, in_page, ept::Access::Write), in_page};
+            done += in_page;
+        }
+
+        bool overlap = false;
+        for (unsigned i = 0; i < src_n && !overlap; ++i) {
+            for (unsigned j = 0; j < dst_n; ++j) {
+                if (src_p[i].hpa < dst_p[j].hpa + dst_p[j].len &&
+                    dst_p[j].hpa < src_p[i].hpa + src_p[i].len) {
+                    overlap = true;
+                    break;
+                }
+            }
+        }
+
+        mem::HostMemory &memory = cpu.memory();
+        if (overlap) {
+            if (!bounceBuf)
+                bounceBuf = std::make_unique<std::uint8_t[]>(pageSize);
+            std::uint8_t *bp = bounceBuf.get();
+            for (unsigned i = 0; i < src_n; ++i) {
+                memory.read(src_p[i].hpa, bp, src_p[i].len);
+                bp += src_p[i].len;
+            }
+            const std::uint8_t *rp = bounceBuf.get();
+            for (unsigned j = 0; j < dst_n; ++j) {
+                memory.write(dst_p[j].hpa, rp, dst_p[j].len);
+                rp += dst_p[j].len;
+            }
+        } else {
+            // Walk both piece lists in step, copying the overlap of
+            // the current source and destination pieces directly.
+            unsigned i = 0, j = 0;
+            std::uint64_t si = 0, dj = 0;
+            while (i < src_n && j < dst_n) {
+                const std::uint64_t n = std::min(src_p[i].len - si,
+                                                 dst_p[j].len - dj);
+                std::memcpy(memory.raw(dst_p[j].hpa + dj, n),
+                            memory.raw(src_p[i].hpa + si, n), n);
+                si += n;
+                dj += n;
+                if (si == src_p[i].len) {
+                    ++i;
+                    si = 0;
+                }
+                if (dj == dst_p[j].len) {
+                    ++j;
+                    dj = 0;
+                }
+            }
+        }
+
         src += chunk;
         dst += chunk;
         len -= chunk;
     }
+    flushTime();
 }
 
 void
 GuestView::fetchCheck(Gpa gpa)
 {
     translateChunk(gpa, 8, ept::Access::Exec);
+    flushTime();
 }
 
 std::string

@@ -10,16 +10,38 @@
  * This is what makes the simulation honest: ELISA isolation is not a
  * claim, it is enforced on the access path — a guest holding a pointer
  * into another context's memory simply faults.
+ *
+ * Host-side performance: two mechanisms keep the access path cheap
+ * without changing any simulated-time result (see EXPERIMENTS.md,
+ * "Host-side performance budget"):
+ *
+ *  - An *L0 micro-cache*: the last translated page per access kind is
+ *    remembered privately, stamped with the shared ept::Tlb's epoch.
+ *    A repeat hit skips the Tlb hash entirely. Any event after which
+ *    the remembered translation might diverge from what a Tlb lookup
+ *    would return — a Tlb fill (possible eviction), an INVEPT flush,
+ *    an EPTP switch — bumps the epoch and kills the L0 entry, so
+ *    isolation revocations are never outlived. An L0 hit charges
+ *    exactly what the Tlb-hit path would have (memAccessNs per beat).
+ *
+ *  - *Batched time charging*: per-chunk memAccessNs/eptWalkNs charges
+ *    accumulate in a local counter and are flushed to the SimClock at
+ *    the end of each public operation (and before any VmExitEvent
+ *    propagates), so final timestamps are bit-identical to per-access
+ *    charging while the hot loop touches the clock once.
  */
 
 #ifndef ELISA_CPU_GUEST_VIEW_HH
 #define ELISA_CPU_GUEST_VIEW_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <type_traits>
 
+#include "base/bitops.hh"
 #include "base/types.hh"
 #include "cpu/exit.hh"
 #include "cpu/vcpu.hh"
@@ -46,6 +68,9 @@ class GuestView
         : cpu(vcpu), charging(charge_time)
     {
     }
+
+    GuestView(const GuestView &) = delete;
+    GuestView &operator=(const GuestView &) = delete;
 
     /**
      * Translate @p gpa for @p access (TLB + walk + permission check),
@@ -83,7 +108,14 @@ class GuestView
     /** Zero @p len bytes of guest memory. */
     void zeroBytes(Gpa gpa, std::uint64_t len);
 
-    /** Copy @p len bytes guest-to-guest within this view. */
+    /**
+     * Copy @p len bytes guest-to-guest within this view.
+     *
+     * Semantics are those of a page-chunked bounce copy (read up to
+     * 4 KiB, then write it), which the implementation preserves while
+     * copying frame-to-frame when the resolved host ranges do not
+     * overlap within a chunk.
+     */
     void copyBytes(Gpa dst, Gpa src, std::uint64_t len);
 
     /**
@@ -100,11 +132,47 @@ class GuestView
     Vcpu &vcpu() { return cpu; }
 
   private:
+    /**
+     * One L0 line: the last successful translation for one access
+     * kind. Valid iff eptp matches the active EPTP and epoch matches
+     * the Tlb's current epoch (eptp == 0 means never filled).
+     */
+    struct L0Entry
+    {
+        std::uint64_t eptp = 0;
+        std::uint64_t epoch = 0;
+        Gpa gpaPage = 0;
+        Hpa hpaPage = 0;
+    };
+
     /** Translate one page-bounded chunk and charge access time. */
     Hpa translateChunk(Gpa gpa, std::uint64_t len, ept::Access access);
 
+    /** Accumulate the per-beat cost of one chunk access. */
+    void
+    chargeAccess(std::uint64_t len)
+    {
+        if (charging) {
+            pendingNs += cpu.costModel().memAccessNs *
+                         divCeil(std::max<std::uint64_t>(len, 1), 8);
+        }
+    }
+
+    /** Push accumulated charges to the vcpu clock. */
+    void
+    flushTime()
+    {
+        if (pendingNs != 0) {
+            cpu.clock().advance(pendingNs);
+            pendingNs = 0;
+        }
+    }
+
     Vcpu &cpu;
     bool charging;
+    SimNs pendingNs = 0;
+    L0Entry l0[3]; ///< indexed by ept::Access
+    std::unique_ptr<std::uint8_t[]> bounceBuf; ///< lazily, copyBytes only
 };
 
 } // namespace elisa::cpu

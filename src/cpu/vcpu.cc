@@ -14,6 +14,16 @@ Vcpu::Vcpu(VcpuId id, VmId owner, mem::HostMemory &memory,
       list(std::make_unique<ept::EptpList>(memory, allocator))
 {
     panic_if(sink == nullptr, "vcpu needs a hypercall sink");
+
+    hotIds.vmfunc = statSet.id("vmfunc");
+    hotIds.vmfuncFail = statSet.id("vmfunc_fail");
+    hotIds.vmcall = statSet.id("vmcall");
+    hotIds.cpuid = statSet.id("cpuid");
+    hotIds.eptWalk = statSet.id("ept_walk");
+    hotIds.eptAdUpdate = statSet.id("ept_ad_update");
+    hotIds.eptViolation = statSet.id("ept_violation");
+    hotIds.l0Hit = statSet.id("l0_hit");
+    translationCache.attachStats(statSet);
 }
 
 void
@@ -23,6 +33,7 @@ Vcpu::activateEptp(EptpIndex index)
     panic_if(!eptp, "activating invalid EPTP list entry %u", index);
     currentEptp = *eptp;
     currentIndex = index;
+    translationCache.bumpEpoch();
 }
 
 void
@@ -31,25 +42,26 @@ Vcpu::vmfunc(std::uint64_t leaf, EptpIndex index)
     // The switch attempt itself consumes the instruction's time before
     // any fault is raised.
     simClock.advance(cost.vmfuncNs);
-    statSet.inc("vmfunc");
+    statSet.inc(hotIds.vmfunc);
 
     if (leaf != 0) {
-        statSet.inc("vmfunc_fail");
+        statSet.inc(hotIds.vmfuncFail);
         throw VmExitEvent(ExitReason::VmfuncFail, leaf);
     }
     auto eptp = list->lookup(index);
     if (!eptp) {
-        statSet.inc("vmfunc_fail");
+        statSet.inc(hotIds.vmfuncFail);
         throw VmExitEvent(ExitReason::VmfuncFail, index);
     }
     currentEptp = *eptp;
     currentIndex = index;
+    translationCache.bumpEpoch();
 }
 
 std::uint64_t
 Vcpu::vmcall(const HypercallArgs &args)
 {
-    statSet.inc("vmcall");
+    statSet.inc(hotIds.vmcall);
     simClock.advance(cost.vmexitNs);
     simClock.advance(cost.hypercallDispatchNs);
     const std::uint64_t rax = hypercallSink->handleHypercall(*this, args);
@@ -60,7 +72,7 @@ Vcpu::vmcall(const HypercallArgs &args)
 std::uint64_t
 Vcpu::cpuid(std::uint64_t leaf)
 {
-    statSet.inc("cpuid");
+    statSet.inc(hotIds.cpuid);
     simClock.advance(cost.cpuidRttNs());
     // Canned vendor response; the value is irrelevant to the model.
     return 0x656c6973ull ^ leaf;

@@ -45,6 +45,23 @@ struct HypercallArgs
 class Vcpu;
 
 /**
+ * Interned StatIds of the per-vCPU hot-path counters, resolved once at
+ * Vcpu construction so per-access/per-call code never performs a
+ * string lookup (see sim::StatSet).
+ */
+struct HotStatIds
+{
+    sim::StatId vmfunc;
+    sim::StatId vmfuncFail;
+    sim::StatId vmcall;
+    sim::StatId cpuid;
+    sim::StatId eptWalk;
+    sim::StatId eptAdUpdate;
+    sim::StatId eptViolation;
+    sim::StatId l0Hit;
+};
+
+/**
  * Interface the hypervisor implements to receive VMCALL exits.
  */
 class HypercallSink
@@ -102,6 +119,9 @@ class Vcpu
     /** Per-vcpu event counters. */
     sim::StatSet &stats() { return statSet; }
 
+    /** Pre-resolved StatIds for this vcpu's hot-path counters. */
+    const HotStatIds &statIds() const { return hotIds; }
+
     /** Currently active EPTP value (0 before activation). */
     std::uint64_t activeEptp() const { return currentEptp; }
 
@@ -150,6 +170,7 @@ class Vcpu
     ept::Tlb translationCache;
     sim::SimClock simClock;
     sim::StatSet statSet;
+    HotStatIds hotIds{};
     std::uint64_t currentEptp = 0;
     EptpIndex currentIndex = 0;
 };

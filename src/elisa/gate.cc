@@ -10,6 +10,31 @@ namespace elisa::core
 Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
     : cpuPtr(&vcpu), svc(&service), attachInfo(info)
 {
+    callsId = vcpu.stats().id("elisa_calls");
+    batchedFnsId = vcpu.stats().id("elisa_batched_fns");
+    badFnId = vcpu.stats().id("elisa_bad_fn");
+}
+
+const SharedFnTable &
+Gate::resolveTable() const
+{
+    Attachment *attach = svc->attachment(attachInfo.attachment);
+    panic_if(attach == nullptr,
+             "attachment vanished while its EPTP stayed installed");
+    return attach->exportRecord().functions();
+}
+
+void
+Gate::badFn(unsigned fn) const
+{
+    // An out-of-range id is a jump to an unmapped sub-context
+    // address: raise the fetch fault the MMU would.
+    ept::EptViolation violation;
+    violation.gpa = gateCodeGpa + pageSize + fn * 16;
+    violation.access = ept::Access::Exec;
+    violation.notMapped = true;
+    cpuPtr->stats().inc(badFnId);
+    throw cpu::VmExitEvent(violation);
 }
 
 std::uint64_t
@@ -36,24 +61,15 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
     // --- gate -> sub --------------------------------------------------
     cpu.vmfunc(0, attachInfo.subIndex);
 
-    // Resolve the function "address". An out-of-range id is a jump to
-    // an unmapped sub-context address: raise the fetch fault the MMU
-    // would.
-    Attachment *attach = svc->attachment(attachInfo.attachment);
-    panic_if(attach == nullptr,
-             "attachment vanished while its EPTP stayed installed");
-    const SharedFnTable &table = attach->exportRecord().functions();
-    if (fn >= table.size()) {
-        ept::EptViolation violation;
-        violation.gpa = gateCodeGpa + pageSize + fn * 16;
-        violation.access = ept::Access::Exec;
-        violation.notMapped = true;
-        cpu.stats().inc("elisa_bad_fn");
-        throw cpu::VmExitEvent(violation);
-    }
+    const SharedFnTable &table = resolveTable();
+    if (fn >= table.size())
+        badFn(fn);
 
     // Run the shared function under the sub context with a charging
     // view: every byte it touches is translated, checked, and costed.
+    // A fault inside the shared function unwinds through the gate; the
+    // vCPU is parked back in its default context by the VM runner's
+    // fault policy, so nothing needs restoring here.
     cpu::GuestView sub_view(cpu);
     SubCallCtx ctx{sub_view,
                    objectGpa,
@@ -63,15 +79,7 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
                    arg0,
                    arg1,
                    arg2};
-    std::uint64_t ret;
-    try {
-        ret = table[fn](ctx);
-    } catch (...) {
-        // A fault inside the shared function unwinds through the gate;
-        // the vCPU is parked back in its default context by the VM
-        // runner's fault policy. Nothing to restore here.
-        throw;
-    }
+    const std::uint64_t ret = table[fn](ctx);
 
     // --- sub -> gate ----------------------------------------------
     cpu.vmfunc(0, attachInfo.gateIndex);
@@ -84,7 +92,7 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
 
     // --- gate -> default ----------------------------------------------
     cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
-    cpu.stats().inc("elisa_calls");
+    cpu.stats().inc(callsId);
     return ret;
 }
 
@@ -107,22 +115,13 @@ Gate::callBatch(std::span<BatchEntry> entries)
     cpu.clock().advance(cost.gateCodeNs);
     cpu.vmfunc(0, attachInfo.subIndex);
 
-    Attachment *attach = svc->attachment(attachInfo.attachment);
-    panic_if(attach == nullptr,
-             "attachment vanished while its EPTP stayed installed");
-    const SharedFnTable &table = attach->exportRecord().functions();
+    const SharedFnTable &table = resolveTable();
 
     // ...every entry back-to-back under the sub context...
     cpu::GuestView sub_view(cpu);
     for (BatchEntry &entry : entries) {
-        if (entry.fn >= table.size()) {
-            ept::EptViolation violation;
-            violation.gpa = gateCodeGpa + pageSize + entry.fn * 16;
-            violation.access = ept::Access::Exec;
-            violation.notMapped = true;
-            cpu.stats().inc("elisa_bad_fn");
-            throw cpu::VmExitEvent(violation);
-        }
+        if (entry.fn >= table.size())
+            badFn(entry.fn);
         SubCallCtx ctx{sub_view,
                        objectGpa,
                        attachInfo.objectBytes,
@@ -141,8 +140,8 @@ Gate::callBatch(std::span<BatchEntry> entries)
     gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
     cpu.clock().advance(cost.gateCodeNs);
     cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
-    cpu.stats().inc("elisa_calls");
-    cpu.stats().inc("elisa_batched_fns", entries.size());
+    cpu.stats().inc(callsId);
+    cpu.stats().inc(batchedFnsId, entries.size());
     return entries.size();
 }
 

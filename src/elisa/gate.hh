@@ -28,6 +28,7 @@
 
 #include "elisa/abi.hh"
 #include "elisa/negotiation.hh"
+#include "sim/stats.hh"
 
 namespace elisa::core
 {
@@ -97,9 +98,24 @@ class Gate
                       std::uint64_t len);
 
   private:
+    /**
+     * Resolve the shared-function table, faulting like the MMU would
+     * on an out-of-range function id (a jump to an unmapped
+     * sub-context address). Shared by call() and callBatch().
+     */
+    const SharedFnTable &resolveTable() const;
+
+    /** Raise the fetch fault for an out-of-range function id. */
+    [[noreturn]] void badFn(unsigned fn) const;
+
     cpu::Vcpu *cpuPtr = nullptr;
     ElisaService *svc = nullptr;
     AttachInfo attachInfo;
+    // Hot-path counters, interned once at construction (per-call code
+    // must not do string lookups).
+    sim::StatId callsId = 0;
+    sim::StatId batchedFnsId = 0;
+    sim::StatId badFnId = 0;
 };
 
 } // namespace elisa::core

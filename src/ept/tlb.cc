@@ -13,6 +13,15 @@ Tlb::Tlb(std::size_t entry_count)
              "TLB entry count must be a power of two");
 }
 
+void
+Tlb::attachStats(sim::StatSet &set)
+{
+    stats = &set;
+    hitId = set.id("tlb_hit");
+    missId = set.id("tlb_miss");
+    flushId = set.id("tlb_flush");
+}
+
 std::size_t
 Tlb::indexOf(std::uint64_t eptp, Gpa gpa) const
 {
@@ -29,9 +38,13 @@ Tlb::lookup(std::uint64_t eptp, Gpa gpa)
     Entry &e = entries[indexOf(eptp, gpa)];
     if (e.valid && e.eptp == eptp && e.gpaPage == page) {
         ++hitCount;
+        if (stats)
+            stats->inc(hitId);
         return Translation{e.hpaPage | (gpa & pageMask), e.perms};
     }
     ++missCount;
+    if (stats)
+        stats->inc(missId);
     return std::nullopt;
 }
 
@@ -46,6 +59,9 @@ Tlb::fill(std::uint64_t eptp, Gpa gpa, const Translation &xlat,
     e.gpaPage = pageAlignDown(gpa);
     e.hpaPage = pageAlignDown(xlat.hpa);
     e.perms = xlat.perms;
+    // The slot may have held another page's translation: L0 copies of
+    // the evicted entry must not survive it.
+    ++epochCount;
 }
 
 bool
@@ -69,6 +85,10 @@ Tlb::flushAll()
 {
     for (auto &e : entries)
         e.valid = false;
+    ++flushCount;
+    ++epochCount;
+    if (stats)
+        stats->inc(flushId);
 }
 
 void
@@ -78,6 +98,10 @@ Tlb::flushEptp(std::uint64_t eptp)
         if (e.valid && e.eptp == eptp)
             e.valid = false;
     }
+    ++flushCount;
+    ++epochCount;
+    if (stats)
+        stats->inc(flushId);
 }
 
 std::size_t

@@ -8,6 +8,13 @@
  * the cache (that is part of why it is cheap), while remap/protect
  * operations require an explicit INVEPT-equivalent flush from the
  * hypervisor.
+ *
+ * The cache exposes an *epoch* counter to the CPU's L0 micro-cache
+ * (cpu::GuestView): any event after which a privately remembered
+ * translation might no longer match what a Tlb lookup would return —
+ * a fill (possible eviction), a flush (INVEPT), or an EPTP context
+ * switch — bumps the epoch, so L0 entries stamped with an older epoch
+ * can never be served stale.
  */
 
 #ifndef ELISA_EPT_TLB_HH
@@ -19,6 +26,7 @@
 
 #include "base/types.hh"
 #include "ept/ept_entry.hh"
+#include "sim/stats.hh"
 
 namespace elisa::ept
 {
@@ -33,6 +41,13 @@ class Tlb
     explicit Tlb(std::size_t entry_count = 1024);
 
     /**
+     * Mirror hit/miss/flush counts into @p set as the interned
+     * counters "tlb_hit" / "tlb_miss" / "tlb_flush" (the per-vCPU
+     * StatSet calls this once at construction).
+     */
+    void attachStats(sim::StatSet &set);
+
+    /**
      * Look up the translation of the page containing @p gpa under
      * @p eptp. Counts a hit or miss.
      */
@@ -40,6 +55,7 @@ class Tlb
 
     /**
      * Install a translation (called after a successful walk).
+     * Bumps the epoch: the fill may have evicted another entry.
      * @param dirty_known true when the walk already set the leaf's
      *        dirty flag (a write access), so later writes through
      *        this entry need no A/D update walk.
@@ -62,6 +78,21 @@ class Tlb
     /** Statistics. */
     std::uint64_t hits() const { return hitCount; }
     std::uint64_t misses() const { return missCount; }
+    std::uint64_t flushes() const { return flushCount; }
+
+    /**
+     * Invalidation epoch for L0 micro-caches. A remembered
+     * translation is only as fresh as the epoch it was stamped with:
+     * serve it again iff the epoch still matches.
+     */
+    std::uint64_t epoch() const { return epochCount; }
+
+    /**
+     * Bump the epoch without touching entries. Called by the vCPU on
+     * VMFUNC / EPTP activation: the Tlb itself survives the switch
+     * (EPTP-tagged), but L0 caches are conservatively invalidated.
+     */
+    void bumpEpoch() { ++epochCount; }
 
     /** Number of currently valid entries (for tests). */
     std::size_t validCount() const;
@@ -83,6 +114,14 @@ class Tlb
     std::size_t indexMask;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;
+    std::uint64_t flushCount = 0;
+    std::uint64_t epochCount = 0;
+
+    /** Mirrored interned counters (null when not attached). */
+    sim::StatSet *stats = nullptr;
+    sim::StatId hitId = 0;
+    sim::StatId missId = 0;
+    sim::StatId flushId = 0;
 };
 
 } // namespace elisa::ept

@@ -12,6 +12,15 @@ Hypervisor::Hypervisor(std::uint64_t phys_mem_bytes,
     : costModel(cost), physMem(phys_mem_bytes),
       frames(phys_mem_bytes / pageSize)
 {
+    // Intern hot/fault-path counter names once; per-event code indexes
+    // by id instead of hashing strings.
+    hypercallsId = statSet.id("hypercalls");
+    hypercallUnknownId = statSet.id("hypercall_unknown");
+    for (unsigned r = 0; r < cpu::exitReasonCount; ++r) {
+        exitIds[r] = statSet.id(
+            std::string("exit_") +
+            cpu::exitReasonToString(static_cast<cpu::ExitReason>(r)));
+    }
     registerBaseHypercalls();
 }
 
@@ -70,10 +79,10 @@ std::uint64_t
 Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
                             const cpu::HypercallArgs &args)
 {
-    statSet.inc("hypercalls");
+    statSet.inc(hypercallsId);
     auto it = hypercalls.find(args.nr);
     if (it == hypercalls.end()) {
-        statSet.inc("hypercall_unknown");
+        statSet.inc(hypercallUnknownId);
         return hcError;
     }
     return it->second(vcpu, args);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "cpu/exit.hh"
 #include "cpu/vcpu.hh"
 #include "hv/hypercall.hh"
 #include "hv/vm.hh"
@@ -50,6 +51,13 @@ class Hypervisor : public cpu::HypercallSink
     mem::FrameAllocator &allocator() { return frames; }
     const sim::CostModel &cost() const { return costModel; }
     sim::StatSet &stats() { return statSet; }
+
+    /** Interned id of the per-reason "exit_*" counter (fault path). */
+    sim::StatId
+    exitStatId(cpu::ExitReason reason) const
+    {
+        return exitIds[static_cast<unsigned>(reason)];
+    }
 
     // ---- VM lifecycle ----------------------------------------------
     /** Create a VM; the hypervisor keeps ownership. */
@@ -160,6 +168,11 @@ class Hypervisor : public cpu::HypercallSink
     std::uint64_t nextServiceNr =
         static_cast<std::uint64_t>(Hc::ServiceBase);
     std::vector<VmDestroyHook> destroyHooks;
+
+    // Interned hot/fault-path counter ids (resolved at construction).
+    sim::StatId hypercallsId = 0;
+    sim::StatId hypercallUnknownId = 0;
+    sim::StatId exitIds[cpu::exitReasonCount] = {};
 
     friend class Vm; // Vm construction pulls frames/vcpu ids.
 };

@@ -92,8 +92,7 @@ Vm::run(unsigned vcpu_index, const std::function<void()> &guest_code)
         // Fault policy: charge the exit, record it, and park the vCPU
         // back in its default context.
         cpu.clock().advance(hyper.costModel.vmexitNs);
-        hyper.statSet.inc(std::string("exit_") +
-                          cpu::exitReasonToString(exit.reason()));
+        hyper.statSet.inc(hyper.exitStatId(exit.reason()));
         ELISA_TRACE(VmExit, "VM %u vCPU %u: %s (qual=%llx)", vmId,
                     cpu.id(), cpu::exitReasonToString(exit.reason()),
                     (unsigned long long)exit.qualification());

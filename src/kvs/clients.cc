@@ -54,11 +54,13 @@ DirectKvsClient::DirectKvsClient(DirectKvsTable &table_, hv::Vm &vm,
 {
     table.ensureAttached(vm);
     io = std::make_unique<net::GuestRegionIo>(vcpu(), kvsWindowGpa);
+    internCounters(vcpu().stats());
 }
 
 std::optional<Value>
 DirectKvsClient::get(const Key &key)
 {
+    countGet();
     vcpu().clock().advance(table.hyper.cost().kvsGetCoreNs);
     return ShmKvs::get(*io, key);
 }
@@ -66,6 +68,7 @@ DirectKvsClient::get(const Key &key)
 bool
 DirectKvsClient::put(const Key &key, const Value &value)
 {
+    countPut();
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -79,6 +82,7 @@ DirectKvsClient::put(const Key &key, const Value &value)
 bool
 DirectKvsClient::remove(const Key &key)
 {
+    countRemove();
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -93,6 +97,7 @@ bool
 DirectKvsClient::cas(const Key &key, const Value &expected,
                      const Value &desired)
 {
+    countCas();
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -204,6 +209,7 @@ ElisaKvsClient::ElisaKvsClient(ElisaKvsTable &table,
     fatal_if(!g, "attach to KVS table '%s' failed",
              table.name().c_str());
     gate = *g;
+    internCounters(vcpu().stats());
 }
 
 cpu::Vcpu &
@@ -215,6 +221,7 @@ ElisaKvsClient::vcpu()
 std::optional<Value>
 ElisaKvsClient::get(const Key &key)
 {
+    countGet();
     gate.writeExchange(keyOff, key.data(), keyBytes);
     if (gate.call(0) == 0)
         return std::nullopt;
@@ -226,6 +233,7 @@ ElisaKvsClient::get(const Key &key)
 bool
 ElisaKvsClient::put(const Key &key, const Value &value)
 {
+    countPut();
     gate.writeExchange(keyOff, key.data(), keyBytes);
     gate.writeExchange(valueOff, value.data(), valueBytes);
     return gate.call(1) == 1;
@@ -234,6 +242,7 @@ ElisaKvsClient::put(const Key &key, const Value &value)
 bool
 ElisaKvsClient::remove(const Key &key)
 {
+    countRemove();
     gate.writeExchange(keyOff, key.data(), keyBytes);
     return gate.call(2) == 1;
 }
@@ -242,6 +251,7 @@ bool
 ElisaKvsClient::cas(const Key &key, const Value &expected,
                     const Value &desired)
 {
+    countCas();
     gate.writeExchange(keyOff, key.data(), keyBytes);
     gate.writeExchange(valueOff, expected.data(), valueBytes);
     gate.writeExchange(desiredOff, desired.data(), valueBytes);
@@ -356,11 +366,13 @@ VmcallKvsClient::VmcallKvsClient(VmcallKvsTable &table_, hv::Vm &vm,
     fatal_if(!buf, "VM '%s' out of RAM for KVS buffer",
              vm.name().c_str());
     bufGpa = *buf;
+    internCounters(vcpu().stats());
 }
 
 std::optional<Value>
 VmcallKvsClient::get(const Key &key)
 {
+    countGet();
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     cpu::HypercallArgs args;
@@ -376,6 +388,7 @@ VmcallKvsClient::get(const Key &key)
 bool
 VmcallKvsClient::put(const Key &key, const Value &value)
 {
+    countPut();
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     view.writeBytes(bufGpa + 64, value.data(), valueBytes);
@@ -389,6 +402,7 @@ bool
 VmcallKvsClient::cas(const Key &key, const Value &expected,
                      const Value &desired)
 {
+    countCas();
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     view.writeBytes(bufGpa + 64, expected.data(), valueBytes);
@@ -402,6 +416,7 @@ VmcallKvsClient::cas(const Key &key, const Value &expected,
 bool
 VmcallKvsClient::remove(const Key &key)
 {
+    countRemove();
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     cpu::HypercallArgs args;

@@ -33,6 +33,7 @@
 #include "hv/ivshmem.hh"
 #include "kvs/shm_kvs.hh"
 #include "sim/resource.hh"
+#include "sim/stats.hh"
 
 namespace elisa::kvs
 {
@@ -93,6 +94,33 @@ class KvsClient
     /** Compare-and-swap; false when absent or mismatched. */
     virtual bool cas(const Key &key, const Value &expected,
                      const Value &desired) = 0;
+
+  protected:
+    /**
+     * Intern the per-operation counters once at construction; per-op
+     * code increments by id (no string hashing on the data path).
+     */
+    void
+    internCounters(sim::StatSet &stats)
+    {
+        kvsStats = &stats;
+        getsId = stats.id("kvs_gets");
+        putsId = stats.id("kvs_puts");
+        removesId = stats.id("kvs_removes");
+        casId = stats.id("kvs_cas");
+    }
+
+    void countGet() { kvsStats->inc(getsId); }
+    void countPut() { kvsStats->inc(putsId); }
+    void countRemove() { kvsStats->inc(removesId); }
+    void countCas() { kvsStats->inc(casId); }
+
+  private:
+    sim::StatSet *kvsStats = nullptr;
+    sim::StatId getsId = 0;
+    sim::StatId putsId = 0;
+    sim::StatId removesId = 0;
+    sim::StatId casId = 0;
 };
 
 // ---- direct mapping -----------------------------------------------

@@ -38,6 +38,7 @@ NetPath::perPacketNs(const sim::CostModel &cost, std::uint32_t len,
 SriovPath::SriovPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index)
     : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
 {
+    internCounters(hv.stats());
     auto gpa = vm.allocGuestMem(2 * ringRegionPaged);
     fatal_if(!gpa, "VM '%s' out of RAM for VF rings", vm.name().c_str());
     ringsGpa = *gpa;
@@ -60,6 +61,7 @@ SriovPath::guestTx(std::uint32_t seq, std::uint32_t len)
     cpu.clock().advance(perPacketNs(hyper.cost(), len, false));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "VF TX ring overflow (workload pacing bug)");
+    countTx();
     return cpu.clock().now();
 }
 
@@ -69,6 +71,7 @@ SriovPath::guestRx()
     auto pkt = DescRing::pop(*guestRxIo);
     panic_if(!pkt, "VF RX ring empty (workload pacing bug)");
     vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, false));
+    countRx();
     return {pkt->seq, pkt->len};
 }
 
@@ -95,6 +98,7 @@ DirectPath::DirectPath(hv::Hypervisor &hv, hv::Vm &vm,
                        unsigned vcpu_index)
     : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
 {
+    internCounters(hv.stats());
     region = std::make_unique<hv::IvshmemRegion>(
         hv, "nic-rings-" + vm.name(), 2 * ringRegionPaged);
     fatal_if(!region->attach(vm, nicRegionGpa),
@@ -123,6 +127,7 @@ DirectPath::guestTx(std::uint32_t seq, std::uint32_t len)
     cpu.clock().advance(perPacketNs(hyper.cost(), len, true));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "direct TX ring overflow (workload pacing bug)");
+    countTx();
     return cpu.clock().now();
 }
 
@@ -132,6 +137,7 @@ DirectPath::guestRx()
     auto pkt = DescRing::pop(*guestRxIo);
     panic_if(!pkt, "direct RX ring empty (workload pacing bug)");
     vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, true));
+    countRx();
     return {pkt->seq, pkt->len};
 }
 
@@ -159,6 +165,7 @@ ElisaPath::ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
                      const std::string &export_name)
     : hyper(hv), guestRt(guest)
 {
+    internCounters(hv.stats());
     const sim::CostModel &cost = hv.cost();
 
     // The shared code: per-packet NF work executed inside the sub EPT
@@ -212,6 +219,7 @@ ElisaPath::guestTx(std::uint32_t seq, std::uint32_t len)
 {
     const std::uint64_t ok = gate.call(0, seq, len);
     panic_if(ok != 1, "ELISA TX ring overflow (workload pacing bug)");
+    countTx();
     return vcpu().clock().now();
 }
 
@@ -221,6 +229,7 @@ ElisaPath::guestRx()
     const std::uint64_t packed = gate.call(1);
     panic_if(packed == ~std::uint64_t{0},
              "ELISA RX ring empty (workload pacing bug)");
+    countRx();
     return unpackSeqLen(packed);
 }
 
@@ -247,6 +256,7 @@ VmcallPath::VmcallPath(hv::Hypervisor &hv, hv::Vm &vm,
                        unsigned vcpu_index)
     : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
 {
+    internCounters(hv.stats());
     auto frames =
         hv.allocator().alloc(2 * ringRegionPaged / pageSize);
     fatal_if(!frames, "out of memory for host NIC rings");
@@ -299,6 +309,7 @@ VmcallPath::guestTx(std::uint32_t seq, std::uint32_t len)
     args.arg1 = len;
     const std::uint64_t ok = vcpu().vmcall(args);
     panic_if(ok != 1, "VMCALL TX ring overflow (workload pacing bug)");
+    countTx();
     return vcpu().clock().now();
 }
 
@@ -310,6 +321,7 @@ VmcallPath::guestRx()
     const std::uint64_t packed = vcpu().vmcall(args);
     panic_if(packed == ~std::uint64_t{0},
              "VMCALL RX ring empty (workload pacing bug)");
+    countRx();
     return unpackSeqLen(packed);
 }
 
@@ -335,6 +347,7 @@ VmcallPath::hostCollectTx(SimNs handoff)
 VhostPath::VhostPath(hv::Hypervisor &hv, hv::Vm &vm, unsigned vcpu_index)
     : hyper(hv), guestVm(vm), vcpuIndex(vcpu_index)
 {
+    internCounters(hv.stats());
     auto gpa = vm.allocGuestMem(2 * ringRegionPaged);
     fatal_if(!gpa, "VM '%s' out of RAM for virtio rings",
              vm.name().c_str());
@@ -368,6 +381,7 @@ VhostPath::guestTx(std::uint32_t seq, std::uint32_t len)
                         cost.memAccessNs * divCeil(len, 8));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "virtio TX ring overflow (workload pacing bug)");
+    countTx();
     return cpu.clock().now();
 }
 
@@ -379,6 +393,7 @@ VhostPath::guestRx()
     panic_if(!pkt, "virtio RX ring empty (workload pacing bug)");
     vcpu().clock().advance(cost.virtioGuestNs + cost.virtioKickNs +
                            cost.memAccessNs * divCeil(pkt->len, 8));
+    countRx();
     return {pkt->seq, pkt->len};
 }
 

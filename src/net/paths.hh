@@ -39,6 +39,7 @@
 #include "net/desc_ring.hh"
 #include "net/packet.hh"
 #include "sim/resource.hh"
+#include "sim/stats.hh"
 
 namespace elisa::net
 {
@@ -103,6 +104,27 @@ class NetPath
      */
     static SimNs perPacketNs(const sim::CostModel &cost,
                              std::uint32_t len, bool soft_switch);
+
+  protected:
+    /**
+     * Intern the per-packet counters once at construction; per-packet
+     * code increments by id (no string hashing on the data path).
+     */
+    void
+    internCounters(sim::StatSet &stats)
+    {
+        pathStats = &stats;
+        txPktsId = stats.id("net_tx_pkts");
+        rxPktsId = stats.id("net_rx_pkts");
+    }
+
+    void countTx() { pathStats->inc(txPktsId); }
+    void countRx() { pathStats->inc(rxPktsId); }
+
+  private:
+    sim::StatSet *pathStats = nullptr;
+    sim::StatId txPktsId = 0;
+    sim::StatId rxPktsId = 0;
 };
 
 /** Direct device assignment (SR-IOV VF). */

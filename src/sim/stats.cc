@@ -57,32 +57,48 @@ RunningStats::merge(const RunningStats &other)
         maxV = other.maxV;
 }
 
-void
-StatSet::inc(const std::string &name, std::uint64_t delta)
+StatId
+StatSet::id(const std::string &name)
 {
-    counters[name] += delta;
+    auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    const StatId sid = static_cast<StatId>(values.size());
+    index.emplace(name, sid);
+    values.push_back(0);
+    return sid;
 }
 
 std::uint64_t
 StatSet::get(const std::string &name) const
 {
-    auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second;
+    auto it = index.find(name);
+    return it == index.end() ? 0 : values[it->second];
 }
 
 void
 StatSet::clear()
 {
-    counters.clear();
+    for (auto &v : values)
+        v = 0;
 }
 
 std::string
 StatSet::dump() const
 {
     std::ostringstream out;
-    for (const auto &[name, value] : counters)
-        out << name << " = " << value << '\n';
+    for (const auto &[name, sid] : index)
+        out << name << " = " << values[sid] << '\n';
     return out.str();
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::all() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, sid] : index)
+        out.emplace(name, values[sid]);
+    return out;
 }
 
 } // namespace elisa::sim

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "base/units.hh"
 #include "cpu/exit.hh"
 #include "cpu/guest_view.hh"
@@ -250,6 +253,146 @@ TEST_F(CpuTest, RunOkOnCleanCode)
         view.write<std::uint32_t>(0x100, 7);
     });
     EXPECT_TRUE(result.ok);
+}
+
+TEST_F(CpuTest, L0RepeatHitChargesLikeTlbHit)
+{
+    cpu::GuestView view(cpu);
+    const auto &cost = hv.cost();
+    const Gpa gpa = 0x210000;
+    view.read<std::uint64_t>(gpa); // walk + fill
+
+    // Every repeat access -- whether served from the micro-cache or
+    // the shared Tlb -- must charge exactly the Tlb-hit cost.
+    const std::uint64_t hits0 = cpu.stats().get("l0_hit");
+    for (int i = 0; i < 3; ++i) {
+        const SimNs t0 = cpu.clock().now();
+        view.read<std::uint64_t>(gpa);
+        EXPECT_EQ(cpu.clock().now() - t0, cost.memAccessNs);
+    }
+    EXPECT_EQ(cpu.stats().get("l0_hit"), hits0 + 3);
+}
+
+TEST_F(CpuTest, L0StaleEntryNeverOutlivesRemapPlusInvept)
+{
+    cpu::GuestView view(cpu);
+    const Gpa gpa = 0x20000000; // outside guest RAM, mapped by hand
+    auto frame_a = hv.allocator().alloc();
+    auto frame_b = hv.allocator().alloc();
+    hv.memory().write64(*frame_a, 0xaaaau);
+    hv.memory().write64(*frame_b, 0xbbbbu);
+
+    ASSERT_TRUE(vm.defaultEpt().map(gpa, *frame_a, ept::Perms::RW));
+    EXPECT_EQ(view.read<std::uint64_t>(gpa), 0xaaaau);
+    EXPECT_EQ(view.read<std::uint64_t>(gpa), 0xaaaau); // L0-cached
+
+    // Remap the page to a different frame and invalidate.
+    ASSERT_TRUE(vm.defaultEpt().unmap(gpa));
+    ASSERT_TRUE(vm.defaultEpt().map(gpa, *frame_b, ept::Perms::RW));
+    hv.inveptGlobal();
+    EXPECT_EQ(view.read<std::uint64_t>(gpa), 0xbbbbu);
+
+    // Unmap entirely: a stale L0 line must not satisfy the access.
+    EXPECT_EQ(view.read<std::uint64_t>(gpa), 0xbbbbu); // refill L0
+    ASSERT_TRUE(vm.defaultEpt().unmap(gpa));
+    hv.inveptGlobal();
+    try {
+        view.read<std::uint64_t>(gpa);
+        FAIL() << "expected EPT violation after unmap + invept";
+    } catch (const cpu::VmExitEvent &e) {
+        EXPECT_TRUE(e.violation().notMapped);
+    }
+    hv.allocator().free(*frame_a);
+    hv.allocator().free(*frame_b);
+}
+
+TEST_F(CpuTest, L0StaleEntryNeverOutlivesProtectPlusInvept)
+{
+    cpu::GuestView view(cpu);
+    const Gpa gpa = 0x8000;
+    view.write<std::uint64_t>(gpa, 1); // fill the write L0 line
+    view.write<std::uint64_t>(gpa, 2);
+
+    vm.defaultEpt().protect(gpa, ept::Perms::Read);
+    hv.inveptGlobal();
+    EXPECT_THROW(view.write<std::uint64_t>(gpa, 3), cpu::VmExitEvent);
+    // Reads still work through the downgraded mapping.
+    EXPECT_EQ(view.read<std::uint64_t>(gpa), 2u);
+}
+
+TEST_F(CpuTest, L0InvalidatedByVmfuncEptpSwitch)
+{
+    cpu::GuestView view(cpu);
+    const Gpa gpa = 0x9000;
+    view.read<std::uint64_t>(gpa);
+    view.read<std::uint64_t>(gpa); // L0 hit
+    const std::uint64_t hits0 = cpu.stats().get("l0_hit");
+
+    // Install a second context and bounce through it.
+    ept::Ept other(hv.memory(), hv.allocator());
+    auto frame = hv.allocator().alloc();
+    other.map(0x0, *frame, ept::Perms::RW);
+    auto idx = hv.installEptp(cpu, other.eptp());
+    ASSERT_TRUE(idx);
+    cpu.vmfunc(0, *idx);
+    cpu.vmfunc(0, 0);
+
+    // The switch bumped the epoch: the next access must revalidate
+    // against the shared Tlb instead of trusting the L0 line.
+    const std::uint64_t tlb_hits0 = cpu.tlb().hits();
+    view.read<std::uint64_t>(gpa);
+    EXPECT_EQ(cpu.stats().get("l0_hit"), hits0);
+    EXPECT_EQ(cpu.tlb().hits(), tlb_hits0 + 1);
+    hv.allocator().free(*frame);
+}
+
+TEST_F(CpuTest, CopyBytesOverlappingCrossPageMatchesChunkedModel)
+{
+    // copyBytes is specified as a sequence of <= 4 KiB chunk copies,
+    // each snapshotting its source before writing its destination
+    // (the historical bounce-buffer semantics). With overlapping
+    // ranges this differs from both memcpy and memmove; the
+    // frame-to-frame fast path must preserve it exactly.
+    cpu::GuestView view(cpu, /*charge_time=*/false);
+    const Gpa base = 0x40000;
+    const std::uint64_t span = 5 * pageSize;
+
+    std::vector<std::uint8_t> model(span);
+    for (std::size_t i = 0; i < model.size(); ++i)
+        model[i] = static_cast<std::uint8_t>(i * 7 + 3);
+
+    auto run_case = [&](std::uint64_t src_off, std::uint64_t dst_off,
+                        std::uint64_t len) {
+        view.writeBytes(base, model.data(), model.size());
+        std::vector<std::uint8_t> expect = model;
+        // Reference: chunk loop with a per-chunk snapshot.
+        std::uint64_t s = src_off, d = dst_off, n = len;
+        while (n > 0) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(n, pageSize);
+            std::vector<std::uint8_t> tmp(expect.begin() + s,
+                                          expect.begin() + s + chunk);
+            std::copy(tmp.begin(), tmp.end(), expect.begin() + d);
+            s += chunk;
+            d += chunk;
+            n -= chunk;
+        }
+        view.copyBytes(base + dst_off, base + src_off, len);
+        std::vector<std::uint8_t> got(span);
+        view.readBytes(base, got.data(), got.size());
+        EXPECT_EQ(got, expect)
+            << "src_off=" << src_off << " dst_off=" << dst_off
+            << " len=" << len;
+    };
+
+    // Forward overlap (dst > src by half a page), three pages: each
+    // chunk's host ranges overlap and later chunks read bytes already
+    // rewritten by earlier ones.
+    run_case(0x100, 0x900, 3 * pageSize);
+    // Backward overlap (dst < src), cross-page, non-multiple length.
+    run_case(0x900, 0x100, 2 * pageSize + 123);
+    // Disjoint cross-page control case (frame-to-frame path).
+    run_case(0x80, 3 * pageSize + 0x40, pageSize + 17);
 }
 
 } // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Determinism regression: the same KVS + network workload, run twice
+ * in one process, must produce bit-identical simulated clocks, counter
+ * dumps, and latency histograms.
+ *
+ * This is the guard rail for host-side performance work: the L0
+ * translation micro-cache, interned counters, and batched time
+ * charging may change how fast the simulator runs, never what it
+ * computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+#include "kvs/clients.hh"
+#include "kvs/workload.hh"
+#include "net/paths.hh"
+#include "sim/histogram.hh"
+
+namespace
+{
+
+using namespace elisa;
+
+/**
+ * Build a machine, run a mixed KVS + network workload through the
+ * ELISA paths, and render everything observable into one string.
+ */
+std::string
+runScenario()
+{
+    setQuiet(true);
+
+    hv::Hypervisor hv(256 * MiB);
+    core::ElisaService svc(hv);
+    hv::Vm &manager_vm = hv.createVm("manager", 32 * MiB);
+    hv::Vm &client_vm = hv.createVm("client", 32 * MiB);
+    core::ElisaManager manager(manager_vm, svc);
+    core::ElisaGuest guest(client_vm, svc);
+
+    // ---- KVS workload over a gate-called table ----------------------
+    constexpr std::uint64_t key_space = 512;
+    kvs::ElisaKvsTable table(hv, manager, "kvs", 4096);
+    kvs::prepopulate(table.hostIo(), key_space);
+    kvs::ElisaKvsClient kvs_client(table, manager, guest);
+    std::vector<kvs::KvsClient *> clients{&kvs_client};
+    const kvs::KvsRunResult kvs_result = kvs::runKvsWorkload(
+        clients, kvs::Mix::Mixed9010, key_space,
+        /*ops_per_client=*/1500);
+    EXPECT_EQ(kvs_result.corrupt, 0u);
+    EXPECT_EQ(kvs_result.failed, 0u);
+
+    // ---- network echo loop over an ELISA path -----------------------
+    net::ElisaPath path(hv, manager, guest, "net");
+    sim::Histogram tx_rtt;
+    SimNs wire = path.vcpu().clock().now();
+    for (std::uint32_t i = 0; i < 300; ++i) {
+        const std::uint32_t len = 64 + (i * 37) % 1400;
+        const SimNs t0 = path.vcpu().clock().now();
+        const SimNs handoff = path.guestTx(i, len);
+        tx_rtt.record(path.vcpu().clock().now() - t0);
+        auto [pkt, ready] = path.hostCollectTx(handoff);
+        EXPECT_EQ(pkt.seq, i);
+        wire = std::max(wire, ready) + 100;
+        path.hostDeliverRx(i, len, wire);
+        auto [seq, rx_len] = path.guestRx();
+        EXPECT_EQ(seq, i);
+        EXPECT_EQ(rx_len, len);
+    }
+
+    // ---- fingerprint ------------------------------------------------
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "manager_clock=" << manager_vm.vcpu(0).clock().now() << '\n'
+        << "client_clock=" << client_vm.vcpu(0).clock().now() << '\n'
+        << "kvs_ops=" << kvs_result.ops << '\n'
+        << "kvs_hits=" << kvs_result.hits << '\n'
+        << "kvs_mops=" << kvs_result.totalMops << '\n'
+        << "rtt_count=" << tx_rtt.count() << '\n'
+        << "rtt_mean=" << tx_rtt.mean() << '\n'
+        << "rtt_min=" << tx_rtt.min() << '\n'
+        << "rtt_max=" << tx_rtt.max() << '\n'
+        << "rtt_p50=" << tx_rtt.percentile(0.5) << '\n'
+        << "rtt_p99=" << tx_rtt.percentile(0.99) << '\n'
+        << "rtt_summary=" << tx_rtt.summary() << '\n'
+        << "hv_stats:\n" << hv.stats().dump()
+        << "manager_vcpu_stats:\n" << manager_vm.vcpu(0).stats().dump()
+        << "client_vcpu_stats:\n" << client_vm.vcpu(0).stats().dump();
+    return out.str();
+}
+
+TEST(Determinism, KvsAndNetWorkloadIsBitIdenticalAcrossRuns)
+{
+    const std::string first = runScenario();
+    const std::string second = runScenario();
+    EXPECT_EQ(first, second);
+
+    // Sanity: the fingerprint actually observed simulated progress.
+    EXPECT_NE(first.find("kvs_ops=1500"), std::string::npos);
+    EXPECT_NE(first.find("rtt_count=300"), std::string::npos);
+}
+
+} // namespace

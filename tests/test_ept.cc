@@ -14,6 +14,7 @@
 #include "ept/eptp_list.hh"
 #include "ept/tlb.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 
 namespace
 {
@@ -359,6 +360,57 @@ TEST(Tlb, StaleEntryReplacedByFill)
     ASSERT_TRUE(hit);
     EXPECT_EQ(hit->hpa, 0xbbb000u);
     EXPECT_EQ(hit->perms, Perms::Read);
+}
+
+TEST(Tlb, AttachedStatsMirrorHitMissFlush)
+{
+    Tlb tlb(64);
+    sim::StatSet stats;
+    tlb.attachStats(stats);
+    const std::uint64_t eptp = 0x10000 | 0x1e;
+
+    EXPECT_FALSE(tlb.lookup(eptp, 0x1000)); // miss
+    tlb.fill(eptp, 0x1000, Translation{0x111000, Perms::RW});
+    EXPECT_TRUE(tlb.lookup(eptp, 0x1000)); // hit
+    tlb.flushEptp(eptp);
+    tlb.flushAll();
+
+    EXPECT_EQ(stats.get("tlb_miss"), tlb.misses());
+    EXPECT_EQ(stats.get("tlb_hit"), tlb.hits());
+    EXPECT_EQ(stats.get("tlb_flush"), tlb.flushes());
+    EXPECT_EQ(stats.get("tlb_miss"), 1u);
+    EXPECT_EQ(stats.get("tlb_hit"), 1u);
+    EXPECT_EQ(stats.get("tlb_flush"), 2u);
+}
+
+TEST(Tlb, EpochBumpsOnFillFlushAndExplicitBump)
+{
+    Tlb tlb(64);
+    const std::uint64_t eptp = 0x10000 | 0x1e;
+    const std::uint64_t e0 = tlb.epoch();
+
+    // Lookups never move the epoch.
+    (void)tlb.lookup(eptp, 0x1000);
+    EXPECT_EQ(tlb.epoch(), e0);
+
+    // A fill may evict: epoch must advance.
+    tlb.fill(eptp, 0x1000, Translation{0x111000, Perms::RW});
+    const std::uint64_t e1 = tlb.epoch();
+    EXPECT_GT(e1, e0);
+
+    (void)tlb.lookup(eptp, 0x1000);
+    EXPECT_EQ(tlb.epoch(), e1);
+
+    tlb.flushEptp(eptp);
+    const std::uint64_t e2 = tlb.epoch();
+    EXPECT_GT(e2, e1);
+
+    tlb.flushAll();
+    const std::uint64_t e3 = tlb.epoch();
+    EXPECT_GT(e3, e2);
+
+    tlb.bumpEpoch();
+    EXPECT_GT(tlb.epoch(), e3);
 }
 
 } // namespace
