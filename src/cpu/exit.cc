@@ -17,6 +17,8 @@ exitReasonToString(ExitReason reason)
         return "cpuid";
       case ExitReason::Hlt:
         return "hlt";
+      case ExitReason::VmKilled:
+        return "vm-killed";
     }
     return "?";
 }

@@ -34,11 +34,13 @@ enum class ExitReason : std::uint8_t
     Cpuid,
     /** Guest executed HLT. */
     Hlt,
+    /** The VM was killed (fault injection / forced teardown). */
+    VmKilled,
 };
 
 /** Number of ExitReason values (for per-reason counter tables). */
 inline constexpr unsigned exitReasonCount =
-    static_cast<unsigned>(ExitReason::Hlt) + 1;
+    static_cast<unsigned>(ExitReason::VmKilled) + 1;
 
 /** Render an exit reason. */
 const char *exitReasonToString(ExitReason reason);

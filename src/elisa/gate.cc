@@ -15,6 +15,26 @@ Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
     badFnId = vcpu.stats().id("elisa_bad_fn");
 }
 
+void
+Gate::maybeInjectStale() const
+{
+    sim::FaultPlan *plan = svc->hypervisor().faultPlan();
+    if (!plan)
+        return;
+    const sim::FaultDecision fault = plan->onGateCall(cpuPtr->vm());
+    if (fault.action != sim::FaultAction::GateStale)
+        return;
+    // Model a concurrent revocation racing this call: the gate's
+    // EPTP-list entry is already gone, so the entry VMFUNC faults
+    // into a VM exit exactly like Vcpu::vmfunc on an invalid index.
+    cpu::Vcpu &cpu = *cpuPtr;
+    cpu.clock().advance(cpu.costModel().vmfuncNs);
+    cpu.stats().inc(cpu.statIds().vmfunc);
+    cpu.stats().inc(cpu.statIds().vmfuncFail);
+    throw cpu::VmExitEvent(cpu::ExitReason::VmfuncFail,
+                           attachInfo.gateIndex);
+}
+
 const SharedFnTable &
 Gate::resolveTable() const
 {
@@ -45,6 +65,7 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
     cpu::Vcpu &cpu = *cpuPtr;
     const sim::CostModel &cost = cpu.costModel();
     const EptpIndex caller_index = cpu.activeIndex();
+    maybeInjectStale();
 
     // --- enter: default -> gate ------------------------------------
     cpu.vmfunc(0, attachInfo.gateIndex);
@@ -105,6 +126,7 @@ Gate::callBatch(std::span<BatchEntry> entries)
     cpu::Vcpu &cpu = *cpuPtr;
     const sim::CostModel &cost = cpu.costModel();
     const EptpIndex caller_index = cpu.activeIndex();
+    maybeInjectStale();
 
     // One transition in...
     cpu.vmfunc(0, attachInfo.gateIndex);

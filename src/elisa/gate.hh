@@ -108,6 +108,13 @@ class Gate
     /** Raise the fetch fault for an out-of-range function id. */
     [[noreturn]] void badFn(unsigned fn) const;
 
+    /**
+     * Consult the machine's FaultPlan (if any) before entering the
+     * gate; a GateStale decision raises the stale-EPTP VMFUNC fault a
+     * concurrent revocation would cause.
+     */
+    void maybeInjectStale() const;
+
     cpu::Vcpu *cpuPtr = nullptr;
     ElisaService *svc = nullptr;
     AttachInfo attachInfo;

@@ -31,6 +31,7 @@ ElisaGuest::view()
 std::optional<RequestId>
 ElisaGuest::requestAttach(const std::string &name)
 {
+    busy = false;
     if (name.empty() || name.size() > 51)
         return std::nullopt;
     cpu::GuestView v = view();
@@ -42,6 +43,10 @@ ElisaGuest::requestAttach(const std::string &name)
     args.arg1 = name.size();
     args.arg2 = vcpuIndex;
     const std::uint64_t rc = vcpu().vmcall(args);
+    if (rc == hv::hcBusy) {
+        busy = true;
+        return std::nullopt;
+    }
     if (rc == hv::hcError)
         return std::nullopt;
     return static_cast<RequestId>(rc);
@@ -51,13 +56,17 @@ std::optional<Gate>
 ElisaGuest::completeAttach(RequestId request)
 {
     denied = false;
+    timedOut = false;
+    queryFailed = false;
     cpu::HypercallArgs args;
     args.nr = static_cast<std::uint64_t>(ElisaHc::Query);
     args.arg0 = request;
     args.arg1 = scratchGpa;
     const std::uint64_t state = vcpu().vmcall(args);
-    if (state == hv::hcError)
+    if (state == hv::hcError) {
+        queryFailed = true;
         return std::nullopt;
+    }
 
     switch (static_cast<RequestState>(state)) {
       case RequestState::Pending:
@@ -65,12 +74,59 @@ ElisaGuest::completeAttach(RequestId request)
       case RequestState::Denied:
         denied = true;
         return std::nullopt;
+      case RequestState::TimedOut:
+        timedOut = true;
+        return std::nullopt;
       case RequestState::Approved:
         break;
     }
 
     const auto wire = view().read<WireAttachResult>(scratchGpa);
     return Gate(vcpu(), svc, wire.info);
+}
+
+std::optional<Gate>
+ElisaGuest::attachWithRetry(const std::string &name,
+                            const std::function<void()> &pump,
+                            unsigned max_tries, SimNs backoff_ns)
+{
+    std::optional<RequestId> request;
+    SimNs backoff = backoff_ns;
+    const SimNs backoff_cap = backoff_ns << 10;
+    for (unsigned attempt = 0; attempt < max_tries; ++attempt) {
+        if (attempt > 0) {
+            // Simulated-time wait before this retry; the rest of the
+            // world (the manager, other guests) makes progress.
+            vcpu().clock().advance(backoff);
+            if (backoff < backoff_cap)
+                backoff *= 2;
+            if (pump)
+                pump();
+            vcpu().stats().inc("elisa_attach_retries");
+        }
+
+        if (!request) {
+            request = requestAttach(name);
+            // Busy (queue full), a dropped hypercall, and a not-yet-
+            // registered export are all transient under fault
+            // injection: back off and retry until the budget runs out.
+            if (!request)
+                continue;
+        }
+
+        auto gate = completeAttach(*request);
+        if (gate)
+            return gate;
+        if (denied || timedOut)
+            return std::nullopt;
+        // A failed Query means the request vanished host-side (e.g.
+        // its manager died and the denial was already consumed, or the
+        // request was dropped); issue a fresh request next attempt.
+        // Otherwise it is still Pending: keep querying the same id.
+        if (queryFailed)
+            request.reset();
+    }
+    return std::nullopt;
 }
 
 std::optional<Gate>

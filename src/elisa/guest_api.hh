@@ -9,6 +9,7 @@
 #ifndef ELISA_ELISA_GUEST_API_HH
 #define ELISA_ELISA_GUEST_API_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -53,11 +54,36 @@ class ElisaGuest
     std::optional<Gate> attach(const std::string &name,
                                ElisaManager &manager);
 
+    /**
+     * Robust attach: bounded retry with exponential backoff (simulated
+     * time) around requestAttach + completeAttach. Retries while the
+     * manager queue is Busy or the request stays Pending; gives up
+     * after @p max_tries or on a definitive Denied/TimedOut.
+     *
+     * @param pump invoked between retries — the "rest of the world
+     *        makes progress while we wait" hook (tests pass the
+     *        manager's pollRequests; production callers that share a
+     *        thread with nothing leave it empty).
+     * @param max_tries total Query/request attempts before giving up.
+     * @param backoff_ns first backoff; doubles per retry, capped at
+     *        1024x.
+     */
+    std::optional<Gate> attachWithRetry(
+        const std::string &name,
+        const std::function<void()> &pump = {},
+        unsigned max_tries = 8, SimNs backoff_ns = 2000);
+
     /** Detach (slow path); the gate handle becomes invalid. */
     bool detach(Gate &gate);
 
     /** True when the last completeAttach() saw a denial. */
     bool lastDenied() const { return denied; }
+
+    /** True when the last completeAttach() saw a timeout. */
+    bool lastTimedOut() const { return timedOut; }
+
+    /** True when the last requestAttach() was refused with Busy. */
+    bool lastBusy() const { return busy; }
 
     /** The client's vCPU. */
     cpu::Vcpu &vcpu();
@@ -74,6 +100,9 @@ class ElisaGuest
     unsigned vcpuIndex;
     Gpa scratchGpa = 0;
     bool denied = false;
+    bool timedOut = false;
+    bool busy = false;
+    bool queryFailed = false;
 };
 
 } // namespace elisa::core

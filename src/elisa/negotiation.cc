@@ -26,8 +26,51 @@ copyName(char (&dst)[52], const std::string &src)
 
 ElisaService::ElisaService(hv::Hypervisor &hv) : hyper(hv)
 {
+    busyId = hv.stats().id("elisa_busy");
+    timeoutsId = hv.stats().id("elisa_timeouts");
+    orphanDeniedId = hv.stats().id("elisa_orphan_denied");
+    idempotentDetachesId = hv.stats().id("elisa_idempotent_detaches");
+    idempotentRevokesId = hv.stats().id("elisa_idempotent_revokes");
+    autoRevokesId = hv.stats().id("elisa_auto_revokes");
+    attachBuildFaultsId = hv.stats().id("elisa_attach_build_faults");
     registerHandlers();
     hv.addVmDestroyHook([this](VmId vm) { onVmDestroyed(vm); });
+}
+
+void
+ElisaService::setQueueCap(std::size_t cap)
+{
+    panic_if(cap == 0, "request queue cap must be positive");
+    maxQueuedPerManager = cap;
+}
+
+void
+ElisaService::retireAttachment(
+    std::map<AttachmentId, std::unique_ptr<Attachment>>::iterator it)
+{
+    retiredAttachments[it->first] = it->second->guestVm();
+    if (retiredAttachments.size() > retiredCap)
+        retiredAttachments.erase(retiredAttachments.begin());
+    attachments.erase(it);
+}
+
+void
+ElisaService::retireExport(ExportId id, VmId owner)
+{
+    retiredExports[id] = owner;
+    if (retiredExports.size() > retiredCap)
+        retiredExports.erase(retiredExports.begin());
+}
+
+void
+ElisaService::denyPendingRequestsFor(const std::string &name)
+{
+    for (auto &[rid, req] : requests) {
+        if (req.state == RequestState::Pending && req.name == name) {
+            req.state = RequestState::Denied;
+            hyper.stats().inc(orphanDeniedId);
+        }
+    }
 }
 
 void
@@ -36,23 +79,29 @@ ElisaService::onVmDestroyed(VmId vm)
     // 1. Attachments held by the dying guest.
     for (auto it = attachments.begin(); it != attachments.end();) {
         if (it->second->guestVm() == vm)
-            it = attachments.erase(it);
+            retireAttachment(it++);
         else
             ++it;
     }
-    // 2. Exports owned by the dying manager — revoke them fully,
-    //    which also tears down other guests' attachments to them.
+    // 2. Exports owned by the dying manager — revoke them fully:
+    //    other guests' attachments are torn down (their EPTP-list
+    //    entries vanish), and any request still Pending on one of the
+    //    orphaned exports is denied so its guest cannot hang waiting
+    //    for a manager that no longer exists.
     for (auto it = exports.begin(); it != exports.end();) {
         if (it->second->managerVm() == vm) {
             Export *exp = it->second.get();
+            denyPendingRequestsFor(exp->name());
             for (auto at = attachments.begin();
                  at != attachments.end();) {
                 if (&at->second->exportRecord() == exp)
-                    at = attachments.erase(at);
+                    retireAttachment(at++);
                 else
                     ++at;
             }
+            retireExport(it->first, vm);
             it = exports.erase(it);
+            hyper.stats().inc(autoRevokesId);
         } else {
             ++it;
         }
@@ -105,12 +154,14 @@ ElisaService::revokeExport(const std::string &name)
     Export *exp = findExport(name);
     if (!exp)
         return false;
+    denyPendingRequestsFor(name);
     for (auto it = attachments.begin(); it != attachments.end();) {
         if (&it->second->exportRecord() == exp)
-            it = attachments.erase(it);
+            retireAttachment(it++);
         else
             ++it;
     }
+    retireExport(exp->id(), exp->managerVm());
     exports.erase(exp->id());
     hyper.stats().inc("elisa_revokes");
     return true;
@@ -281,6 +332,26 @@ ElisaService::hcApprove(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
     if (!exp || exp->managerVm() != vcpu.vm())
         return hv::hcError;
 
+    // The requesting guest may have died between AttachRequest and this
+    // Approve (its request is normally reaped with it, but a deferred
+    // teardown can leave a window). Refuse rather than build an
+    // attachment on a corpse.
+    if (!hyper.hasVm(req.guestVm)) {
+        req.state = RequestState::Denied;
+        return hv::hcError;
+    }
+
+    // Injected attach-construction failure (frame exhaustion, EPT
+    // allocation failure): the guest observes a denial, never a hang.
+    if (sim::FaultPlan *plan = hyper.faultPlan()) {
+        const auto fault = plan->onAttachBuild(req.guestVm);
+        if (fault.action != sim::FaultAction::None) {
+            hyper.stats().inc(attachBuildFaultsId);
+            req.state = RequestState::Denied;
+            return hv::hcError;
+        }
+    }
+
     // Optional per-client permission narrowing in arg1 (0 = the
     // export's full permissions). Escalation beyond the export's
     // rights is refused.
@@ -293,6 +364,16 @@ ElisaService::hcApprove(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
     }
 
     hv::Vm &guest = hyper.vm(req.guestVm);
+
+    // A full EPTP list would abort attachment construction mid-way;
+    // refuse cleanly while both contexts can still be installed.
+    if (req.vcpuIndex >= guest.vcpuCount() ||
+        guest.vcpu(req.vcpuIndex).eptpList().validCount() + 2 >
+            ept::eptpListSize) {
+        req.state = RequestState::Denied;
+        return hv::hcError;
+    }
+
     const unsigned slot = slotCounters[guest.id()]++;
 
     const AttachmentId aid = nextAttachmentId++;
@@ -346,8 +427,23 @@ ElisaService::hcAttachRequest(cpu::Vcpu &vcpu,
     Export *exp = findExport(name);
     if (!exp)
         return hv::hcError;
+
+    // A request for a vCPU the calling VM does not have can never be
+    // served; reject it before it occupies queue space.
+    const auto vcpu_index = static_cast<std::uint32_t>(args.arg2);
+    if (vcpu_index >= hyper.vm(vcpu.vm()).vcpuCount())
+        return hv::hcError;
+
     auto mgr = managers.find(exp->managerVm());
     panic_if(mgr == managers.end(), "export without manager");
+
+    // Bounded request queue: a slow or stuck manager must not let a
+    // guest grow host-side state without limit. Busy is a *refusal*,
+    // distinct from an error — back off and retry.
+    if (mgr->second.size() >= maxQueuedPerManager) {
+        hyper.stats().inc(busyId);
+        return hv::hcBusy;
+    }
 
     vcpu.clock().advance(hyper.cost().negotiationHopNs);
 
@@ -355,8 +451,9 @@ ElisaService::hcAttachRequest(cpu::Vcpu &vcpu,
     Request req;
     req.id = rid;
     req.guestVm = vcpu.vm();
-    req.vcpuIndex = static_cast<std::uint32_t>(args.arg2);
+    req.vcpuIndex = vcpu_index;
     req.name = std::move(name);
+    req.createdNs = vcpu.clock().now();
     ELISA_TRACE(Elisa, "attach request %u: VM %u -> '%s'", rid,
                 vcpu.vm(), req.name.c_str());
     requests.emplace(rid, std::move(req));
@@ -374,7 +471,18 @@ ElisaService::hcQuery(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
     }
     vcpu.clock().advance(hyper.cost().negotiationHopNs);
 
-    const Request &req = req_it->second;
+    Request &req = req_it->second;
+
+    // Per-request timeout: a request left Pending past the bound (its
+    // manager is stuck, dead, or its reply was lost) is reaped and the
+    // guest observes TimedOut — a defined error, never a hang.
+    if (req.state == RequestState::Pending &&
+        vcpu.clock().now() >
+            req.createdNs + hyper.cost().negotiationTimeoutNs) {
+        req.state = RequestState::TimedOut;
+        hyper.stats().inc(timeoutsId);
+    }
+
     WireAttachResult wire;
     wire.state = static_cast<std::uint32_t>(req.state);
     wire.info = req.info;
@@ -389,13 +497,26 @@ ElisaService::hcQuery(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
 std::uint64_t
 ElisaService::hcDetach(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
 {
-    auto it = attachments.find(static_cast<AttachmentId>(args.arg0));
-    if (it == attachments.end() || it->second->guestVm() != vcpu.vm())
+    const auto aid = static_cast<AttachmentId>(args.arg0);
+    auto it = attachments.find(aid);
+    if (it == attachments.end()) {
+        // Idempotent replay: detaching an attachment this same guest
+        // already detached (duplicated hypercall, retry after a lost
+        // reply) succeeds without side effects.
+        auto retired = retiredAttachments.find(aid);
+        if (retired != retiredAttachments.end() &&
+            retired->second == vcpu.vm()) {
+            hyper.stats().inc(idempotentDetachesId);
+            return 0;
+        }
+        return hv::hcError;
+    }
+    if (it->second->guestVm() != vcpu.vm())
         return hv::hcError;
     vcpu.clock().advance(hyper.cost().negotiationHopNs);
     ELISA_TRACE(Elisa, "detach attachment %llu by VM %u",
                 (unsigned long long)args.arg0, vcpu.vm());
-    attachments.erase(it);
+    retireAttachment(it);
     hyper.stats().inc("elisa_detaches");
     return 0;
 }
@@ -405,8 +526,19 @@ ElisaService::hcRevoke(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
 {
     // Only the owning manager may revoke an export; every client's
     // attachment is torn down (their next VMFUNC faults).
-    auto it = exports.find(static_cast<ExportId>(args.arg0));
-    if (it == exports.end() || it->second->managerVm() != vcpu.vm())
+    const auto eid = static_cast<ExportId>(args.arg0);
+    auto it = exports.find(eid);
+    if (it == exports.end()) {
+        // Idempotent replay of a revoke this manager already issued.
+        auto retired = retiredExports.find(eid);
+        if (retired != retiredExports.end() &&
+            retired->second == vcpu.vm()) {
+            hyper.stats().inc(idempotentRevokesId);
+            return 0;
+        }
+        return hv::hcError;
+    }
+    if (it->second->managerVm() != vcpu.vm())
         return hv::hcError;
     vcpu.clock().advance(hyper.cost().negotiationHopNs);
     const std::string name = it->second->name();

@@ -58,6 +58,8 @@ enum class RequestState : std::uint32_t
     Pending = 0,
     Approved = 1,
     Denied = 2,
+    /** The request sat Pending past the negotiation timeout. */
+    TimedOut = 3,
 };
 
 /** Wire format of a request, written into the manager's buffer. */
@@ -118,6 +120,22 @@ class ElisaService
     /** Number of live exports (tests). */
     std::size_t exportCount() const { return exports.size(); }
 
+    /** Number of requests still tracked (tests). */
+    std::size_t requestCount() const { return requests.size(); }
+
+    /** The machine this service runs on (gate fault hooks). */
+    hv::Hypervisor &hypervisor() { return hyper; }
+
+    /**
+     * Cap on queued-but-unserved requests per manager; AttachRequest
+     * beyond it returns hv::hcBusy. Protects a slow or stuck manager
+     * from unbounded host-side queue growth.
+     */
+    void setQueueCap(std::size_t cap);
+
+    /** The current per-manager request-queue bound. */
+    std::size_t queueCap() const { return maxQueuedPerManager; }
+
     /**
      * Human-readable dump of the service state: managers, exports,
      * attachments, and pending requests. Operational introspection —
@@ -134,6 +152,8 @@ class ElisaService
         std::string name;
         RequestState state = RequestState::Pending;
         AttachInfo info;
+        /** Requesting vCPU's clock at submission (timeout base). */
+        SimNs createdNs = 0;
     };
 
     /** Register all ElisaHc handlers with the hypervisor. */
@@ -141,6 +161,23 @@ class ElisaService
 
     /** VM-teardown hook: drop every piece of state tied to @p vm. */
     void onVmDestroyed(VmId vm);
+
+    /**
+     * Deny every Pending request naming export @p name: its manager
+     * died or revoked it, and the waiting guests must observe a
+     * defined error on their next Query instead of hanging.
+     */
+    void denyPendingRequestsFor(const std::string &name);
+
+    /**
+     * Destroy one attachment and remember (id -> owner) so a replayed
+     * Detach of the same id succeeds idempotently.
+     */
+    void retireAttachment(
+        std::map<AttachmentId, std::unique_ptr<Attachment>>::iterator it);
+
+    /** Remember a destroyed export for idempotent Revoke replays. */
+    void retireExport(ExportId id, VmId owner);
 
     // Individual handler bodies (dispatched from lambdas).
     std::uint64_t hcRegisterManager(cpu::Vcpu &vcpu);
@@ -179,6 +216,28 @@ class ElisaService
      * share that address space).
      */
     std::map<VmId, unsigned> slotCounters;
+
+    /**
+     * Recently destroyed attachments/exports, keyed to their one-time
+     * owner: a replayed Detach/Revoke (duplicated hypercall, guest
+     * retry after a lost reply) returns success instead of an error.
+     * Bounded FIFO-by-id so the maps cannot grow without limit.
+     */
+    std::map<AttachmentId, VmId> retiredAttachments;
+    std::map<ExportId, VmId> retiredExports;
+    static constexpr std::size_t retiredCap = 4096;
+
+    /** Per-manager bound on queued-but-unserved requests. */
+    std::size_t maxQueuedPerManager = 64;
+
+    // Interned robustness counters (hyper.stats()).
+    sim::StatId busyId = 0;
+    sim::StatId timeoutsId = 0;
+    sim::StatId orphanDeniedId = 0;
+    sim::StatId idempotentDetachesId = 0;
+    sim::StatId idempotentRevokesId = 0;
+    sim::StatId autoRevokesId = 0;
+    sim::StatId attachBuildFaultsId = 0;
 
     ExportId nextExportId = 1;
     RequestId nextRequestId = 1;

@@ -62,6 +62,21 @@ std::optional<std::uint64_t>
 ShmAllocator::alloc(std::uint64_t bytes)
 {
     panic_if(!formatted(), "alloc from unformatted region");
+    if (faults) {
+        const sim::FaultDecision fault = faults->onShmAlloc(bytes);
+        if (fault.action == sim::FaultAction::ShmExhaust)
+            return std::nullopt;
+        if (fault.action == sim::FaultAction::ShmCorrupt) {
+            // A misbehaving sharer scribbled over the region header;
+            // the magic check turns false and every later operation
+            // sees an unformatted region instead of following a
+            // poisoned free list.
+            Header h = readHeader();
+            h.magic = ~magicValue;
+            writeHeader(h);
+            return std::nullopt;
+        }
+    }
     if (bytes == 0)
         bytes = align;
     bytes = (bytes + align - 1) & ~(align - 1);

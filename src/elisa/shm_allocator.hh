@@ -20,6 +20,7 @@
 
 #include "base/types.hh"
 #include "cpu/guest_view.hh"
+#include "sim/fault.hh"
 
 namespace elisa::core
 {
@@ -57,6 +58,13 @@ class ShmAllocator
     /** Free a previously allocated payload offset. */
     void free(std::uint64_t payload_offset);
 
+    /**
+     * Attach a fault plan: alloc() then consults it and can be made to
+     * fail as if the region were exhausted, or to corrupt the region
+     * header (a misbehaving sharer scribbling over metadata).
+     */
+    void setFaultPlan(sim::FaultPlan *plan) { faults = plan; }
+
     /** Bytes currently free (sums the free list). */
     std::uint64_t freeBytes();
 
@@ -90,6 +98,7 @@ class ShmAllocator
 
     cpu::GuestView &view;
     Gpa base;
+    sim::FaultPlan *faults = nullptr;
 };
 
 } // namespace elisa::core

@@ -44,6 +44,12 @@ enum class Hc : std::uint64_t
 /** Returned by handlers / hypercalls to signal failure. */
 inline constexpr std::uint64_t hcError = ~std::uint64_t{0};
 
+/**
+ * Returned by handlers whose request queue is full: the call was
+ * *refused*, not failed — the caller should back off and retry.
+ */
+inline constexpr std::uint64_t hcBusy = ~std::uint64_t{0} - 1;
+
 /** A host-side hypercall handler. */
 using HypercallHandler =
     std::function<std::uint64_t(cpu::Vcpu &, const cpu::HypercallArgs &)>;

@@ -16,6 +16,12 @@ Hypervisor::Hypervisor(std::uint64_t phys_mem_bytes,
     // by id instead of hashing strings.
     hypercallsId = statSet.id("hypercalls");
     hypercallUnknownId = statSet.id("hypercall_unknown");
+    faultInjectedId = statSet.id("fault_injected");
+    faultDroppedId = statSet.id("fault_dropped");
+    faultDelayedId = statSet.id("fault_delayed");
+    faultDuplicatedId = statSet.id("fault_duplicated");
+    faultErrorsId = statSet.id("fault_errors");
+    faultVmKillsId = statSet.id("fault_vm_kills");
     for (unsigned r = 0; r < cpu::exitReasonCount; ++r) {
         exitIds[r] = statSet.id(
             std::string("exit_") +
@@ -75,11 +81,104 @@ Hypervisor::registerHypercall(std::uint64_t nr, HypercallHandler handler)
     hypercalls[nr] = std::move(handler);
 }
 
+unsigned
+Hypervisor::reapKilledVms(VmId except)
+{
+    unsigned reaped = 0;
+    std::vector<VmId> deferred;
+    while (!doomedVms.empty()) {
+        const VmId victim = doomedVms.back();
+        doomedVms.pop_back();
+        if (victim == except) {
+            deferred.push_back(victim);
+            continue;
+        }
+        if (!vms.contains(victim))
+            continue;
+        destroyVm(victim);
+        ++reaped;
+    }
+    doomedVms = std::move(deferred);
+    return reaped;
+}
+
 std::uint64_t
 Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
                             const cpu::HypercallArgs &args)
 {
     statSet.inc(hypercallsId);
+
+    if (faults != nullptr) {
+        // Tear down VMs whose injected death was deferred out of their
+        // own hypercall frames; the caller's own VM (whose vCPU is on
+        // the stack right now) is never touched here.
+        if (!doomedVms.empty())
+            reapKilledVms(vcpu.vm());
+
+        const sim::FaultDecision fault =
+            faults->onHypercall(vcpu.vm(), args.nr);
+        switch (fault.action) {
+          case sim::FaultAction::None:
+            break;
+          case sim::FaultAction::Drop:
+            // The request never reaches a handler; the caller sees
+            // the same error a lost message would produce.
+            statSet.inc(faultInjectedId);
+            statSet.inc(faultDroppedId);
+            return hcError;
+          case sim::FaultAction::Error:
+            // The handler fails outright.
+            statSet.inc(faultInjectedId);
+            statSet.inc(faultErrorsId);
+            return hcError;
+          case sim::FaultAction::Delay:
+            // Host-side stall (contention, scheduling) before the
+            // handler runs; charged to the caller.
+            statSet.inc(faultInjectedId);
+            statSet.inc(faultDelayedId);
+            vcpu.clock().advance(fault.param);
+            break;
+          case sim::FaultAction::Duplicate: {
+            // The message is replayed: the handler runs twice and the
+            // caller observes the *second* outcome — exactly the case
+            // idempotent Detach/Revoke must survive.
+            statSet.inc(faultInjectedId);
+            statSet.inc(faultDuplicatedId);
+            auto dup = hypercalls.find(args.nr);
+            if (dup == hypercalls.end()) {
+                statSet.inc(hypercallUnknownId);
+                return hcError;
+            }
+            dup->second(vcpu, args);
+            return dup->second(vcpu, args);
+          }
+          case sim::FaultAction::KillVm: {
+            statSet.inc(faultInjectedId);
+            statSet.inc(faultVmKillsId);
+            const VmId victim = static_cast<VmId>(fault.param);
+            if (victim == vcpu.vm()) {
+                // The caller dies mid-hypercall. Its frames (this
+                // dispatch, the vmcall below it) still reference the
+                // vCPU, so defer the actual teardown and unwind with
+                // the exit the hardware would deliver.
+                doomedVms.push_back(victim);
+                throw cpu::VmExitEvent(cpu::ExitReason::VmKilled,
+                                       victim);
+            }
+            // A third party (e.g. the manager serving this caller)
+            // dies right now; the handler then runs against a world
+            // where the peer is gone.
+            if (vms.contains(victim))
+                destroyVm(victim);
+            break;
+          }
+          default:
+            // Site-specific actions (GateStale, Shm*) are no-ops at
+            // the dispatcher.
+            break;
+        }
+    }
+
     auto it = hypercalls.find(args.nr);
     if (it == hypercalls.end()) {
         statSet.inc(hypercallUnknownId);

@@ -22,6 +22,7 @@
 #include "mem/frame_allocator.hh"
 #include "mem/host_memory.hh"
 #include "sim/cost_model.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace elisa::hv
@@ -67,6 +68,9 @@ class Hypervisor : public cpu::HypercallSink
     /** Look up a VM by id (panics on bad id). */
     Vm &vm(VmId id);
 
+    /** True when VM @p id exists (services probe before touching). */
+    bool hasVm(VmId id) const { return vms.contains(id); }
+
     /** Destroy a VM, releasing its RAM, EPT contexts and vCPUs.
      *  Registered destroy hooks run first (while the VM still
      *  exists), letting services revoke state tied to it. */
@@ -80,6 +84,28 @@ class Hypervisor : public cpu::HypercallSink
 
     /** Number of live VMs. */
     std::size_t vmCount() const { return vms.size(); }
+
+    // ---- fault injection -------------------------------------------
+    /**
+     * Install (or with nullptr remove) a fault plan. Non-owning: the
+     * plan must outlive its installation. With no plan installed the
+     * hooked paths cost one pointer test and nothing else.
+     */
+    void setFaultPlan(sim::FaultPlan *plan) { faults = plan; }
+
+    /** The installed fault plan, or nullptr. */
+    sim::FaultPlan *faultPlan() const { return faults; }
+
+    /**
+     * Destroy VMs whose injected death happened inside their own
+     * hypercall (the teardown is deferred past the unwinding guest
+     * frames). Runs automatically at the next hypercall dispatch;
+     * tests may call it directly.
+     * @param except VM id to leave alone (a VM whose frames are still
+     *        live on the stack); invalidVmId reaps everything.
+     * @return number of VMs reaped.
+     */
+    unsigned reapKilledVms(VmId except = invalidVmId);
 
     // ---- hypercalls --------------------------------------------------
     /**
@@ -169,9 +195,21 @@ class Hypervisor : public cpu::HypercallSink
         static_cast<std::uint64_t>(Hc::ServiceBase);
     std::vector<VmDestroyHook> destroyHooks;
 
+    /** Installed fault plan (nullptr = fault injection off). */
+    sim::FaultPlan *faults = nullptr;
+
+    /** VMs killed mid-own-hypercall, awaiting a safe teardown point. */
+    std::vector<VmId> doomedVms;
+
     // Interned hot/fault-path counter ids (resolved at construction).
     sim::StatId hypercallsId = 0;
     sim::StatId hypercallUnknownId = 0;
+    sim::StatId faultInjectedId = 0;
+    sim::StatId faultDroppedId = 0;
+    sim::StatId faultDelayedId = 0;
+    sim::StatId faultDuplicatedId = 0;
+    sim::StatId faultErrorsId = 0;
+    sim::StatId faultVmKillsId = 0;
     sim::StatId exitIds[cpu::exitReasonCount] = {};
 
     friend class Vm; // Vm construction pulls frames/vcpu ids.

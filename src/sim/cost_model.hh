@@ -67,6 +67,14 @@ struct CostModel
     /** One hop of the guest<->hypervisor<->manager negotiation. */
     SimNs negotiationHopNs = 1400;
 
+    /**
+     * How long an attach request may sit Pending (manager unresponsive
+     * or dead) before Query reports it timed out and reaps it. Far
+     * above any legitimate manager turnaround, so the happy path never
+     * observes it.
+     */
+    SimNs negotiationTimeoutNs = 10'000'000;
+
     // ---- KVS workload ----------------------------------------------
     /** Core of one GET (hash + probe + read) inside the shared region. */
     SimNs kvsGetCoreNs = 590;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated machine.
+ *
+ * A FaultPlan is a scripted + seeded description of everything that is
+ * allowed to go wrong in one run: hypercalls can be dropped, delayed,
+ * duplicated, or failed; a VM (guest or manager) can be killed at any
+ * protocol step; gate calls can hit a stale EPTP-list entry; shared-
+ * memory allocations can be exhausted or corrupted.
+ *
+ * Two sources of decisions, both bit-reproducible:
+ *
+ *  - rules: "on the Nth occurrence of hypercall X from VM Y, do Z" —
+ *    exact, counted matching for protocol-step kill matrices;
+ *  - chances: per-site probabilities drawn from a seeded sim::Rng —
+ *    chaos testing that replays identically from the seed.
+ *
+ * The plan keeps an append-only event log of every injected fault, so
+ * a failing run's fault schedule can be printed and replayed exactly.
+ * Layering: this file knows nothing about vCPUs or the hypervisor —
+ * hooks receive plain ids and the *caller* applies the decision — so
+ * the subsystem sits at the bottom of the tree next to Rng and Clock.
+ *
+ * Cost discipline: an *absent* plan (the default) is one null-pointer
+ * test on each hooked path, and a zero-fault plan draws no random
+ * numbers and perturbs no clock — disabled fault hooks are free.
+ */
+
+#ifndef ELISA_SIM_FAULT_HH
+#define ELISA_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/rng.hh"
+
+namespace elisa::sim
+{
+
+/** What an injected fault does to the hooked operation. */
+enum class FaultAction : std::uint8_t
+{
+    /** No fault: proceed normally. */
+    None,
+    /** The message never arrives; the caller sees a failure. */
+    Drop,
+    /** The operation completes after an extra param nanoseconds. */
+    Delay,
+    /** The message is replayed: the operation runs twice. */
+    Duplicate,
+    /** The handler fails: the caller sees an error return. */
+    Error,
+    /** VM param dies at this point (guest or manager). */
+    KillVm,
+    /** A gate call finds its EPTP-list entry cleared (revoked). */
+    GateStale,
+    /** A shared-memory allocation finds no free block. */
+    ShmExhaust,
+    /** The shared region's header is corrupted before the operation. */
+    ShmCorrupt,
+};
+
+/** Render a fault action (event log / debugging). */
+const char *faultActionToString(FaultAction action);
+
+/**
+ * Hook sites that consult the plan. A rule only fires at sites where
+ * its action is meaningful (a GateStale rule never matches a hypercall
+ * dispatch, a Drop rule never matches a shared-memory allocation), so
+ * wildcard rules cannot be consumed by the wrong subsystem.
+ */
+enum class FaultSite : std::uint8_t
+{
+    Hypercall,
+    Gate,
+    ShmAlloc,
+    AttachBuild,
+};
+
+/** Wildcard for FaultRule match fields. */
+inline constexpr std::uint64_t faultAny = ~std::uint64_t{0};
+
+/**
+ * One scripted fault: fires when a hook event matches every non-
+ * wildcard field and the per-rule match counter reaches occurrence.
+ */
+struct FaultRule
+{
+    /** Match: hypercall number (hypercall hook), or faultAny. */
+    std::uint64_t hcNr = faultAny;
+
+    /** Match: acting VM id, or faultAny. */
+    std::uint64_t vm = faultAny;
+
+    /** Fire on the Nth matching event (1-based). */
+    std::uint64_t occurrence = 1;
+
+    /** Keep firing on every match at or beyond occurrence. */
+    bool repeat = false;
+
+    FaultAction action = FaultAction::None;
+
+    /** Action parameter: delay ns (Delay) or victim VM id (KillVm). */
+    std::uint64_t param = 0;
+};
+
+/** Outcome of consulting the plan at one hook site. */
+struct FaultDecision
+{
+    FaultAction action = FaultAction::None;
+    std::uint64_t param = 0;
+};
+
+/**
+ * The per-run fault schedule. Install on a Hypervisor (hypercall and
+ * gate hooks) and/or a ShmAllocator; ownership stays with the caller.
+ */
+class FaultPlan
+{
+  public:
+    /** @param seed drives every probabilistic decision. */
+    explicit FaultPlan(std::uint64_t seed = 0) : rng(seed) {}
+
+    /** Append a scripted rule (evaluated in insertion order). */
+    void addRule(const FaultRule &rule);
+
+    /** Convenience: kill @p victim on the Nth call of @p hc_nr. */
+    void killVmAt(std::uint64_t hc_nr, std::uint64_t victim,
+                  std::uint64_t occurrence = 1);
+
+    // ---- chaos knobs (all default off) ----------------------------
+    /** Probability that any hypercall is dropped. */
+    void setDropChance(double p) { dropChance = p; }
+
+    /** Probability (and mean ns) of a random hypercall delay. */
+    void
+    setDelayChance(double p, SimNs mean_ns)
+    {
+        delayChance = p;
+        delayMeanNs = mean_ns;
+    }
+
+    /** Probability that any hypercall is duplicated (replayed). */
+    void setDuplicateChance(double p) { duplicateChance = p; }
+
+    // ---- hook sites (called by the instrumented subsystems) --------
+    /** A VM issued hypercall @p nr. */
+    FaultDecision onHypercall(std::uint64_t vm, std::uint64_t nr);
+
+    /** A vCPU of VM @p vm is entering the exit-less gate path. */
+    FaultDecision onGateCall(std::uint64_t vm);
+
+    /** An allocation of @p bytes from a shared region. */
+    FaultDecision onShmAlloc(std::uint64_t bytes);
+
+    /** The negotiation is about to build an attachment for @p vm. */
+    FaultDecision onAttachBuild(std::uint64_t vm);
+
+    // ---- observability --------------------------------------------
+    /** Every injected fault, one line each, in injection order. */
+    const std::string &eventLog() const { return log; }
+
+    /** Total faults injected so far. */
+    std::uint64_t injectedCount() const { return injected; }
+
+  private:
+    struct CountedRule
+    {
+        FaultRule rule;
+        std::uint64_t matches = 0;
+        bool spent = false;
+    };
+
+    /**
+     * First firing rule wins; chance draws only run when the matching
+     * site has a non-zero probability configured (so a rules-only or
+     * empty plan consumes no randomness at all).
+     */
+    FaultDecision decide(FaultSite site, std::uint64_t vm,
+                         std::uint64_t nr, bool allow_chance);
+
+    void record(FaultSite site, std::uint64_t vm, std::uint64_t nr,
+                const FaultDecision &decision);
+
+    Rng rng;
+    std::vector<CountedRule> rules;
+    double dropChance = 0.0;
+    double delayChance = 0.0;
+    SimNs delayMeanNs = 0;
+    double duplicateChance = 0.0;
+    std::uint64_t injected = 0;
+    std::string log;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_FAULT_HH

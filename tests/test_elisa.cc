@@ -315,8 +315,11 @@ TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
     EXPECT_EQ(svc.attachmentCount(), 0u);
     auto result = guestVm.run(0, [&] { gate->call(3); });
     EXPECT_FALSE(result.ok);
-    // Unknown id fails gracefully.
-    EXPECT_FALSE(manager.revoke(exp->id));
+    // A replayed Revoke of the id just retired is idempotent: the
+    // owner re-sending after a lost reply must see success.
+    EXPECT_TRUE(manager.revoke(exp->id));
+    // A never-issued id still fails gracefully.
+    EXPECT_FALSE(manager.revoke(exp->id + 1000));
 }
 
 TEST_F(ElisaTest, DumpStateReflectsLifecycle)

@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Fault-injection tests: the deterministic FaultPlan, the hypercall
+ * fault actions (drop / delay / duplicate / error / kill), the
+ * protocol-step kill matrix (either party dies at every negotiation
+ * step and the machine converges to a clean state), gate staleness,
+ * shared-memory allocation faults, and the recovery machinery
+ * (timeouts, retry/backoff, manager-death auto-revocation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "elisa/shm_allocator.hh"
+#include "hv/hypervisor.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::core;
+
+std::uint64_t
+nr(ElisaHc hc)
+{
+    return static_cast<std::uint64_t>(hc);
+}
+
+/** A minimal function table: fn 0 returns 42. */
+SharedFnTable
+constFns()
+{
+    SharedFnTable fns;
+    fns.push_back([](SubCallCtx &) { return std::uint64_t{42}; });
+    return fns;
+}
+
+// ===================================================================
+// The protocol-step kill matrix.
+//
+// Every negotiation step is driven with raw hypercalls, each wrapped
+// in Vm::run so an injected death of the *caller* unwinds exactly like
+// a hardware VM exit. A scripted FaultPlan kills one party at one
+// step; afterwards the world must have converged: no attachment or
+// request survives, no EPTP-list entry dangles, the surviving guest
+// observes a defined error (never a hang), and destroying the
+// remaining VMs returns the frame allocator to its baseline.
+// ===================================================================
+
+/** Drives one full negotiation against a fresh machine. */
+class ProtocolDriver
+{
+  public:
+    ProtocolDriver(hv::Hypervisor &hv, ElisaService &service)
+        : hyper(hv), svc(service)
+    {
+        hv::Vm &mgr = hv.createVm("manager", 16 * MiB);
+        hv::Vm &gst = hv.createVm("guest", 16 * MiB);
+        managerId = mgr.id();
+        guestId = gst.id();
+
+        mgrScratch = *mgr.allocGuestMem(pageSize);
+        mgrObject = *mgr.allocGuestMem(4 * KiB);
+        gstScratch = *gst.allocGuestMem(pageSize);
+
+        // Stage the export name and function table up front so no
+        // step needs guest memory writes after a kill.
+        cpu::GuestView mv(mgr.vcpu(0));
+        mv.writeBytes(mgrScratch, "obj", 3);
+        cpu::GuestView gv(gst.vcpu(0));
+        gv.writeBytes(gstScratch, "obj", 3);
+        svc.stageFunctions(managerId, constFns());
+    }
+
+    /**
+     * Issue one hypercall from @p actor, skipping silently when the
+     * actor is already dead, and reaping any deferred kill afterwards.
+     * @return the hypercall's rax, or hv::hcError when skipped or the
+     *         caller died mid-call.
+     */
+    std::uint64_t
+    step(VmId actor, const cpu::HypercallArgs &args)
+    {
+        std::uint64_t rc = hv::hcError;
+        if (hyper.hasVm(actor)) {
+            hv::Vm &vm = hyper.vm(actor);
+            vm.run(0, [&] { rc = vm.vcpu(0).vmcall(args); });
+        }
+        hyper.reapKilledVms();
+        return rc;
+    }
+
+    /** Run the whole protocol, tolerating failure at every step. */
+    void
+    runAll()
+    {
+        cpu::HypercallArgs args;
+        args.nr = nr(ElisaHc::RegisterManager);
+        step(managerId, args);
+
+        args = {};
+        args.nr = nr(ElisaHc::Export);
+        args.arg0 = mgrScratch;
+        args.arg1 = 3;
+        args.arg2 = mgrObject;
+        args.arg3 = 4 * KiB;
+        step(managerId, args);
+
+        args = {};
+        args.nr = nr(ElisaHc::AttachRequest);
+        args.arg0 = gstScratch;
+        args.arg1 = 3;
+        const std::uint64_t req = step(guestId, args);
+        if (req != hv::hcError && req != hv::hcBusy)
+            rid = static_cast<RequestId>(req);
+
+        args = {};
+        args.nr = nr(ElisaHc::NextRequest);
+        args.arg0 = mgrScratch;
+        step(managerId, args);
+
+        if (rid) {
+            args = {};
+            args.nr = nr(ElisaHc::Approve);
+            args.arg0 = *rid;
+            step(managerId, args);
+
+            args = {};
+            args.nr = nr(ElisaHc::Query);
+            args.arg0 = *rid;
+            args.arg1 = gstScratch;
+            const std::uint64_t state = step(guestId, args);
+            if (state ==
+                static_cast<std::uint64_t>(RequestState::Approved) &&
+                hyper.hasVm(guestId)) {
+                cpu::GuestView gv(hyper.vm(guestId).vcpu(0));
+                wire = gv.read<WireAttachResult>(gstScratch);
+            }
+        }
+
+        if (wire && hyper.hasVm(guestId)) {
+            // Exercise the data path; a revoked attachment faults.
+            hv::Vm &gst = hyper.vm(guestId);
+            Gate gate(gst.vcpu(0), svc, wire->info);
+            gst.run(0, [&] { gate.call(0); });
+            hyper.reapKilledVms();
+        }
+
+        if (wire) {
+            args = {};
+            args.nr = nr(ElisaHc::Detach);
+            args.arg0 = wire->info.attachment;
+            step(guestId, args);
+        }
+    }
+
+    hv::Hypervisor &hyper;
+    ElisaService &svc;
+    VmId managerId = invalidVmId;
+    VmId guestId = invalidVmId;
+    Gpa mgrScratch = 0;
+    Gpa mgrObject = 0;
+    Gpa gstScratch = 0;
+    std::optional<RequestId> rid;
+    std::optional<WireAttachResult> wire;
+};
+
+TEST(FaultKillMatrix, EveryStepSurvivesEitherPartyDying)
+{
+    const ElisaHc steps[] = {
+        ElisaHc::RegisterManager, ElisaHc::Export,
+        ElisaHc::AttachRequest,   ElisaHc::NextRequest,
+        ElisaHc::Approve,         ElisaHc::Query,
+        ElisaHc::Detach,
+    };
+
+    for (const ElisaHc killStep : steps) {
+        for (const bool killManager : {true, false}) {
+            SCOPED_TRACE(std::string("kill ") +
+                         (killManager ? "manager" : "guest") +
+                         " at hc 0x" +
+                         std::to_string(nr(killStep)));
+
+            hv::Hypervisor hv(256 * MiB);
+            ElisaService svc(hv);
+            const std::uint64_t baseline = hv.allocator().allocated();
+
+            ProtocolDriver drv(hv, svc);
+            sim::FaultPlan plan;
+            plan.killVmAt(nr(killStep),
+                          killManager ? drv.managerId : drv.guestId);
+            hv.setFaultPlan(&plan);
+
+            drv.runAll();
+            hv.reapKilledVms();
+
+            // The targeted victim is gone (the rule fires unless the
+            // protocol never reached the step, e.g. Approve/Query/
+            // Detach after an earlier collapse).
+            if (plan.injectedCount() > 0) {
+                EXPECT_FALSE(hv.hasVm(killManager ? drv.managerId
+                                                  : drv.guestId));
+            }
+
+            // Converged: nothing half-torn-down survives.
+            EXPECT_EQ(svc.attachmentCount(), 0u);
+            EXPECT_EQ(svc.requestCount(), 0u);
+            if (!hv.hasVm(drv.managerId)) {
+                EXPECT_EQ(svc.exportCount(), 0u);
+            }
+
+            // A surviving guest is unblocked: a fresh Query of its
+            // request id yields a defined error, never Pending.
+            if (drv.rid && hv.hasVm(drv.guestId)) {
+                cpu::HypercallArgs q;
+                q.nr = nr(ElisaHc::Query);
+                q.arg0 = *drv.rid;
+                q.arg1 = drv.gstScratch;
+                const std::uint64_t state =
+                    hv.vm(drv.guestId).vcpu(0).vmcall(q);
+                EXPECT_NE(
+                    state,
+                    static_cast<std::uint64_t>(RequestState::Pending));
+            }
+
+            // No dangling EPTP-list entries on a surviving guest.
+            if (drv.wire && hv.hasVm(drv.guestId)) {
+                auto &list = hv.vm(drv.guestId).vcpu(0).eptpList();
+                EXPECT_FALSE(list.lookup(drv.wire->info.gateIndex));
+                EXPECT_FALSE(list.lookup(drv.wire->info.subIndex));
+            }
+
+            // No leaked frames once the survivors are destroyed.
+            for (const VmId id : {drv.managerId, drv.guestId}) {
+                if (hv.hasVm(id))
+                    hv.destroyVm(id);
+            }
+            EXPECT_EQ(hv.allocator().allocated(), baseline);
+        }
+    }
+}
+
+// ===================================================================
+// Individual fault actions.
+// ===================================================================
+
+/** Fixture with one manager, one guest, and a fault plan slot. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    FaultTest()
+        : hv(256 * MiB), svc(hv),
+          managerVm(hv.createVm("manager", 16 * MiB)),
+          guestVm(hv.createVm("guest", 16 * MiB)),
+          manager(managerVm, svc), guest(guestVm, svc)
+    {
+    }
+
+    hv::Hypervisor hv;
+    ElisaService svc;
+    hv::Vm &managerVm;
+    hv::Vm &guestVm;
+    ElisaManager manager;
+    ElisaGuest guest;
+    sim::FaultPlan plan;
+};
+
+TEST_F(FaultTest, DropFailsTheHypercall)
+{
+    sim::FaultRule rule;
+    rule.hcNr = static_cast<std::uint64_t>(hv::Hc::Nop);
+    rule.action = sim::FaultAction::Drop;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    cpu::HypercallArgs args; // Nop
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), hv::hcError);
+    EXPECT_EQ(hv.stats().get("fault_dropped"), 1u);
+    // The rule is spent: the retry succeeds.
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), 0u);
+    EXPECT_EQ(plan.injectedCount(), 1u);
+}
+
+TEST_F(FaultTest, ErrorFailsTheHypercall)
+{
+    sim::FaultRule rule;
+    rule.hcNr = static_cast<std::uint64_t>(hv::Hc::GetVmId);
+    rule.action = sim::FaultAction::Error;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(hv::Hc::GetVmId);
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), hv::hcError);
+    EXPECT_EQ(hv.stats().get("fault_errors"), 1u);
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args),
+              std::uint64_t{guestVm.id()});
+}
+
+TEST_F(FaultTest, DelayChargesTheCallerAndCompletes)
+{
+    const SimNs extra = 123456;
+    sim::FaultRule rule;
+    rule.hcNr = static_cast<std::uint64_t>(hv::Hc::Nop);
+    rule.action = sim::FaultAction::Delay;
+    rule.param = extra;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    cpu::HypercallArgs args; // Nop
+    const SimNs t0 = guestVm.vcpu(0).clock().now();
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), 0u);
+    const SimNs slow = guestVm.vcpu(0).clock().now() - t0;
+
+    const SimNs t1 = guestVm.vcpu(0).clock().now();
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), 0u);
+    const SimNs fast = guestVm.vcpu(0).clock().now() - t1;
+
+    EXPECT_EQ(slow - fast, extra);
+    EXPECT_EQ(hv.stats().get("fault_delayed"), 1u);
+}
+
+TEST_F(FaultTest, DuplicateRunsTheHandlerTwice)
+{
+    unsigned invocations = 0;
+    hv.registerHypercall(0x900, [&](cpu::Vcpu &,
+                                    const cpu::HypercallArgs &) {
+        return std::uint64_t{++invocations};
+    });
+
+    sim::FaultRule rule;
+    rule.hcNr = 0x900;
+    rule.action = sim::FaultAction::Duplicate;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    cpu::HypercallArgs args;
+    args.nr = 0x900;
+    // The caller observes the SECOND run's result.
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), 2u);
+    EXPECT_EQ(invocations, 2u);
+    EXPECT_EQ(hv.stats().get("fault_duplicated"), 1u);
+}
+
+TEST_F(FaultTest, DuplicatedDetachIsIdempotent)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    sim::FaultRule rule;
+    rule.hcNr = nr(ElisaHc::Detach);
+    rule.action = sim::FaultAction::Duplicate;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    // The duplicated Detach replays against an already-detached id;
+    // the idempotent path answers success, so the guest sees no error.
+    EXPECT_TRUE(guest.detach(*gate));
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_EQ(hv.stats().get("elisa_idempotent_detaches"), 1u);
+}
+
+TEST_F(FaultTest, KillThirdPartyIsImmediate)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    const VmId victim = managerVm.id();
+    plan.killVmAt(static_cast<std::uint64_t>(hv::Hc::Nop), victim);
+    hv.setFaultPlan(&plan);
+
+    // The guest's Nop triggers the manager's death; by the time the
+    // handler returns, the manager and its exports are gone.
+    cpu::HypercallArgs args; // Nop
+    EXPECT_EQ(guestVm.vcpu(0).vmcall(args), 0u);
+    EXPECT_FALSE(hv.hasVm(victim));
+    EXPECT_EQ(svc.exportCount(), 0u);
+    EXPECT_EQ(hv.stats().get("fault_vm_kills"), 1u);
+    EXPECT_EQ(hv.stats().get("elisa_auto_revokes"), 1u);
+}
+
+TEST_F(FaultTest, KillCallerIsDeferredPastItsOwnFrames)
+{
+    const VmId victim = guestVm.id();
+    plan.killVmAt(static_cast<std::uint64_t>(hv::Hc::Nop), victim);
+    hv.setFaultPlan(&plan);
+
+    auto result = guestVm.run(0, [&] {
+        cpu::HypercallArgs args; // Nop
+        guestVm.vcpu(0).vmcall(args);
+    });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmKilled);
+
+    // The teardown is deferred while guest frames could still be
+    // live; an explicit reap (or the next dispatch) completes it.
+    EXPECT_TRUE(hv.hasVm(victim));
+    EXPECT_EQ(hv.reapKilledVms(), 1u);
+    EXPECT_FALSE(hv.hasVm(victim));
+}
+
+TEST_F(FaultTest, GateStaleFaultsLikeARevokedAttachment)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+
+    sim::FaultRule rule;
+    rule.action = sim::FaultAction::GateStale;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    const std::uint64_t fails0 =
+        guestVm.vcpu(0).stats().get("vmfunc_fail");
+    auto result = guestVm.run(0, [&] { gate->call(0); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+    EXPECT_EQ(guestVm.vcpu(0).stats().get("vmfunc_fail"), fails0 + 1);
+
+    // One-shot rule: the attachment is actually intact, so the next
+    // call goes through.
+    EXPECT_EQ(gate->call(0), 42u);
+}
+
+TEST_F(FaultTest, ShmExhaustAndCorrupt)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 16 * KiB, constFns()));
+    auto obj = manager.exportObject("region", 16 * KiB, constFns());
+    ASSERT_TRUE(obj);
+
+    cpu::GuestView view = manager.view();
+    ShmAllocator shm(view, obj->objectGpa);
+    shm.format(16 * KiB);
+    shm.setFaultPlan(&plan);
+
+    sim::FaultRule rule;
+    rule.action = sim::FaultAction::ShmExhaust;
+    plan.addRule(rule);
+
+    // Injected exhaustion: the allocation fails, the region survives.
+    EXPECT_FALSE(shm.alloc(64));
+    EXPECT_TRUE(shm.formatted());
+    // Rule spent: allocation works again.
+    EXPECT_TRUE(shm.alloc(64));
+
+    sim::FaultRule corrupt;
+    corrupt.action = sim::FaultAction::ShmCorrupt;
+    plan.addRule(corrupt);
+
+    // Injected corruption: the magic check turns false, so users see
+    // "unformatted" instead of walking a poisoned free list.
+    EXPECT_FALSE(shm.alloc(64));
+    EXPECT_FALSE(shm.formatted());
+}
+
+TEST_F(FaultTest, EventLogRecordsEveryInjection)
+{
+    sim::FaultRule rule;
+    rule.hcNr = static_cast<std::uint64_t>(hv::Hc::Nop);
+    rule.action = sim::FaultAction::Drop;
+    plan.addRule(rule);
+    plan.killVmAt(static_cast<std::uint64_t>(hv::Hc::GetVmId),
+                  managerVm.id());
+    hv.setFaultPlan(&plan);
+
+    cpu::HypercallArgs args; // Nop
+    guestVm.vcpu(0).vmcall(args);
+    args.nr = static_cast<std::uint64_t>(hv::Hc::GetVmId);
+    guestVm.vcpu(0).vmcall(args);
+
+    EXPECT_EQ(plan.injectedCount(), 2u);
+    const std::string &log = plan.eventLog();
+    EXPECT_NE(log.find("drop"), std::string::npos);
+    EXPECT_NE(log.find("kill_vm"), std::string::npos);
+    EXPECT_NE(log.find("#1 hc"), std::string::npos);
+    EXPECT_NE(log.find("#2 hc"), std::string::npos);
+}
+
+TEST_F(FaultTest, ZeroFaultPlanIsInvisible)
+{
+    hv.setFaultPlan(&plan); // no rules, no chances
+
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(gate->call(0), 42u);
+    EXPECT_TRUE(guest.detach(*gate));
+
+    EXPECT_EQ(plan.injectedCount(), 0u);
+    EXPECT_TRUE(plan.eventLog().empty());
+    EXPECT_EQ(hv.stats().get("fault_injected"), 0u);
+}
+
+// ===================================================================
+// Recovery machinery: timeouts, retry/backoff, manager death.
+// ===================================================================
+
+TEST_F(FaultTest, PendingRequestTimesOutInsteadOfHanging)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+
+    // The manager never polls; past the bound the guest's Query
+    // observes TimedOut and the request is reaped.
+    guest.vcpu().clock().advance(hv.cost().negotiationTimeoutNs + 1);
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_TRUE(guest.lastTimedOut());
+    EXPECT_FALSE(guest.lastDenied());
+    EXPECT_EQ(svc.requestCount(), 0u);
+    EXPECT_EQ(hv.stats().get("elisa_timeouts"), 1u);
+}
+
+TEST_F(FaultTest, ManagerDeathDeniesWaitersAndRevokesExports)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    auto held = guest.attach("kv", manager);
+    ASSERT_TRUE(held);
+    const EptpIndex gateIdx = held->info().gateIndex;
+    const EptpIndex subIdx = held->info().subIndex;
+
+    // A second request is still pending when the manager dies.
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    hv.destroyVm(managerVm.id());
+
+    // The waiter observes Denied, not a hang.
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_TRUE(guest.lastDenied());
+    EXPECT_EQ(hv.stats().get("elisa_orphan_denied"), 1u);
+
+    // The export and the live attachment are gone; the guest's
+    // EPTP-list entries were removed, so the data path faults.
+    EXPECT_EQ(svc.exportCount(), 0u);
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_FALSE(guestVm.vcpu(0).eptpList().lookup(gateIdx));
+    EXPECT_FALSE(guestVm.vcpu(0).eptpList().lookup(subIdx));
+    auto result = guestVm.run(0, [&] { held->call(0); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+
+    // Detach of the torn-down attachment is idempotent, not an error.
+    EXPECT_TRUE(guest.detach(*held));
+}
+
+TEST_F(FaultTest, AttachWithRetrySurvivesDroppedHypercalls)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+
+    // Drop the first AttachRequest and the first Query; the bounded
+    // retry loop re-requests and succeeds.
+    sim::FaultRule drop;
+    drop.hcNr = nr(ElisaHc::AttachRequest);
+    drop.action = sim::FaultAction::Drop;
+    plan.addRule(drop);
+    drop.hcNr = nr(ElisaHc::Query);
+    plan.addRule(drop);
+    hv.setFaultPlan(&plan);
+
+    auto gate = guest.attachWithRetry(
+        "kv", [&] { manager.pollRequests(); });
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(gate->call(0), 42u);
+    EXPECT_EQ(plan.injectedCount(), 2u);
+    EXPECT_GE(guest.vcpu().stats().get("elisa_attach_retries"), 1u);
+}
+
+TEST_F(FaultTest, AttachWithRetryGivesUpOnDeadManager)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    plan.killVmAt(nr(ElisaHc::AttachRequest), managerVm.id());
+    hv.setFaultPlan(&plan);
+
+    // The manager dies while the request hypercall is in flight: the
+    // export is auto-revoked and the request denied, so the retry
+    // loop terminates with a definitive failure instead of spinning.
+    auto gate = guest.attachWithRetry("kv");
+    EXPECT_FALSE(gate);
+    EXPECT_FALSE(hv.hasVm(managerVm.id()));
+    EXPECT_EQ(svc.requestCount(), 0u);
+}
+
+TEST_F(FaultTest, AttachBuildFaultDeniesCleanly)
+{
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+
+    sim::FaultRule rule;
+    rule.action = sim::FaultAction::ShmExhaust; // build-resource fault
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    auto gate = guest.attach("kv", manager);
+    EXPECT_FALSE(gate);
+    EXPECT_TRUE(guest.lastDenied());
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_EQ(hv.stats().get("elisa_attach_build_faults"), 1u);
+
+    // Transient: with the rule spent, the same attach succeeds.
+    auto retry = guest.attach("kv", manager);
+    ASSERT_TRUE(retry);
+    EXPECT_EQ(retry->call(0), 42u);
+}
+
+TEST_F(FaultTest, ChaosSeedIsReproducible)
+{
+    // Two plans with the same seed must inject the identical fault
+    // schedule; a different seed must diverge (with overwhelming
+    // probability over 200 draws).
+    auto schedule = [&](std::uint64_t seed) {
+        sim::FaultPlan p(seed);
+        p.setDropChance(0.2);
+        p.setDelayChance(0.2, 500);
+        std::string out;
+        for (unsigned i = 0; i < 200; ++i) {
+            const auto d = p.onHypercall(7, 0x100 + (i % 9));
+            out += std::to_string(static_cast<int>(d.action)) + ":" +
+                   std::to_string(d.param) + ";";
+        }
+        return out + p.eventLog();
+    };
+
+    EXPECT_EQ(schedule(42), schedule(42));
+    EXPECT_NE(schedule(42), schedule(43));
+}
+
+} // anonymous namespace

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Adversarial negotiation tests: malformed and hostile hypercall
+ * inputs must each produce a defined error and leave the service
+ * state unchanged — no panic, no hang, no cross-guest leakage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/units.hh"
+#include "elisa/gate.hh"
+#include "elisa/guest_api.hh"
+#include "elisa/manager.hh"
+#include "elisa/negotiation.hh"
+#include "hv/hypervisor.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::core;
+
+std::uint64_t
+nr(ElisaHc hc)
+{
+    return static_cast<std::uint64_t>(hc);
+}
+
+SharedFnTable
+constFns()
+{
+    SharedFnTable fns;
+    fns.push_back([](SubCallCtx &) { return std::uint64_t{42}; });
+    return fns;
+}
+
+/** One manager with an export, two independent guests. */
+class AdversarialTest : public ::testing::Test
+{
+  protected:
+    AdversarialTest()
+        : hv(256 * MiB), svc(hv),
+          managerVm(hv.createVm("manager", 16 * MiB)),
+          guestVm(hv.createVm("guest", 16 * MiB)),
+          otherVm(hv.createVm("other", 16 * MiB)),
+          manager(managerVm, svc), guest(guestVm, svc),
+          other(otherVm, svc)
+    {
+        exported = manager.exportObject("kv", 4 * KiB, constFns());
+    }
+
+    /** Snapshot the externally visible service state. */
+    std::string
+    snapshot()
+    {
+        return svc.dumpState();
+    }
+
+    /** Issue a raw hypercall from @p vm's vCPU 0. */
+    std::uint64_t
+    raw(hv::Vm &vm, ElisaHc hc, std::uint64_t a0 = 0,
+        std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+        std::uint64_t a3 = 0)
+    {
+        cpu::HypercallArgs args;
+        args.nr = nr(hc);
+        args.arg0 = a0;
+        args.arg1 = a1;
+        args.arg2 = a2;
+        args.arg3 = a3;
+        return vm.vcpu(0).vmcall(args);
+    }
+
+    hv::Hypervisor hv;
+    ElisaService svc;
+    hv::Vm &managerVm;
+    hv::Vm &guestVm;
+    hv::Vm &otherVm;
+    ElisaManager manager;
+    ElisaGuest guest;
+    ElisaGuest other;
+    std::optional<ElisaManager::Exported> exported;
+};
+
+TEST_F(AdversarialTest, BogusRequestIdsAreRejected)
+{
+    const std::string before = snapshot();
+
+    // Approve / Deny / Query of ids that never existed.
+    EXPECT_EQ(raw(managerVm, ElisaHc::Approve, 0xdeadbeef),
+              hv::hcError);
+    EXPECT_EQ(raw(managerVm, ElisaHc::Deny, 0xdeadbeef), hv::hcError);
+    EXPECT_EQ(raw(guestVm, ElisaHc::Query, 0xdeadbeef, 0x1000),
+              hv::hcError);
+    // Detach / Revoke of ids that never existed.
+    EXPECT_EQ(raw(guestVm, ElisaHc::Detach, 0xdeadbeef), hv::hcError);
+    EXPECT_EQ(raw(managerVm, ElisaHc::Revoke, 0xdeadbeef), hv::hcError);
+
+    EXPECT_EQ(snapshot(), before);
+}
+
+TEST_F(AdversarialTest, DoubleApproveFailsWithoutSecondAttachment)
+{
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    ASSERT_EQ(manager.pollRequests(), 1u);
+    ASSERT_EQ(svc.attachmentCount(), 1u);
+
+    // The request is Approved, not Pending: a replayed Approve must
+    // not build a second attachment.
+    EXPECT_EQ(raw(managerVm, ElisaHc::Approve, *req), hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+}
+
+TEST_F(AdversarialTest, ApproveAfterDenyFails)
+{
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    EXPECT_EQ(raw(managerVm, ElisaHc::Deny, *req), 0u);
+    // The die is cast: the manager cannot change its mind.
+    EXPECT_EQ(raw(managerVm, ElisaHc::Approve, *req), hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_TRUE(guest.lastDenied());
+}
+
+TEST_F(AdversarialTest, GuestCannotDetachAnothersAttachment)
+{
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    const AttachmentId aid = gate->info().attachment;
+
+    // A different guest guessing the attachment id gets an error and
+    // the victim's attachment survives.
+    EXPECT_EQ(raw(otherVm, ElisaHc::Detach, aid), hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+    EXPECT_EQ(gate->call(0), 42u);
+
+    // Nor can it replay the victim's detach after the fact: the
+    // idempotent path is keyed to the one-time owner.
+    EXPECT_TRUE(guest.detach(*gate));
+    EXPECT_EQ(raw(otherVm, ElisaHc::Detach, aid), hv::hcError);
+}
+
+TEST_F(AdversarialTest, GuestCannotQueryAnothersRequest)
+{
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+
+    // Another guest probing the request id learns nothing and does
+    // not consume the request.
+    EXPECT_EQ(raw(otherVm, ElisaHc::Query, *req, 0x1000), hv::hcError);
+    EXPECT_EQ(svc.requestCount(), 1u);
+
+    ASSERT_EQ(manager.pollRequests(), 1u);
+    EXPECT_TRUE(guest.completeAttach(*req));
+}
+
+TEST_F(AdversarialTest, QuerySpamIsHarmless)
+{
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+
+    // Spamming Query on a Pending request changes nothing.
+    for (unsigned i = 0; i < 100; ++i) {
+        EXPECT_FALSE(guest.completeAttach(*req));
+        EXPECT_FALSE(guest.lastDenied());
+    }
+    EXPECT_EQ(svc.requestCount(), 1u);
+
+    ASSERT_EQ(manager.pollRequests(), 1u);
+    auto gate = guest.completeAttach(*req);
+    ASSERT_TRUE(gate);
+
+    // The request was consumed on the Approved answer; further spam
+    // on the stale id is an error, not a second attachment.
+    for (unsigned i = 0; i < 100; ++i)
+        EXPECT_EQ(raw(guestVm, ElisaHc::Query, *req, 0x1000),
+                  hv::hcError);
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+}
+
+TEST_F(AdversarialTest, NonOwnerCannotRevoke)
+{
+    ASSERT_TRUE(exported);
+
+    // A second, unrelated manager cannot revoke the first's export.
+    hv::Vm &rogueVm = hv.createVm("rogue", 16 * MiB);
+    ElisaManager rogue(rogueVm, svc);
+    EXPECT_EQ(raw(rogueVm, ElisaHc::Revoke, exported->id),
+              hv::hcError);
+    EXPECT_EQ(svc.exportCount(), 1u);
+
+    // Nor can it replay the owner's revoke to mine the idempotent
+    // path: retirement is keyed to the one-time owner.
+    EXPECT_TRUE(manager.revoke(exported->id));
+    EXPECT_EQ(raw(rogueVm, ElisaHc::Revoke, exported->id),
+              hv::hcError);
+}
+
+TEST_F(AdversarialTest, MalformedNamesAndIndicesAreRejected)
+{
+    const std::string before = snapshot();
+
+    // AttachRequest: zero-length and oversized names.
+    EXPECT_EQ(raw(guestVm, ElisaHc::AttachRequest, 0x1000, 0, 0),
+              hv::hcError);
+    EXPECT_EQ(raw(guestVm, ElisaHc::AttachRequest, 0x1000, 5000, 0),
+              hv::hcError);
+
+    // AttachRequest naming a vCPU the VM does not have.
+    cpu::GuestView gv(guestVm.vcpu(0));
+    gv.writeBytes(0x1000, "kv", 2);
+    EXPECT_EQ(raw(guestVm, ElisaHc::AttachRequest, 0x1000, 2, 99),
+              hv::hcError);
+
+    // Export with a bogus size / alignment from a real manager.
+    svc.stageFunctions(managerVm.id(), constFns());
+    cpu::GuestView mv(managerVm.vcpu(0));
+    mv.writeBytes(0x1000, "x", 1);
+    EXPECT_EQ(raw(managerVm, ElisaHc::Export, 0x1000, 1, 0x2000, 0),
+              hv::hcError);
+    EXPECT_EQ(raw(managerVm, ElisaHc::Export, 0x1000, 1, 0x2001,
+                  pageSize),
+              hv::hcError);
+
+    EXPECT_EQ(snapshot(), before);
+}
+
+TEST_F(AdversarialTest, ManagerOnlyCallsRejectNonManagers)
+{
+    const std::string before = snapshot();
+    EXPECT_EQ(raw(guestVm, ElisaHc::NextRequest, 0x1000), hv::hcError);
+    EXPECT_EQ(raw(guestVm, ElisaHc::Approve, 1), hv::hcError);
+    EXPECT_EQ(raw(guestVm, ElisaHc::Deny, 1), hv::hcError);
+    EXPECT_EQ(snapshot(), before);
+}
+
+TEST_F(AdversarialTest, RequestQueueCapReturnsBusy)
+{
+    svc.setQueueCap(8);
+
+    // Fill the manager's queue to the cap...
+    std::optional<RequestId> last;
+    for (unsigned i = 0; i < 8; ++i) {
+        last = guest.requestAttach("kv");
+        ASSERT_TRUE(last);
+        EXPECT_FALSE(guest.lastBusy());
+    }
+    const std::size_t queued = svc.requestCount();
+
+    // ...the next request is refused with Busy, distinct from error,
+    // and creates no host-side state.
+    EXPECT_FALSE(guest.requestAttach("kv"));
+    EXPECT_TRUE(guest.lastBusy());
+    EXPECT_EQ(svc.requestCount(), queued);
+    EXPECT_EQ(hv.stats().get("elisa_busy"), 1u);
+
+    // Draining the queue frees capacity again.
+    EXPECT_EQ(manager.pollRequests(), 8u);
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    EXPECT_FALSE(guest.lastBusy());
+}
+
+TEST_F(AdversarialTest, BusyGuestRetriesThroughBackoff)
+{
+    svc.setQueueCap(1);
+    ASSERT_TRUE(guest.requestAttach("kv")); // occupies the only slot
+
+    // The second guest's robust attach backs off, pumps the manager
+    // (which drains the queue), and then succeeds.
+    auto gate = other.attachWithRetry(
+        "kv", [&] { manager.pollRequests(); });
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(gate->call(0), 42u);
+    EXPECT_GE(hv.stats().get("elisa_busy"), 1u);
+}
+
+TEST_F(AdversarialTest, DetachReplayIsIdempotentForOwnerOnly)
+{
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate);
+    const AttachmentId aid = gate->info().attachment;
+
+    EXPECT_TRUE(guest.detach(*gate));
+    // Replay by the owner: success, no state change.
+    EXPECT_EQ(raw(guestVm, ElisaHc::Detach, aid), 0u);
+    EXPECT_EQ(raw(guestVm, ElisaHc::Detach, aid), 0u);
+    EXPECT_EQ(svc.attachmentCount(), 0u);
+    EXPECT_GE(hv.stats().get("elisa_idempotent_detaches"), 2u);
+}
+
+TEST_F(AdversarialTest, RevokeReplayIsIdempotentForOwnerOnly)
+{
+    ASSERT_TRUE(exported);
+    EXPECT_TRUE(manager.revoke(exported->id));
+    // Replay by the owner: success.
+    EXPECT_EQ(raw(managerVm, ElisaHc::Revoke, exported->id), 0u);
+    EXPECT_GE(hv.stats().get("elisa_idempotent_revokes"), 1u);
+    EXPECT_EQ(svc.exportCount(), 0u);
+}
+
+} // anonymous namespace
