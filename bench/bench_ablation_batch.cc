@@ -48,8 +48,7 @@ main()
     fatal_if(!bed.manager.exportObject("batch", pageSize,
                                        std::move(fns)),
              "export failed");
-    auto gate = guest.attach("batch", bed.manager);
-    fatal_if(!gate, "attach failed");
+    core::Gate gate = mustAttach(guest, "batch", bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     // Host-side handler for the batched VMCALL equivalent.
@@ -69,10 +68,10 @@ main()
         std::vector<core::Gate::BatchEntry> entries(batch);
 
         // ELISA batched.
-        gate->callBatch(entries); // warm
+        gate.callBatch(entries); // warm
         SimNs t0 = cpu.clock().now();
         for (std::uint64_t i = 0; i < opsPerPoint / batch; ++i)
-            gate->callBatch(entries);
+            gate.callBatch(entries);
         SimNs elapsed = cpu.clock().now() - t0;
         const double elisa_mops =
             (double)((opsPerPoint / batch) * batch) * 1e3 /

@@ -42,15 +42,14 @@ main()
     fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
     fatal_if(!bed.manager.exportObject("abl", pageSize, std::move(fns)),
              "export failed");
-    auto gate = guest.attach("abl", bed.manager);
-    fatal_if(!gate, "attach failed");
+    core::Gate gate = mustAttach(guest, "abl", bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     // (a) the real gated path.
-    gate->call(0);
+    gate.call(0);
     SimNs t0 = cpu.clock().now();
     for (std::uint64_t i = 0; i < iterations; ++i)
-        gate->call(0);
+        gate.call(0);
     const double gated =
         (double)(cpu.clock().now() - t0) / (double)iterations;
 
@@ -58,12 +57,12 @@ main()
     // back, invoking the shared function directly (unsafe: caller
     // stack would need to be mapped in the sub context).
     core::Attachment *attach =
-        bed.svc.attachment(gate->info().attachment);
+        bed.svc.attachment(gate.info().attachment);
     fatal_if(!attach, "attachment lookup failed");
     const auto &table = attach->exportRecord().functions();
     t0 = cpu.clock().now();
     for (std::uint64_t i = 0; i < iterations; ++i) {
-        cpu.vmfunc(0, gate->info().subIndex);
+        cpu.vmfunc(0, gate.info().subIndex);
         cpu::GuestView sub_view(cpu);
         core::SubCallCtx ctx{sub_view, core::objectGpa, pageSize,
                              core::exchangeGpa, 0, 0, 0, 0};

@@ -46,18 +46,17 @@ main()
     fatal_if(!bed.manager.exportObject("tlb", obj_pages * pageSize,
                                        std::move(fns)),
              "export failed");
-    auto gate = guest.attach("tlb", bed.manager);
-    fatal_if(!gate, "attach failed");
+    core::Gate gate = mustAttach(guest, "tlb", bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     TextTable table;
     table.header({"Pages/call", "tagged [ns/call]",
                   "flush-on-switch [ns/call]", "penalty"});
     for (std::uint64_t pages : {0ull, 1ull, 4ull, 16ull, 64ull}) {
-        gate->call(0, pages); // warm
+        gate.call(0, pages); // warm
         SimNs t0 = cpu.clock().now();
         for (std::uint64_t i = 0; i < iterations; ++i)
-            gate->call(0, pages);
+            gate.call(0, pages);
         const double tagged =
             (double)(cpu.clock().now() - t0) / (double)iterations;
 
@@ -65,7 +64,7 @@ main()
         for (std::uint64_t i = 0; i < iterations; ++i) {
             // Untagged hardware: the switch wipes the cache.
             cpu.tlb().flushAll();
-            gate->call(0, pages);
+            gate.call(0, pages);
         }
         const double flushed =
             (double)(cpu.clock().now() - t0) / (double)iterations;

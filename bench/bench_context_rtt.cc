@@ -36,16 +36,15 @@ main()
     auto exported = bed.manager.exportObject("noop", pageSize,
                                              std::move(fns));
     fatal_if(!exported, "export failed");
-    auto gate = guest.attach("noop", bed.manager);
-    fatal_if(!gate, "attach failed");
+    core::Gate gate = mustAttach(guest, "noop", bed.manager);
 
     cpu::Vcpu &cpu = guest.vcpu();
 
     // ELISA gate call.
-    gate->call(0); // warm the translation caches
+    gate.call(0); // warm the translation caches
     SimNs t0 = cpu.clock().now();
     for (std::uint64_t i = 0; i < iterations; ++i)
-        gate->call(0);
+        gate.call(0);
     const double elisa_ns =
         (double)(cpu.clock().now() - t0) / (double)iterations;
 

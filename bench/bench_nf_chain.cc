@@ -149,16 +149,15 @@ main()
                     bed.managerVm.ramGpaToHpa(exported->objectGpa));
                 net::NfChain::build(host_io, 0, kinds);
             }
-            auto gate = guest.attach(name, bed.manager);
-            fatal_if(!gate, "attach failed");
+            core::Gate gate = mustAttach(guest, name, bed.manager);
             cpu::Vcpu &cpu = guest.vcpu();
-            gate->call(0, 0); // warm
+            gate.call(0, 0); // warm
             const SimNs t0 = cpu.clock().now();
             for (std::uint64_t i = 0; i < packetsPerPoint; ++i)
-                gate->call(0, i);
+                gate.call(0, i);
             m_elisa = (double)packetsPerPoint * 1e3 /
                       (double)(cpu.clock().now() - t0);
-            guest.detach(*gate);
+            gate.detach();
         }
 
         table.row({std::to_string(nfs),

@@ -56,13 +56,12 @@ main()
             cpu::Vcpu &g_cpu = guest.vcpu();
             const SimNs g0 = g_cpu.clock().now();
             const SimNs mgr_before = mgr_cpu.clock().now();
-            auto gate = guest.attach(name, bed.manager);
-            fatal_if(!gate, "attach failed");
+            core::Gate gate = mustAttach(guest, name, bed.manager);
             const SimNs attach_ns = (g_cpu.clock().now() - g0) +
                                     (mgr_cpu.clock().now() - mgr_before);
 
             const SimNs d0 = g_cpu.clock().now();
-            guest.detach(*gate);
+            gate.detach();
             const SimNs detach_ns = g_cpu.clock().now() - d0;
 
             table.row({humanBytes(bytes),
@@ -97,12 +96,11 @@ main()
             cpu::Vcpu &g = guest.vcpu();
             cpu::Vcpu &m = bed.manager.vcpu();
             const SimNs t0 = g.clock().now() + m.clock().now();
-            auto gate = guest.attach("big-aligned", bed.manager);
-            fatal_if(!gate, "attach failed");
+            core::Gate gate = mustAttach(guest, "big-aligned", bed.manager);
             const SimNs cost_ns =
                 g.clock().now() + m.clock().now() - t0;
             core::Attachment *a =
-                bed.svc.attachment(gate->info().attachment);
+                bed.svc.attachment(gate.info().attachment);
             table.row({"2 MiB-aligned (large pages)",
                        std::to_string(a->subEpt().mappedPages()),
                        humanNs((double)cost_ns)});
@@ -129,12 +127,11 @@ main()
             cpu::Vcpu &g = guest.vcpu();
             cpu::Vcpu &m = bed.manager.vcpu();
             const SimNs t0 = g.clock().now() + m.clock().now();
-            auto gate = guest.attach("big-4k", bed.manager);
-            fatal_if(!gate, "attach failed");
+            core::Gate gate = mustAttach(guest, "big-4k", bed.manager);
             const SimNs cost_ns =
                 g.clock().now() + m.clock().now() - t0;
             core::Attachment *a =
-                bed.svc.attachment(gate->info().attachment);
+                bed.svc.attachment(gate.info().attachment);
             table.row({"page-aligned only (4 KiB)",
                        std::to_string(a->subEpt().mappedPages()),
                        humanNs((double)cost_ns)});
@@ -167,10 +164,10 @@ main()
                                                    noopFns()),
                          "export failed");
                 const SimNs g0 = guest.vcpu().clock().now();
-                auto gate = guest.attach(name, bed.manager);
-                fatal_if(!gate, "attach failed");
+                core::Gate gate =
+                    mustAttach(guest, name, bed.manager);
                 attach_total += guest.vcpu().clock().now() - g0;
-                gates.push_back(*gate);
+                gates.push_back(std::move(gate));
                 ++created;
             }
             // RTT through the newest gate stays flat.

@@ -35,7 +35,7 @@ struct Machine
         fns.push_back(
             [](core::SubCallCtx &) { return std::uint64_t{0}; });
         manager.exportObject("perf", pageSize, std::move(fns));
-        gate = *guest.attach("perf", manager);
+        gate = guest.tryAttach("perf", manager).take();
     }
 
     hv::Hypervisor hv;
@@ -90,6 +90,27 @@ BM_GateCall(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GateCall);
+
+/**
+ * The same gate call with a Tracer installed: every call emits 8
+ * span events (gate_call + 4 eptp_switch + stack_swap + payload +
+ * return begin/end pairs) into the ring. The delta vs BM_GateCall is
+ * the enabled-tracing cost; the disabled cost is asserted <= 2% in
+ * test_trace.
+ */
+void
+BM_GateCallTraced(benchmark::State &state)
+{
+    Machine &m = machine();
+    sim::Tracer tracer(1u << 16);
+    m.hv.setTracer(&tracer);
+    for (auto _ : state) {
+        auto v = m.gate.call(0);
+        benchmark::DoNotOptimize(v);
+    }
+    m.hv.setTracer(nullptr);
+}
+BENCHMARK(BM_GateCallTraced);
 
 void
 BM_Vmcall(benchmark::State &state)

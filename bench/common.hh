@@ -53,6 +53,22 @@ struct Testbed
 };
 
 /**
+ * Attach or die: the bench equivalent of the old attach()+fatal_if
+ * pair; the failure message carries the AttachResult's status and
+ * reason instead of a bare "attach failed".
+ */
+inline core::Gate
+mustAttach(core::ElisaGuest &guest, const std::string &name,
+           core::ElisaManager &manager)
+{
+    core::AttachResult attached = guest.tryAttach(name, manager);
+    fatal_if(!attached, "attach to '%s' failed (%s): %s", name.c_str(),
+             core::attachStatusToString(attached.status()),
+             attached.reason().c_str());
+    return attached.take();
+}
+
+/**
  * Scale an iteration/packet/op count down when ELISA_BENCH_QUICK is
  * set in the environment (smoke runs, CI): one tenth of the full
  * count, floored at 2000 so percentiles stay meaningful.

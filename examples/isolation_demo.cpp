@@ -83,14 +83,18 @@ main()
     manager.setApprover([&](VmId vm, const std::string &) {
         return vm == victim_vm.id();
     });
-    auto gate = victim.attach("secrets", manager);
+    core::AttachResult victim_attach =
+        victim.tryAttach("secrets", manager);
+    core::Gate gate = victim_attach.take();
     std::printf("  victim attached, reads secret through gate: %llx\n",
-                (unsigned long long)gate->call(0));
+                (unsigned long long)gate.call(0));
 
-    // 1. Attacker's attach is denied by policy.
-    auto evil_gate = attacker.attach("secrets", manager);
-    report("attach without manager approval", !evil_gate.has_value(),
-           "negotiation denied");
+    // 1. Attacker's attach is denied by policy; the AttachResult
+    //    carries the verdict and the reason.
+    core::AttachResult evil = attacker.tryAttach("secrets", manager);
+    report("attach without manager approval",
+           evil.status() == core::AttachStatus::Denied,
+           evil.reason().c_str());
 
     // 2. Read the object window from the default context.
     auto probe = attacker_vm.run(0, [&] {
@@ -102,7 +106,7 @@ main()
 
     // 3. VMFUNC to the victim's indices (EPTP lists are per-vCPU).
     auto guess = attacker_vm.run(0, [&] {
-        attacker_vm.vcpu(0).vmfunc(0, gate->info().subIndex);
+        attacker_vm.vcpu(0).vmfunc(0, gate.info().subIndex);
     });
     report("VMFUNC to guessed EPTP index", !guess.ok,
            "invalid EPTP-list entry exits");
@@ -111,7 +115,7 @@ main()
     //    unmapped inside the sub context.
     auto skip = victim_vm.run(0, [&] {
         cpu::Vcpu &cpu = victim_vm.vcpu(0);
-        cpu.vmfunc(0, gate->info().subIndex);
+        cpu.vmfunc(0, gate.info().subIndex);
         cpu::GuestView view(cpu);
         view.fetchCheck(0x1000); // next instruction of its own code
     });
@@ -119,7 +123,7 @@ main()
            "own code unmapped there -> fetch faults");
 
     // 5. Replay after revocation.
-    const EptpIndex stale = gate->info().subIndex;
+    const EptpIndex stale = gate.info().subIndex;
     service.revokeExport("secrets");
     auto replay = victim_vm.run(0, [&] {
         victim_vm.vcpu(0).vmfunc(0, stale);

@@ -53,11 +53,13 @@ main()
         std::fprintf(stderr, "export failed\n");
         return 1;
     }
-    auto gate = guest.attach("dataset", manager);
-    if (!gate) {
-        std::fprintf(stderr, "attach failed\n");
+    core::AttachResult attached = guest.tryAttach("dataset", manager);
+    if (!attached) {
+        std::fprintf(stderr, "attach failed: %s\n",
+                     attached.reason().c_str());
         return 1;
     }
+    core::Gate gate = attached.take();
 
     // Seed the object with a pattern (the manager owns it).
     auto mview = manager.view();
@@ -76,7 +78,7 @@ main()
     // The attachment's sub context is where the guest's writes land;
     // its dirty flags are our change log.
     core::Attachment *attach =
-        service.attachment(gate->info().attachment);
+        service.attachment(gate.info().attachment);
     ept::Ept &sub = attach->subEpt();
 
     sim::Rng rng(99);
@@ -84,7 +86,7 @@ main()
         for (int i = 0; i < writes; ++i) {
             const std::uint64_t off =
                 (rng.below(obj_bytes) / 8) * 8;
-            gate->call(0, off, rng.next());
+            gate.call(0, off, rng.next());
         }
     };
 

@@ -9,9 +9,14 @@
  *  3. a guest VM attaches through the negotiation slow path;
  *  4. the guest bumps the counter exit-lessly via gate calls;
  *  5. both sides observe the same state — isolated AND shared.
+ *
+ * A sim::Tracer records the whole run; the resulting Chrome-trace JSON
+ * (quickstart_trace.json, or argv[1]) loads in Perfetto/about:tracing
+ * and is byte-identical across runs of the same binary.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "base/units.hh"
 #include "elisa/gate.hh"
@@ -23,10 +28,13 @@
 using namespace elisa;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // 1. The machine: 256 MiB of simulated physical memory.
+    // 1. The machine: 256 MiB of simulated physical memory, with a
+    //    trace collector watching every layer.
     hv::Hypervisor hv(256 * MiB);
+    sim::Tracer tracer;
+    hv.setTracer(&tracer);
     core::ElisaService service(hv);
 
     hv::Vm &manager_vm = hv.createVm("manager", 32 * MiB);
@@ -53,19 +61,22 @@ main()
     }
 
     // 3. Attach: request -> manager approval -> gate + sub context.
-    auto gate = guest.attach("counter", manager);
-    if (!gate) {
-        std::fprintf(stderr, "attach failed\n");
+    //    The whole outcome travels in the AttachResult.
+    core::AttachResult attached = guest.tryAttach("counter", manager);
+    if (!attached) {
+        std::fprintf(stderr, "attach failed: %s\n",
+                     attached.reason().c_str());
         return 1;
     }
+    core::Gate gate = attached.take();
     std::printf("attached: gate EPTP index %u, sub EPTP index %u\n",
-                gate->info().gateIndex, gate->info().subIndex);
+                gate.info().gateIndex, gate.info().subIndex);
 
     // 4. Exit-less calls: each costs 196 simulated ns of transition,
     //    no VM exit.
     const SimNs t0 = guest.vcpu().clock().now();
     for (int i = 0; i < 1000; ++i)
-        gate->call(0, 7);
+        gate.call(0, 7);
     const SimNs per_call =
         (guest.vcpu().clock().now() - t0) / 1000;
     std::printf("1000 increments, %llu ns per call; VMCALLs used: "
@@ -76,7 +87,7 @@ main()
                     "exit_ept-violation"));
 
     // 5. Both parties see the same object.
-    const std::uint64_t from_guest = gate->call(1);
+    const std::uint64_t from_guest = gate.call(1);
     const std::uint64_t from_manager =
         manager.view().read<std::uint64_t>(exported->objectGpa);
     std::printf("counter: guest sees %llu, manager sees %llu\n",
@@ -91,6 +102,22 @@ main()
     std::printf("direct access from guest default context: %s\n",
                 result.ok ? "SUCCEEDED (bug!)" : "faulted, as it must");
 
-    guest.detach(*gate);
+    // Explicit detach (the Gate would also auto-detach at scope exit).
+    gate.detach();
+
+    // 6. Export the trace: hypercall, gate (with its eptp-switch /
+    //    stack-swap / payload / return sub-phases), and negotiation
+    //    categories, all on the simulated clock.
+    const std::string trace_path =
+        argc > 1 ? argv[1] : "quickstart_trace.json";
+    if (FILE *f = std::fopen(trace_path.c_str(), "w")) {
+        const std::string json = tracer.chromeJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("trace: %zu events -> %s (open in Perfetto)\n",
+                    tracer.size(), trace_path.c_str());
+    }
+    std::fputs(tracer.latencyReport().c_str(), stdout);
+
     return from_guest == from_manager && !result.ok ? 0 : 1;
 }

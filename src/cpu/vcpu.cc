@@ -27,6 +27,23 @@ Vcpu::Vcpu(VcpuId id, VmId owner, mem::HostMemory &memory,
 }
 
 void
+Vcpu::setTracer(sim::Tracer *tracer)
+{
+    tracerPtr = tracer;
+    if (tracerPtr) {
+        vmfuncName = tracerPtr->intern("vmfunc");
+        vmcallName = tracerPtr->intern("vmcall");
+    }
+}
+
+void
+Vcpu::traceVmfunc(std::uint64_t leaf, EptpIndex index)
+{
+    tracerPtr->instant(sim::SpanCat::Cpu, vmfuncName, vcpuId,
+                       simClock.now(), leaf, index);
+}
+
+void
 Vcpu::activateEptp(EptpIndex index)
 {
     auto eptp = list->lookup(index);
@@ -43,6 +60,8 @@ Vcpu::vmfunc(std::uint64_t leaf, EptpIndex index)
     // any fault is raised.
     simClock.advance(cost.vmfuncNs);
     statSet.inc(hotIds.vmfunc);
+    if (tracerPtr) [[unlikely]]
+        traceVmfunc(leaf, index);
 
     if (leaf != 0) {
         statSet.inc(hotIds.vmfuncFail);
@@ -64,8 +83,15 @@ Vcpu::vmcall(const HypercallArgs &args)
     statSet.inc(hotIds.vmcall);
     simClock.advance(cost.vmexitNs);
     simClock.advance(cost.hypercallDispatchNs);
+    // Frame the exit/entry round trip; the hypervisor nests its own
+    // dispatch span (with the hypercall's name) inside this one. The
+    // RAII span closes the frame even when the handler throws a
+    // VmExitEvent (e.g. an injected KillVm fault).
+    sim::ScopedSpan span(tracerPtr, sim::SpanCat::Cpu, vmcallName,
+                         vcpuId, simClock, args.nr);
     const std::uint64_t rax = hypercallSink->handleHypercall(*this, args);
     simClock.advance(cost.vmentryNs);
+    span.setEndArgs(rax);
     return rax;
 }
 

@@ -28,6 +28,7 @@
 #include "sim/clock.hh"
 #include "sim/cost_model.hh"
 #include "sim/stats.hh"
+#include "sim/tracer.hh"
 
 namespace elisa::cpu
 {
@@ -160,7 +161,25 @@ class Vcpu
     /** Machine cost model. */
     const sim::CostModel &costModel() const { return cost; }
 
+    /**
+     * Install (or with nullptr remove) the machine's trace collector.
+     * Non-owning; the hypervisor propagates this to every vCPU. With
+     * no tracer installed every trace point is one pointer test.
+     */
+    void setTracer(sim::Tracer *tracer);
+
+    /** The installed tracer, or nullptr (instrumented callers). */
+    sim::Tracer *tracer() const { return tracerPtr; }
+
   private:
+    /**
+     * Out-of-line vmfunc trace emission: keeps the ring push out of
+     * the vmfunc hot path, which runs 4x per gate call and must stay
+     * a single pointer test when no tracer is installed.
+     */
+    [[gnu::noinline]] void traceVmfunc(std::uint64_t leaf,
+                                       EptpIndex index);
+
     VcpuId vcpuId;
     VmId ownerVm;
     mem::HostMemory &mem;
@@ -173,6 +192,12 @@ class Vcpu
     HotStatIds hotIds{};
     std::uint64_t currentEptp = 0;
     EptpIndex currentIndex = 0;
+
+    /** Machine tracer (nullptr = tracing off). */
+    sim::Tracer *tracerPtr = nullptr;
+    // Interned event names, resolved once at setTracer().
+    sim::TraceNameId vmfuncName = 0;
+    sim::TraceNameId vmcallName = 0;
 };
 
 } // namespace elisa::cpu

@@ -3,16 +3,125 @@
 #include "base/logging.hh"
 #include "cpu/exit.hh"
 #include "cpu/guest_view.hh"
+#include "hv/hypercall.hh"
 
 namespace elisa::core
 {
 
+namespace
+{
+
+// Trace-point names for the gate path; interned lazily because gates
+// usually exist before any tracer is installed.
+sim::TraceNameCache gateCallName("gate_call");
+sim::TraceNameCache gateBatchName("gate_batch");
+sim::TraceNameCache eptpSwitchName("eptp_switch");
+sim::TraceNameCache stackSwapName("stack_swap");
+sim::TraceNameCache payloadName("payload");
+sim::TraceNameCache returnPhaseName("return");
+
+/**
+ * Span for the traced gate body; the untraced instantiation uses the
+ * primary template, an empty no-op, so it compiles to exactly the
+ * uninstrumented code (no cleanup landing pads, no member spills).
+ */
+template <bool Traced>
+struct GateSpan
+{
+    GateSpan(sim::Tracer *, sim::TraceNameCache &, std::uint32_t,
+             const sim::SimClock &, std::uint64_t = 0,
+             std::uint64_t = 0)
+    {}
+
+    void setEndArgs(std::uint64_t, std::uint64_t = 0) {}
+};
+
+template <>
+struct GateSpan<true> : sim::ScopedSpan
+{
+    GateSpan(sim::Tracer *tr, sim::TraceNameCache &name,
+             std::uint32_t track, const sim::SimClock &clock,
+             std::uint64_t a0 = 0, std::uint64_t a1 = 0)
+        : sim::ScopedSpan(tr, sim::SpanCat::Gate, name.get(*tr), track,
+                          clock, a0, a1)
+    {}
+};
+
+} // anonymous namespace
+
 Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
-    : cpuPtr(&vcpu), svc(&service), attachInfo(info)
+    : cpuPtr(&vcpu), svc(&service), attachInfo(info), ownerVm(vcpu.vm())
 {
     callsId = vcpu.stats().id("elisa_calls");
     batchedFnsId = vcpu.stats().id("elisa_batched_fns");
     badFnId = vcpu.stats().id("elisa_bad_fn");
+}
+
+Gate::Gate(Gate &&other) noexcept
+    : cpuPtr(other.cpuPtr), svc(other.svc), attachInfo(other.attachInfo),
+      ownerVm(other.ownerVm), callsId(other.callsId),
+      batchedFnsId(other.batchedFnsId), badFnId(other.badFnId)
+{
+    other.cpuPtr = nullptr;
+    other.svc = nullptr;
+}
+
+Gate &
+Gate::operator=(Gate &&other) noexcept
+{
+    if (this != &other) {
+        try {
+            detach();
+        } catch (...) {
+            // Same contract as the destructor: the replaced handle is
+            // gone either way and host-side teardown is idempotent.
+        }
+        cpuPtr = other.cpuPtr;
+        svc = other.svc;
+        attachInfo = other.attachInfo;
+        ownerVm = other.ownerVm;
+        callsId = other.callsId;
+        batchedFnsId = other.batchedFnsId;
+        badFnId = other.badFnId;
+        other.cpuPtr = nullptr;
+        other.svc = nullptr;
+    }
+    return *this;
+}
+
+Gate::~Gate()
+{
+    try {
+        detach();
+    } catch (...) {
+        // An injected fault (VM exit) raised by the detach hypercall
+        // cannot propagate out of a destructor; the attachment is
+        // retired host-side regardless.
+    }
+}
+
+bool
+Gate::detach()
+{
+    if (!valid())
+        return false;
+    // Invalidate first: whatever the hypercall below does (including
+    // unwinding with a VM exit), this handle must never retry through
+    // a vCPU that may be mid-teardown.
+    cpu::Vcpu *cpu = cpuPtr;
+    ElisaService *service = svc;
+    const AttachmentId aid = attachInfo.attachment;
+    cpuPtr = nullptr;
+    svc = nullptr;
+    // The vCPU is owned by the guest VM; when that VM already died
+    // (injected KillVm, teardown order) the hypervisor's destroy hook
+    // retired the attachment and there is no vCPU to hypercall from.
+    if (!service->hypervisor().hasVm(ownerVm))
+        return false;
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Detach);
+    args.arg0 = aid;
+    return cpu->vmcall(args) != hv::hcError;
 }
 
 void
@@ -62,25 +171,55 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
            std::uint64_t arg2)
 {
     panic_if(!valid(), "call through an invalid gate");
+    // The whole tracing decision is this one branch (see callImpl).
+    if (cpuPtr->tracer())
+        return callImpl<true>(fn, arg0, arg1, arg2);
+    return callImpl<false>(fn, arg0, arg1, arg2);
+}
+
+template <bool Traced>
+std::uint64_t
+Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
+               std::uint64_t arg2)
+{
     cpu::Vcpu &cpu = *cpuPtr;
     const sim::CostModel &cost = cpu.costModel();
     const EptpIndex caller_index = cpu.activeIndex();
+    sim::Tracer *tr = Traced ? cpu.tracer() : nullptr;
+    const std::uint32_t track = cpu.id();
+
+    // Whole-call span: opened before the stale-EPTP injection point so
+    // a faulted entry is attributed to this call; the RAII end closes
+    // it on every unwind path. A successful call stamps (ret, fn+1) on
+    // the close; a faulted one leaves (0, 0).
+    GateSpan<Traced> call_span(tr, gateCallName, track, cpu.clock(), fn);
     maybeInjectStale();
 
     // --- enter: default -> gate ------------------------------------
-    cpu.vmfunc(0, attachInfo.gateIndex);
+    {
+        GateSpan<Traced> s(tr, eptpSwitchName, track, cpu.clock(),
+                           attachInfo.gateIndex);
+        cpu.vmfunc(0, attachInfo.gateIndex);
+    }
 
     // Gate prologue: the trampoline must be executable here, and the
     // spill area must live on the isolated stack. Non-charging view:
     // checks real, time folded into gateCodeNs.
     cpu::GuestView gate_view(cpu, /*charge_time=*/false);
-    gate_view.fetchCheck(gateCodeGpa);
-    const std::uint64_t spill[4] = {caller_index, arg0, arg1, arg2};
-    gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
-    cpu.clock().advance(cost.gateCodeNs);
+    {
+        GateSpan<Traced> s(tr, stackSwapName, track, cpu.clock());
+        gate_view.fetchCheck(gateCodeGpa);
+        const std::uint64_t spill[4] = {caller_index, arg0, arg1, arg2};
+        gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
+        cpu.clock().advance(cost.gateCodeNs);
+    }
 
     // --- gate -> sub --------------------------------------------------
-    cpu.vmfunc(0, attachInfo.subIndex);
+    {
+        GateSpan<Traced> s(tr, eptpSwitchName, track, cpu.clock(),
+                           attachInfo.subIndex);
+        cpu.vmfunc(0, attachInfo.subIndex);
+    }
 
     const SharedFnTable &table = resolveTable();
     if (fn >= table.size())
@@ -100,20 +239,35 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
                    arg0,
                    arg1,
                    arg2};
-    const std::uint64_t ret = table[fn](ctx);
+    std::uint64_t ret;
+    {
+        GateSpan<Traced> s(tr, payloadName, track, cpu.clock(), fn);
+        ret = table[fn](ctx);
+    }
 
-    // --- sub -> gate ----------------------------------------------
-    cpu.vmfunc(0, attachInfo.gateIndex);
+    {
+        GateSpan<Traced> s(tr, returnPhaseName, track, cpu.clock());
+        // --- sub -> gate ------------------------------------------
+        {
+            GateSpan<Traced> sw(tr, eptpSwitchName, track, cpu.clock(),
+                                attachInfo.gateIndex);
+            cpu.vmfunc(0, attachInfo.gateIndex);
+        }
 
-    // Gate epilogue: reload the spill, verify trampoline still there.
-    gate_view.fetchCheck(gateCodeGpa);
-    std::uint64_t restore[4];
-    gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
-    cpu.clock().advance(cost.gateCodeNs);
+        // Gate epilogue: reload the spill, verify trampoline still
+        // there.
+        gate_view.fetchCheck(gateCodeGpa);
+        std::uint64_t restore[4];
+        gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
+        cpu.clock().advance(cost.gateCodeNs);
 
-    // --- gate -> default ----------------------------------------------
-    cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+        // --- gate -> default --------------------------------------
+        GateSpan<Traced> sw(tr, eptpSwitchName, track, cpu.clock(),
+                            restore[0]);
+        cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+    }
     cpu.stats().inc(callsId);
+    call_span.setEndArgs(ret, fn + 1);
     return ret;
 }
 
@@ -123,47 +277,74 @@ Gate::callBatch(std::span<BatchEntry> entries)
     panic_if(!valid(), "batched call through an invalid gate");
     if (entries.empty())
         return 0;
+    // Same single-branch tracing decision as call().
+    if (cpuPtr->tracer())
+        return callBatchImpl<true>(entries);
+    return callBatchImpl<false>(entries);
+}
+
+template <bool Traced>
+std::size_t
+Gate::callBatchImpl(std::span<BatchEntry> entries)
+{
     cpu::Vcpu &cpu = *cpuPtr;
     const sim::CostModel &cost = cpu.costModel();
     const EptpIndex caller_index = cpu.activeIndex();
+    sim::Tracer *tr = Traced ? cpu.tracer() : nullptr;
+    const std::uint32_t track = cpu.id();
+
+    GateSpan<Traced> call_span(tr, gateBatchName, track, cpu.clock(),
+                               entries.size());
     maybeInjectStale();
 
     // One transition in...
-    cpu.vmfunc(0, attachInfo.gateIndex);
-    cpu::GuestView gate_view(cpu, /*charge_time=*/false);
-    gate_view.fetchCheck(gateCodeGpa);
-    const std::uint64_t spill[2] = {caller_index, entries.size()};
-    gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
-    cpu.clock().advance(cost.gateCodeNs);
-    cpu.vmfunc(0, attachInfo.subIndex);
+    {
+        GateSpan<Traced> s(tr, stackSwapName, track, cpu.clock());
+        cpu.vmfunc(0, attachInfo.gateIndex);
+        cpu::GuestView gate_view(cpu, /*charge_time=*/false);
+        gate_view.fetchCheck(gateCodeGpa);
+        const std::uint64_t spill[2] = {caller_index, entries.size()};
+        gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
+        cpu.clock().advance(cost.gateCodeNs);
+        cpu.vmfunc(0, attachInfo.subIndex);
+    }
 
     const SharedFnTable &table = resolveTable();
 
     // ...every entry back-to-back under the sub context...
     cpu::GuestView sub_view(cpu);
-    for (BatchEntry &entry : entries) {
-        if (entry.fn >= table.size())
-            badFn(entry.fn);
-        SubCallCtx ctx{sub_view,
-                       objectGpa,
-                       attachInfo.objectBytes,
-                       exchangeGpa,
-                       attachInfo.exchangeBytes,
-                       entry.arg0,
-                       entry.arg1,
-                       entry.arg2};
-        entry.ret = table[entry.fn](ctx);
+    {
+        GateSpan<Traced> s(tr, payloadName, track, cpu.clock(),
+                           entries.size());
+        for (BatchEntry &entry : entries) {
+            if (entry.fn >= table.size())
+                badFn(entry.fn);
+            SubCallCtx ctx{sub_view,
+                           objectGpa,
+                           attachInfo.objectBytes,
+                           exchangeGpa,
+                           attachInfo.exchangeBytes,
+                           entry.arg0,
+                           entry.arg1,
+                           entry.arg2};
+            entry.ret = table[entry.fn](ctx);
+        }
     }
 
     // ...one transition out.
-    cpu.vmfunc(0, attachInfo.gateIndex);
-    gate_view.fetchCheck(gateCodeGpa);
-    std::uint64_t restore[2];
-    gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
-    cpu.clock().advance(cost.gateCodeNs);
-    cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+    {
+        GateSpan<Traced> s(tr, returnPhaseName, track, cpu.clock());
+        cpu.vmfunc(0, attachInfo.gateIndex);
+        cpu::GuestView gate_view(cpu, /*charge_time=*/false);
+        gate_view.fetchCheck(gateCodeGpa);
+        std::uint64_t restore[2];
+        gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
+        cpu.clock().advance(cost.gateCodeNs);
+        cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+    }
     cpu.stats().inc(callsId);
     cpu.stats().inc(batchedFnsId, entries.size());
+    call_span.setEndArgs(entries.size(), 1);
     return entries.size();
 }
 

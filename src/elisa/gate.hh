@@ -34,7 +34,16 @@ namespace elisa::core
 {
 
 /**
- * Guest-side handle on one attachment; cheap to copy.
+ * Guest-side handle on one attachment.
+ *
+ * Move-only RAII: exactly one handle owns an attachment, and dropping
+ * the handle detaches it (the slow-path Detach hypercall), so an
+ * attachment can no longer leak or be torn down twice through two
+ * copies. Detach is idempotent — explicit detach() first, destruction
+ * after, and replayed hypercalls are all safe — and tolerant of the
+ * manager VM having already died (PR 2's auto-revoke retired the
+ * attachment; the host acknowledges the replay). A Gate must not
+ * outlive the ElisaService that minted it.
  */
 class Gate
 {
@@ -48,6 +57,29 @@ class Gate
      * @param info the negotiated attachment descriptor.
      */
     Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info);
+
+    Gate(const Gate &) = delete;
+    Gate &operator=(const Gate &) = delete;
+
+    /** Moved-from gates are invalid and destruct as no-ops. */
+    Gate(Gate &&other) noexcept;
+
+    /** Detaches the currently held attachment (if any) first. */
+    Gate &operator=(Gate &&other) noexcept;
+
+    /** Auto-detach; exceptions from the hypercall are swallowed. */
+    ~Gate();
+
+    /**
+     * Slow-path detach; the handle becomes invalid either way.
+     * Idempotent: repeated calls (and the destructor afterwards) are
+     * no-ops. When the guest VM is already gone the hypercall is
+     * skipped — the hypervisor's destroy hook retired the attachment.
+     * Unlike the destructor, an explicit detach() lets injected-fault
+     * exceptions (VM exits) propagate to the caller.
+     * @return true when the host acknowledged the detach.
+     */
+    bool detach();
 
     /** True when this handle refers to a live attachment. */
     bool valid() const { return cpuPtr != nullptr; }
@@ -99,6 +131,21 @@ class Gate
 
   private:
     /**
+     * The call() body, instantiated once with spans and once without.
+     * The tracing decision is a single branch in call(): the untraced
+     * instantiation contains no span objects at all, because even an
+     * inert ScopedSpan needs exception-cleanup landing pads whose
+     * member spills cost several ns on the 196 ns gate call.
+     */
+    template <bool Traced>
+    std::uint64_t callImpl(unsigned fn, std::uint64_t arg0,
+                           std::uint64_t arg1, std::uint64_t arg2);
+
+    /** The callBatch() body; same single-branch scheme as callImpl. */
+    template <bool Traced>
+    std::size_t callBatchImpl(std::span<BatchEntry> entries);
+
+    /**
      * Resolve the shared-function table, faulting like the MMU would
      * on an out-of-range function id (a jump to an unmapped
      * sub-context address). Shared by call() and callBatch().
@@ -118,6 +165,9 @@ class Gate
     cpu::Vcpu *cpuPtr = nullptr;
     ElisaService *svc = nullptr;
     AttachInfo attachInfo;
+    /** Guest VM owning cpuPtr; checked before detaching, so a handle
+     *  outliving its (fault-killed) VM never touches a dead vCPU. */
+    VmId ownerVm = invalidVmId;
     // Hot-path counters, interned once at construction (per-call code
     // must not do string lookups).
     sim::StatId callsId = 0;

@@ -1,10 +1,55 @@
 #include "elisa/guest_api.hh"
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 #include "hv/hypercall.hh"
 
 namespace elisa::core
 {
+
+namespace
+{
+
+/** Trace point linking one retry to its in-flight request span. */
+sim::TraceNameCache attachRetryName("attach_retry");
+
+} // anonymous namespace
+
+const char *
+attachStatusToString(AttachStatus status)
+{
+    switch (status) {
+      case AttachStatus::Attached:
+        return "attached";
+      case AttachStatus::Pending:
+        return "pending";
+      case AttachStatus::Denied:
+        return "denied";
+      case AttachStatus::TimedOut:
+        return "timed_out";
+      case AttachStatus::Busy:
+        return "busy";
+    }
+    return "?";
+}
+
+Gate &
+AttachResult::gate()
+{
+    panic_if(!ok(), "no gate in a %s AttachResult",
+             attachStatusToString(st));
+    return g;
+}
+
+Gate
+AttachResult::take()
+{
+    panic_if(!ok(), "no gate in a %s AttachResult",
+             attachStatusToString(st));
+    st = AttachStatus::Busy;
+    why = "gate already taken";
+    return std::move(g);
+}
 
 ElisaGuest::ElisaGuest(hv::Vm &vm, ElisaService &service,
                        unsigned vcpu_index)
@@ -52,45 +97,70 @@ ElisaGuest::requestAttach(const std::string &name)
     return static_cast<RequestId>(rc);
 }
 
-std::optional<Gate>
-ElisaGuest::completeAttach(RequestId request)
+AttachResult
+ElisaGuest::pollAttach(RequestId request)
 {
-    denied = false;
-    timedOut = false;
-    queryFailed = false;
     cpu::HypercallArgs args;
     args.nr = static_cast<std::uint64_t>(ElisaHc::Query);
     args.arg0 = request;
     args.arg1 = scratchGpa;
     const std::uint64_t state = vcpu().vmcall(args);
     if (state == hv::hcError) {
-        queryFailed = true;
-        return std::nullopt;
+        // The request vanished host-side: reaped with a dead manager,
+        // dropped by fault injection, or never ours. Transient from
+        // the client's point of view — issue a fresh request.
+        return AttachResult(
+            AttachStatus::Busy,
+            detail::format("request %u unknown host-side (lost or "
+                           "reaped); re-request",
+                           request));
     }
 
     switch (static_cast<RequestState>(state)) {
       case RequestState::Pending:
-        return std::nullopt;
+        return AttachResult(AttachStatus::Pending,
+                            "request still queued for the manager",
+                            request);
       case RequestState::Denied:
-        denied = true;
-        return std::nullopt;
+        return AttachResult(AttachStatus::Denied,
+                            "manager or host policy denied the attach",
+                            request);
       case RequestState::TimedOut:
-        timedOut = true;
-        return std::nullopt;
+        return AttachResult(
+            AttachStatus::TimedOut,
+            "request sat pending past the negotiation timeout",
+            request);
       case RequestState::Approved:
         break;
     }
 
     const auto wire = view().read<WireAttachResult>(scratchGpa);
-    return Gate(vcpu(), svc, wire.info);
+    return AttachResult(Gate(vcpu(), svc, wire.info), request);
 }
 
-std::optional<Gate>
+AttachResult
+ElisaGuest::tryAttach(const std::string &name, ElisaManager &manager)
+{
+    auto request = requestAttach(name);
+    if (!request) {
+        return busy ? AttachResult(AttachStatus::Busy,
+                                   "manager request queue full")
+                    : AttachResult(AttachStatus::Denied,
+                                   "attach request refused (unknown "
+                                   "export '" + name + "')");
+    }
+    manager.pollRequests();
+    return pollAttach(*request);
+}
+
+AttachResult
 ElisaGuest::attachWithRetry(const std::string &name,
                             const std::function<void()> &pump,
                             unsigned max_tries, SimNs backoff_ns)
 {
-    std::optional<RequestId> request;
+    // Request ids start at 1, so 0 marks "none in flight".
+    RequestId request = 0;
+    AttachResult last(AttachStatus::Busy, "no attach attempt made");
     SimNs backoff = backoff_ns;
     const SimNs backoff_cap = backoff_ns << 10;
     for (unsigned attempt = 0; attempt < max_tries; ++attempt) {
@@ -103,53 +173,76 @@ ElisaGuest::attachWithRetry(const std::string &name,
             if (pump)
                 pump();
             vcpu().stats().inc("elisa_attach_retries");
+            if (sim::Tracer *tr = vcpu().tracer()) {
+                // Link the retry into the request's async span when
+                // one is in flight; otherwise a plain instant.
+                if (request != 0) {
+                    tr->asyncInstant(sim::SpanCat::Negotiation,
+                                     attachRetryName.get(*tr), request,
+                                     vcpu().id(), vcpu().clock().now(),
+                                     attempt);
+                } else {
+                    tr->instant(sim::SpanCat::Negotiation,
+                                attachRetryName.get(*tr), vcpu().id(),
+                                vcpu().clock().now(), attempt);
+                }
+            }
         }
 
-        if (!request) {
-            request = requestAttach(name);
+        if (request == 0) {
+            request = requestAttach(name).value_or(0);
             // Busy (queue full), a dropped hypercall, and a not-yet-
             // registered export are all transient under fault
             // injection: back off and retry until the budget runs out.
-            if (!request)
+            if (request == 0) {
+                last = AttachResult(
+                    AttachStatus::Busy,
+                    busy ? "manager request queue full"
+                         : "attach request refused (unknown export "
+                           "or dropped hypercall)");
                 continue;
+            }
         }
 
-        auto gate = completeAttach(*request);
-        if (gate)
-            return gate;
-        if (denied || timedOut)
-            return std::nullopt;
-        // A failed Query means the request vanished host-side (e.g.
-        // its manager died and the denial was already consumed, or the
-        // request was dropped); issue a fresh request next attempt.
-        // Otherwise it is still Pending: keep querying the same id.
-        if (queryFailed)
-            request.reset();
+        last = pollAttach(request);
+        if (last.ok())
+            return last;
+        if (last.status() == AttachStatus::Denied ||
+            last.status() == AttachStatus::TimedOut) {
+            return last;
+        }
+        // Busy here means the request vanished host-side (its manager
+        // died and the denial was already consumed, or the request was
+        // dropped); issue a fresh request next attempt. Pending keeps
+        // querying the same id.
+        if (last.status() == AttachStatus::Busy)
+            request = 0;
     }
-    return std::nullopt;
+    return last;
+}
+
+std::optional<Gate>
+ElisaGuest::completeAttach(RequestId request)
+{
+    AttachResult result = pollAttach(request);
+    denied = result.status() == AttachStatus::Denied;
+    timedOut = result.status() == AttachStatus::TimedOut;
+    return std::move(result).intoOptional();
 }
 
 std::optional<Gate>
 ElisaGuest::attach(const std::string &name, ElisaManager &manager)
 {
-    auto request = requestAttach(name);
-    if (!request)
-        return std::nullopt;
-    manager.pollRequests();
-    return completeAttach(*request);
+    AttachResult result = tryAttach(name, manager);
+    denied = result.status() == AttachStatus::Denied;
+    timedOut = result.status() == AttachStatus::TimedOut;
+    return std::move(result).intoOptional();
 }
 
 bool
 ElisaGuest::detach(Gate &gate)
 {
-    if (!gate.valid())
-        return false;
-    cpu::HypercallArgs args;
-    args.nr = static_cast<std::uint64_t>(ElisaHc::Detach);
-    args.arg0 = gate.info().attachment;
-    const std::uint64_t rc = vcpu().vmcall(args);
-    gate = Gate();
-    return rc != hv::hcError;
+    return gate.detach();
 }
 
 } // namespace elisa::core

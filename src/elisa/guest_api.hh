@@ -4,6 +4,11 @@
  *
  * Wraps the negotiation hypercalls (request / query / detach) and hands
  * out Gate objects for the exit-less data path.
+ *
+ * Attach outcomes travel in a value-typed AttachResult (status +
+ * failure reason + the Gate on success) instead of the old
+ * optional<Gate> plus lastDenied()/lastTimedOut()/lastBusy() stateful
+ * side channel; the old entry points remain as thin deprecated shims.
  */
 
 #ifndef ELISA_ELISA_GUEST_API_HH
@@ -12,6 +17,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "elisa/gate.hh"
 #include "elisa/manager.hh"
@@ -19,6 +25,80 @@
 
 namespace elisa::core
 {
+
+/** Outcome of one attach-negotiation step (see AttachResult). */
+enum class AttachStatus : std::uint8_t
+{
+    Attached, ///< negotiation complete; the result carries the Gate
+    Pending,  ///< still queued for the manager; poll again
+    Denied,   ///< the manager (or host policy) refused; terminal
+    TimedOut, ///< sat Pending past the negotiation timeout; terminal
+    Busy,     ///< transient refusal (full queue, lost reply); retry
+};
+
+/** Render a status (logs / test failure messages). */
+const char *attachStatusToString(AttachStatus status);
+
+/**
+ * Value-typed result of an attach step. Everything about one attempt
+ * travels in the value: the status, a human-readable reason on
+ * failure, the request id while one is in flight, and the Gate on
+ * success. Move-only, because the Gate it may carry is.
+ */
+class AttachResult
+{
+  public:
+    /** A failed or not-yet-complete result. */
+    AttachResult(AttachStatus status, std::string reason,
+                 std::optional<RequestId> request = std::nullopt)
+        : st(status), why(std::move(reason)), rid(request)
+    {
+    }
+
+    /** A successful attachment. */
+    AttachResult(Gate gate, RequestId request)
+        : st(AttachStatus::Attached), g(std::move(gate)), rid(request)
+    {
+    }
+
+    AttachStatus status() const { return st; }
+
+    /** True when the negotiation completed and gate() is usable. */
+    bool ok() const { return st == AttachStatus::Attached; }
+
+    explicit operator bool() const { return ok(); }
+
+    /** Why the attempt failed (empty on success). */
+    const std::string &reason() const { return why; }
+
+    /** The request id, when one was created (Pending and Attached). */
+    std::optional<RequestId> request() const { return rid; }
+
+    /** The attached gate, in place (panics unless ok()). */
+    Gate &gate();
+
+    /** Move the gate out of the result (panics unless ok()). */
+    Gate take();
+
+    /**
+     * Collapse into the legacy optional<Gate> shape (status and
+     * reason are dropped) — migration helper for call sites that only
+     * care about success.
+     */
+    std::optional<Gate>
+    intoOptional() &&
+    {
+        if (!ok())
+            return std::nullopt;
+        return std::move(g);
+    }
+
+  private:
+    AttachStatus st;
+    std::string why;
+    Gate g;
+    std::optional<RequestId> rid;
+};
 
 /**
  * Client runtime bound to one vCPU of a guest VM.
@@ -36,29 +116,33 @@ class ElisaGuest
 
     /**
      * Start an attach negotiation for export @p name.
-     * @return the request id, or nullopt when the export is unknown.
+     * @return the request id, or nullopt when the export is unknown
+     *         or the manager's queue refused the request.
      */
     std::optional<RequestId> requestAttach(const std::string &name);
 
     /**
-     * Query an in-flight request.
-     * @return a Gate when approved; nullopt while pending or after a
-     *         denial (check lastDenied() to distinguish).
+     * Query an in-flight request once (one Query hypercall).
+     * @return Attached (with the Gate), Pending (poll again with the
+     *         same id), Denied/TimedOut (terminal), or Busy when the
+     *         request vanished host-side (lost or reaped) — issue a
+     *         fresh requestAttach.
      */
-    std::optional<Gate> completeAttach(RequestId request);
+    AttachResult pollAttach(RequestId request);
 
     /**
      * Convenience for tests/benches: request + have the manager drain
-     * its queue + complete, in one call.
+     * its queue + poll, in one call.
      */
-    std::optional<Gate> attach(const std::string &name,
-                               ElisaManager &manager);
+    AttachResult tryAttach(const std::string &name,
+                           ElisaManager &manager);
 
     /**
      * Robust attach: bounded retry with exponential backoff (simulated
-     * time) around requestAttach + completeAttach. Retries while the
+     * time) around requestAttach + pollAttach. Retries while the
      * manager queue is Busy or the request stays Pending; gives up
-     * after @p max_tries or on a definitive Denied/TimedOut.
+     * after @p max_tries or on a definitive Denied/TimedOut. The
+     * returned result is the last attempt's outcome.
      *
      * @param pump invoked between retries — the "rest of the world
      *        makes progress while we wait" hook (tests pass the
@@ -68,21 +152,39 @@ class ElisaGuest
      * @param backoff_ns first backoff; doubles per retry, capped at
      *        1024x.
      */
-    std::optional<Gate> attachWithRetry(
-        const std::string &name,
-        const std::function<void()> &pump = {},
-        unsigned max_tries = 8, SimNs backoff_ns = 2000);
+    AttachResult attachWithRetry(const std::string &name,
+                                 const std::function<void()> &pump = {},
+                                 unsigned max_tries = 8,
+                                 SimNs backoff_ns = 2000);
 
-    /** Detach (slow path); the gate handle becomes invalid. */
+    /** Detach (slow path); delegates to Gate::detach(). */
     bool detach(Gate &gate);
 
-    /** True when the last completeAttach() saw a denial. */
+    // ---- deprecated shims (pre-AttachResult API) -------------------
+    /**
+     * @deprecated Use tryAttach(): the status travels in the result
+     * instead of the lastDenied()/lastTimedOut() side channel.
+     */
+    [[deprecated("use tryAttach(); status travels in the "
+                 "AttachResult")]]
+    std::optional<Gate> attach(const std::string &name,
+                               ElisaManager &manager);
+
+    /** @deprecated Use pollAttach(). */
+    [[deprecated("use pollAttach(); status travels in the "
+                 "AttachResult")]]
+    std::optional<Gate> completeAttach(RequestId request);
+
+    /** @deprecated Check AttachResult::status() instead. */
+    [[deprecated("check AttachResult::status()")]]
     bool lastDenied() const { return denied; }
 
-    /** True when the last completeAttach() saw a timeout. */
+    /** @deprecated Check AttachResult::status() instead. */
+    [[deprecated("check AttachResult::status()")]]
     bool lastTimedOut() const { return timedOut; }
 
-    /** True when the last requestAttach() was refused with Busy. */
+    /** @deprecated Check AttachResult::status() instead. */
+    [[deprecated("check AttachResult::status()")]]
     bool lastBusy() const { return busy; }
 
     /** The client's vCPU. */
@@ -99,10 +201,10 @@ class ElisaGuest
     ElisaService &svc;
     unsigned vcpuIndex;
     Gpa scratchGpa = 0;
+    // Legacy status flags, kept only for the deprecated shims.
     bool denied = false;
     bool timedOut = false;
     bool busy = false;
-    bool queryFailed = false;
 };
 
 } // namespace elisa::core

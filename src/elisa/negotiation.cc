@@ -22,6 +22,15 @@ copyName(char (&dst)[52], const std::string &src)
     dst[n] = '\0';
 }
 
+// Negotiation trace points. One async span per request, keyed by its
+// RequestId, runs from AttachRequest to the Query that observes a
+// terminal state; outcome instants land inside it.
+sim::TraceNameCache reqSpanName("attach_request");
+sim::TraceNameCache approvedName("approved");
+sim::TraceNameCache deniedName("denied");
+sim::TraceNameCache timedOutName("timed_out");
+sim::TraceNameCache pendingName("query_pending");
+
 } // anonymous namespace
 
 ElisaService::ElisaService(hv::Hypervisor &hv) : hyper(hv)
@@ -204,6 +213,28 @@ ElisaService::dumpState() const
 void
 ElisaService::registerHandlers()
 {
+    hyper.setHypercallName(
+        static_cast<std::uint64_t>(ElisaHc::RegisterManager),
+        "hc_register_manager");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Export),
+                           "hc_export");
+    hyper.setHypercallName(
+        static_cast<std::uint64_t>(ElisaHc::NextRequest),
+        "hc_next_request");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Approve),
+                           "hc_approve");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Deny),
+                           "hc_deny");
+    hyper.setHypercallName(
+        static_cast<std::uint64_t>(ElisaHc::AttachRequest),
+        "hc_attach_request");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Query),
+                           "hc_query");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Detach),
+                           "hc_detach");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Revoke),
+                           "hc_revoke");
+
     auto reg = [this](ElisaHc nr, auto member) {
         hyper.registerHypercall(
             static_cast<std::uint64_t>(nr),
@@ -458,6 +489,10 @@ ElisaService::hcAttachRequest(cpu::Vcpu &vcpu,
                 vcpu.vm(), req.name.c_str());
     requests.emplace(rid, std::move(req));
     mgr->second.push_back(rid);
+    if (sim::Tracer *tr = hyper.tracer()) {
+        tr->asyncBegin(sim::SpanCat::Negotiation, reqSpanName.get(*tr),
+                       rid, vcpu.id(), vcpu.clock().now(), vcpu.vm());
+    }
     return rid;
 }
 
@@ -488,6 +523,40 @@ ElisaService::hcQuery(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
     wire.info = req.info;
     cpu::GuestView view(vcpu);
     view.write(args.arg1, wire);
+
+    if (sim::Tracer *tr = hyper.tracer()) {
+        // The request's async span ends at the Query that observes a
+        // terminal state, with an outcome instant inside it. (Requests
+        // reaped by VM teardown are never queried; their spans stay
+        // open in the trace, which is the honest rendering.)
+        const SimNs now = vcpu.clock().now();
+        const RequestId rid = req.id;
+        switch (req.state) {
+          case RequestState::Pending:
+            tr->asyncInstant(sim::SpanCat::Negotiation,
+                             pendingName.get(*tr), rid, vcpu.id(), now);
+            break;
+          case RequestState::Approved:
+            tr->asyncInstant(sim::SpanCat::Negotiation,
+                             approvedName.get(*tr), rid, vcpu.id(), now,
+                             req.info.attachment);
+            break;
+          case RequestState::Denied:
+            tr->asyncInstant(sim::SpanCat::Negotiation,
+                             deniedName.get(*tr), rid, vcpu.id(), now);
+            break;
+          case RequestState::TimedOut:
+            tr->asyncInstant(sim::SpanCat::Negotiation,
+                             timedOutName.get(*tr), rid, vcpu.id(),
+                             now);
+            break;
+        }
+        if (req.state != RequestState::Pending) {
+            tr->asyncEnd(sim::SpanCat::Negotiation,
+                         reqSpanName.get(*tr), rid, vcpu.id(), now,
+                         wire.state);
+        }
+    }
 
     if (req.state != RequestState::Pending)
         requests.erase(req_it);

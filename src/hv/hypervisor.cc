@@ -1,6 +1,7 @@
 #include "hv/hypervisor.hh"
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 #include "base/trace.hh"
 #include "cpu/guest_view.hh"
 
@@ -81,6 +82,47 @@ Hypervisor::registerHypercall(std::uint64_t nr, HypercallHandler handler)
     hypercalls[nr] = std::move(handler);
 }
 
+void
+Hypervisor::setTracer(sim::Tracer *tracer)
+{
+    tracerPtr = tracer;
+    hcNameIds.clear();
+    if (tracerPtr) {
+        faultDropName = tracerPtr->intern("fault_drop");
+        faultErrorName = tracerPtr->intern("fault_error");
+        faultDelayName = tracerPtr->intern("fault_delay");
+        faultDupName = tracerPtr->intern("fault_duplicate");
+        faultKillName = tracerPtr->intern("fault_kill_vm");
+    }
+    for (auto &[id, vm] : vms) {
+        for (unsigned i = 0; i < vm->vcpuCount(); ++i)
+            vm->vcpu(i).setTracer(tracer);
+    }
+}
+
+void
+Hypervisor::setHypercallName(std::uint64_t nr, std::string name)
+{
+    hcNames[nr] = std::move(name);
+    hcNameIds.erase(nr);
+}
+
+sim::TraceNameId
+Hypervisor::hcSpanName(std::uint64_t nr)
+{
+    auto it = hcNameIds.find(nr);
+    if (it != hcNameIds.end())
+        return it->second;
+    auto named = hcNames.find(nr);
+    const sim::TraceNameId id =
+        named != hcNames.end()
+            ? tracerPtr->intern(named->second)
+            : tracerPtr->intern(
+                  detail::format("hc_0x%llx", (unsigned long long)nr));
+    hcNameIds.emplace(nr, id);
+    return id;
+}
+
 unsigned
 Hypervisor::reapKilledVms(VmId except)
 {
@@ -108,6 +150,12 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
 {
     statSet.inc(hypercallsId);
 
+    // One span per hypercall, named after the call, closed even when
+    // an injected KillVm unwinds this frame with a VmExitEvent.
+    sim::ScopedSpan span(tracerPtr, sim::SpanCat::Hypercall,
+                         tracerPtr ? hcSpanName(args.nr) : 0, vcpu.id(),
+                         vcpu.clock(), args.nr, args.arg0);
+
     if (faults != nullptr) {
         // Tear down VMs whose injected death was deferred out of their
         // own hypercall frames; the caller's own VM (whose vCPU is on
@@ -125,11 +173,23 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
             // the same error a lost message would produce.
             statSet.inc(faultInjectedId);
             statSet.inc(faultDroppedId);
+            if (tracerPtr) {
+                tracerPtr->instant(sim::SpanCat::Fault, faultDropName,
+                                   vcpu.id(), vcpu.clock().now(),
+                                   args.nr);
+            }
+            span.setEndArgs(hcError, 1);
             return hcError;
           case sim::FaultAction::Error:
             // The handler fails outright.
             statSet.inc(faultInjectedId);
             statSet.inc(faultErrorsId);
+            if (tracerPtr) {
+                tracerPtr->instant(sim::SpanCat::Fault, faultErrorName,
+                                   vcpu.id(), vcpu.clock().now(),
+                                   args.nr);
+            }
+            span.setEndArgs(hcError, 1);
             return hcError;
           case sim::FaultAction::Delay:
             // Host-side stall (contention, scheduling) before the
@@ -137,6 +197,11 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
             statSet.inc(faultInjectedId);
             statSet.inc(faultDelayedId);
             vcpu.clock().advance(fault.param);
+            if (tracerPtr) {
+                tracerPtr->instant(sim::SpanCat::Fault, faultDelayName,
+                                   vcpu.id(), vcpu.clock().now(),
+                                   args.nr, fault.param);
+            }
             break;
           case sim::FaultAction::Duplicate: {
             // The message is replayed: the handler runs twice and the
@@ -144,18 +209,31 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
             // idempotent Detach/Revoke must survive.
             statSet.inc(faultInjectedId);
             statSet.inc(faultDuplicatedId);
+            if (tracerPtr) {
+                tracerPtr->instant(sim::SpanCat::Fault, faultDupName,
+                                   vcpu.id(), vcpu.clock().now(),
+                                   args.nr);
+            }
             auto dup = hypercalls.find(args.nr);
             if (dup == hypercalls.end()) {
                 statSet.inc(hypercallUnknownId);
+                span.setEndArgs(hcError, 1);
                 return hcError;
             }
             dup->second(vcpu, args);
-            return dup->second(vcpu, args);
+            const std::uint64_t rc = dup->second(vcpu, args);
+            span.setEndArgs(rc, 1);
+            return rc;
           }
           case sim::FaultAction::KillVm: {
             statSet.inc(faultInjectedId);
             statSet.inc(faultVmKillsId);
             const VmId victim = static_cast<VmId>(fault.param);
+            if (tracerPtr) {
+                tracerPtr->instant(sim::SpanCat::Fault, faultKillName,
+                                   vcpu.id(), vcpu.clock().now(),
+                                   args.nr, victim);
+            }
             if (victim == vcpu.vm()) {
                 // The caller dies mid-hypercall. Its frames (this
                 // dispatch, the vmcall below it) still reference the
@@ -182,9 +260,12 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
     auto it = hypercalls.find(args.nr);
     if (it == hypercalls.end()) {
         statSet.inc(hypercallUnknownId);
+        span.setEndArgs(hcError);
         return hcError;
     }
-    return it->second(vcpu, args);
+    const std::uint64_t rc = it->second(vcpu, args);
+    span.setEndArgs(rc);
+    return rc;
 }
 
 std::optional<EptpIndex>
@@ -269,6 +350,11 @@ Hypervisor::channelDepth(ChannelId id) const
 void
 Hypervisor::registerBaseHypercalls()
 {
+    setHypercallName(Hc::Nop, "hc_nop");
+    setHypercallName(Hc::GetVmId, "hc_get_vm_id");
+    setHypercallName(Hc::ChanSend, "hc_chan_send");
+    setHypercallName(Hc::ChanRecv, "hc_chan_recv");
+
     registerHypercall(Hc::Nop,
                       [](cpu::Vcpu &, const cpu::HypercallArgs &) {
                           return std::uint64_t{0};

@@ -24,6 +24,7 @@
 #include "sim/cost_model.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
+#include "sim/tracer.hh"
 
 namespace elisa::hv
 {
@@ -95,6 +96,33 @@ class Hypervisor : public cpu::HypercallSink
 
     /** The installed fault plan, or nullptr. */
     sim::FaultPlan *faultPlan() const { return faults; }
+
+    // ---- tracing ---------------------------------------------------
+    /**
+     * Install (or with nullptr remove) a trace collector. Non-owning,
+     * same contract as setFaultPlan: the tracer must outlive its
+     * installation, and with none installed every trace point is one
+     * pointer test. Propagates to every existing and future vCPU.
+     */
+    void setTracer(sim::Tracer *tracer);
+
+    /** The installed tracer, or nullptr. */
+    sim::Tracer *tracer() const { return tracerPtr; }
+
+    /**
+     * Give hypercall @p nr a human-readable span name (services call
+     * this next to registerHypercall). Unnamed hypercalls trace as
+     * "hc_0x<nr>".
+     */
+    void setHypercallName(std::uint64_t nr, std::string name);
+
+    /** Convenience overload for the Hc enum. */
+    void
+    setHypercallName(Hc nr, std::string name)
+    {
+        setHypercallName(static_cast<std::uint64_t>(nr),
+                         std::move(name));
+    }
 
     /**
      * Destroy VMs whose injected death happened inside their own
@@ -197,6 +225,24 @@ class Hypervisor : public cpu::HypercallSink
 
     /** Installed fault plan (nullptr = fault injection off). */
     sim::FaultPlan *faults = nullptr;
+
+    /** Installed tracer (nullptr = tracing off). */
+    sim::Tracer *tracerPtr = nullptr;
+
+    /** Resolve the dispatch-span name for hypercall @p nr (lazily
+     *  interned into the installed tracer). */
+    sim::TraceNameId hcSpanName(std::uint64_t nr);
+
+    /** Registered hypercall display names (nr -> name). */
+    std::map<std::uint64_t, std::string> hcNames;
+    /** Per-tracer cache of interned hypercall span names. */
+    std::map<std::uint64_t, sim::TraceNameId> hcNameIds;
+    // Interned fault-annotation names, resolved at setTracer().
+    sim::TraceNameId faultDropName = 0;
+    sim::TraceNameId faultErrorName = 0;
+    sim::TraceNameId faultDelayName = 0;
+    sim::TraceNameId faultDupName = 0;
+    sim::TraceNameId faultKillName = 0;
 
     /** VMs killed mid-own-hypercall, awaiting a safe teardown point. */
     std::vector<VmId> doomedVms;

@@ -38,6 +38,7 @@ Vm::Vm(Hypervisor &hv, VmId id, std::string name, std::uint64_t ram_bytes,
         // EPTP-list slot 0 always holds the default context.
         vcpu->eptpList().set(0, defaultContext->eptp());
         vcpu->activateEptp(0);
+        vcpu->setTracer(hv.tracerPtr);
         vcpus.push_back(std::move(vcpu));
     }
 }

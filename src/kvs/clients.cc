@@ -60,7 +60,7 @@ DirectKvsClient::DirectKvsClient(DirectKvsTable &table_, hv::Vm &vm,
 std::optional<Value>
 DirectKvsClient::get(const Key &key)
 {
-    countGet();
+    countGet(vcpu());
     vcpu().clock().advance(table.hyper.cost().kvsGetCoreNs);
     return ShmKvs::get(*io, key);
 }
@@ -68,7 +68,7 @@ DirectKvsClient::get(const Key &key)
 bool
 DirectKvsClient::put(const Key &key, const Value &value)
 {
-    countPut();
+    countPut(vcpu());
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -82,7 +82,7 @@ DirectKvsClient::put(const Key &key, const Value &value)
 bool
 DirectKvsClient::remove(const Key &key)
 {
-    countRemove();
+    countRemove(vcpu());
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -97,7 +97,7 @@ bool
 DirectKvsClient::cas(const Key &key, const Value &expected,
                      const Value &desired)
 {
-    countCas();
+    countCas(vcpu());
     const std::uint64_t bucket = ShmKvs::bucketOf(*io, key);
     sim::SimLock &lock = table.lockTable().forBucket(bucket);
     sim::SimClock &clock = vcpu().clock();
@@ -205,10 +205,10 @@ ElisaKvsClient::ElisaKvsClient(ElisaKvsTable &table,
                                core::ElisaGuest &guest)
     : guestRt(guest)
 {
-    auto g = guest.attach(table.name(), manager);
-    fatal_if(!g, "attach to KVS table '%s' failed",
-             table.name().c_str());
-    gate = *g;
+    core::AttachResult attached = guest.tryAttach(table.name(), manager);
+    fatal_if(!attached, "attach to KVS table '%s' failed: %s",
+             table.name().c_str(), attached.reason().c_str());
+    gate = attached.take();
     internCounters(vcpu().stats());
 }
 
@@ -221,7 +221,7 @@ ElisaKvsClient::vcpu()
 std::optional<Value>
 ElisaKvsClient::get(const Key &key)
 {
-    countGet();
+    countGet(vcpu());
     gate.writeExchange(keyOff, key.data(), keyBytes);
     if (gate.call(0) == 0)
         return std::nullopt;
@@ -233,7 +233,7 @@ ElisaKvsClient::get(const Key &key)
 bool
 ElisaKvsClient::put(const Key &key, const Value &value)
 {
-    countPut();
+    countPut(vcpu());
     gate.writeExchange(keyOff, key.data(), keyBytes);
     gate.writeExchange(valueOff, value.data(), valueBytes);
     return gate.call(1) == 1;
@@ -242,7 +242,7 @@ ElisaKvsClient::put(const Key &key, const Value &value)
 bool
 ElisaKvsClient::remove(const Key &key)
 {
-    countRemove();
+    countRemove(vcpu());
     gate.writeExchange(keyOff, key.data(), keyBytes);
     return gate.call(2) == 1;
 }
@@ -251,7 +251,7 @@ bool
 ElisaKvsClient::cas(const Key &key, const Value &expected,
                     const Value &desired)
 {
-    countCas();
+    countCas(vcpu());
     gate.writeExchange(keyOff, key.data(), keyBytes);
     gate.writeExchange(valueOff, expected.data(), valueBytes);
     gate.writeExchange(desiredOff, desired.data(), valueBytes);
@@ -372,7 +372,7 @@ VmcallKvsClient::VmcallKvsClient(VmcallKvsTable &table_, hv::Vm &vm,
 std::optional<Value>
 VmcallKvsClient::get(const Key &key)
 {
-    countGet();
+    countGet(vcpu());
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     cpu::HypercallArgs args;
@@ -388,7 +388,7 @@ VmcallKvsClient::get(const Key &key)
 bool
 VmcallKvsClient::put(const Key &key, const Value &value)
 {
-    countPut();
+    countPut(vcpu());
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     view.writeBytes(bufGpa + 64, value.data(), valueBytes);
@@ -402,7 +402,7 @@ bool
 VmcallKvsClient::cas(const Key &key, const Value &expected,
                      const Value &desired)
 {
-    countCas();
+    countCas(vcpu());
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     view.writeBytes(bufGpa + 64, expected.data(), valueBytes);
@@ -416,7 +416,7 @@ VmcallKvsClient::cas(const Key &key, const Value &expected,
 bool
 VmcallKvsClient::remove(const Key &key)
 {
-    countRemove();
+    countRemove(vcpu());
     cpu::GuestView view(vcpu());
     view.writeBytes(bufGpa, key.data(), keyBytes);
     cpu::HypercallArgs args;

@@ -110,17 +110,39 @@ class KvsClient
         casId = stats.id("kvs_cas");
     }
 
-    void countGet() { kvsStats->inc(getsId); }
-    void countPut() { kvsStats->inc(putsId); }
-    void countRemove() { kvsStats->inc(removesId); }
-    void countCas() { kvsStats->inc(casId); }
+    // Per-op counters; each emits a trace instant when the machine has
+    // a tracer installed (one pointer test otherwise).
+    void countGet(cpu::Vcpu &cpu) { countOp(cpu, getsId, getName); }
+    void countPut(cpu::Vcpu &cpu) { countOp(cpu, putsId, putName); }
+
+    void
+    countRemove(cpu::Vcpu &cpu)
+    {
+        countOp(cpu, removesId, removeName);
+    }
+
+    void countCas(cpu::Vcpu &cpu) { countOp(cpu, casId, casName); }
 
   private:
+    void
+    countOp(cpu::Vcpu &cpu, sim::StatId id, sim::TraceNameCache &name)
+    {
+        kvsStats->inc(id);
+        if (sim::Tracer *tr = cpu.tracer()) {
+            tr->instant(sim::SpanCat::Kvs, name.get(*tr), cpu.id(),
+                        cpu.clock().now());
+        }
+    }
+
     sim::StatSet *kvsStats = nullptr;
     sim::StatId getsId = 0;
     sim::StatId putsId = 0;
     sim::StatId removesId = 0;
     sim::StatId casId = 0;
+    sim::TraceNameCache getName{"kvs_get"};
+    sim::TraceNameCache putName{"kvs_put"};
+    sim::TraceNameCache removeName{"kvs_remove"};
+    sim::TraceNameCache casName{"kvs_cas"};
 };
 
 // ---- direct mapping -----------------------------------------------

@@ -61,7 +61,7 @@ SriovPath::guestTx(std::uint32_t seq, std::uint32_t len)
     cpu.clock().advance(perPacketNs(hyper.cost(), len, false));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "VF TX ring overflow (workload pacing bug)");
-    countTx();
+    countTx(cpu, seq, len);
     return cpu.clock().now();
 }
 
@@ -71,7 +71,7 @@ SriovPath::guestRx()
     auto pkt = DescRing::pop(*guestRxIo);
     panic_if(!pkt, "VF RX ring empty (workload pacing bug)");
     vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, false));
-    countRx();
+    countRx(vcpu(), pkt->seq, pkt->len);
     return {pkt->seq, pkt->len};
 }
 
@@ -127,7 +127,7 @@ DirectPath::guestTx(std::uint32_t seq, std::uint32_t len)
     cpu.clock().advance(perPacketNs(hyper.cost(), len, true));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "direct TX ring overflow (workload pacing bug)");
-    countTx();
+    countTx(cpu, seq, len);
     return cpu.clock().now();
 }
 
@@ -137,7 +137,7 @@ DirectPath::guestRx()
     auto pkt = DescRing::pop(*guestRxIo);
     panic_if(!pkt, "direct RX ring empty (workload pacing bug)");
     vcpu().clock().advance(perPacketNs(hyper.cost(), pkt->len, true));
-    countRx();
+    countRx(vcpu(), pkt->seq, pkt->len);
     return {pkt->seq, pkt->len};
 }
 
@@ -203,9 +203,10 @@ ElisaPath::ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
     DescRing::init(*hostRxIo);
     DescRing::init(*hostTxIo);
 
-    auto g = guest.attach(export_name, manager);
-    fatal_if(!g, "attach to NIC rings '%s' failed", export_name.c_str());
-    gate = *g;
+    core::AttachResult attached = guest.tryAttach(export_name, manager);
+    fatal_if(!attached, "attach to NIC rings '%s' failed: %s",
+             export_name.c_str(), attached.reason().c_str());
+    gate = attached.take();
 }
 
 cpu::Vcpu &
@@ -219,7 +220,7 @@ ElisaPath::guestTx(std::uint32_t seq, std::uint32_t len)
 {
     const std::uint64_t ok = gate.call(0, seq, len);
     panic_if(ok != 1, "ELISA TX ring overflow (workload pacing bug)");
-    countTx();
+    countTx(vcpu(), seq, len);
     return vcpu().clock().now();
 }
 
@@ -229,8 +230,9 @@ ElisaPath::guestRx()
     const std::uint64_t packed = gate.call(1);
     panic_if(packed == ~std::uint64_t{0},
              "ELISA RX ring empty (workload pacing bug)");
-    countRx();
-    return unpackSeqLen(packed);
+    const auto seq_len = unpackSeqLen(packed);
+    countRx(vcpu(), seq_len.first, seq_len.second);
+    return seq_len;
 }
 
 SimNs
@@ -309,7 +311,7 @@ VmcallPath::guestTx(std::uint32_t seq, std::uint32_t len)
     args.arg1 = len;
     const std::uint64_t ok = vcpu().vmcall(args);
     panic_if(ok != 1, "VMCALL TX ring overflow (workload pacing bug)");
-    countTx();
+    countTx(vcpu(), seq, len);
     return vcpu().clock().now();
 }
 
@@ -321,8 +323,9 @@ VmcallPath::guestRx()
     const std::uint64_t packed = vcpu().vmcall(args);
     panic_if(packed == ~std::uint64_t{0},
              "VMCALL RX ring empty (workload pacing bug)");
-    countRx();
-    return unpackSeqLen(packed);
+    const auto seq_len = unpackSeqLen(packed);
+    countRx(vcpu(), seq_len.first, seq_len.second);
+    return seq_len;
 }
 
 SimNs
@@ -381,7 +384,7 @@ VhostPath::guestTx(std::uint32_t seq, std::uint32_t len)
                         cost.memAccessNs * divCeil(len, 8));
     const bool ok = DescRing::pushPattern(*guestTxIo, seq, len);
     panic_if(!ok, "virtio TX ring overflow (workload pacing bug)");
-    countTx();
+    countTx(cpu, seq, len);
     return cpu.clock().now();
 }
 
@@ -393,7 +396,7 @@ VhostPath::guestRx()
     panic_if(!pkt, "virtio RX ring empty (workload pacing bug)");
     vcpu().clock().advance(cost.virtioGuestNs + cost.virtioKickNs +
                            cost.memAccessNs * divCeil(pkt->len, 8));
-    countRx();
+    countRx(vcpu(), pkt->seq, pkt->len);
     return {pkt->seq, pkt->len};
 }
 

@@ -118,13 +118,35 @@ class NetPath
         rxPktsId = stats.id("net_rx_pkts");
     }
 
-    void countTx() { pathStats->inc(txPktsId); }
-    void countRx() { pathStats->inc(rxPktsId); }
+    /** Count one transmit; emits a per-packet trace instant when the
+     *  machine has a tracer installed (one pointer test otherwise). */
+    void
+    countTx(cpu::Vcpu &cpu, std::uint32_t seq, std::uint32_t len)
+    {
+        pathStats->inc(txPktsId);
+        if (sim::Tracer *tr = cpu.tracer()) {
+            tr->instant(sim::SpanCat::Net, txName.get(*tr), cpu.id(),
+                        cpu.clock().now(), seq, len);
+        }
+    }
+
+    /** Count one receive (traced like countTx). */
+    void
+    countRx(cpu::Vcpu &cpu, std::uint32_t seq, std::uint32_t len)
+    {
+        pathStats->inc(rxPktsId);
+        if (sim::Tracer *tr = cpu.tracer()) {
+            tr->instant(sim::SpanCat::Net, rxName.get(*tr), cpu.id(),
+                        cpu.clock().now(), seq, len);
+        }
+    }
 
   private:
     sim::StatSet *pathStats = nullptr;
     sim::StatId txPktsId = 0;
     sim::StatId rxPktsId = 0;
+    sim::TraceNameCache txName{"net_tx"};
+    sim::TraceNameCache rxName{"net_rx"};
 };
 
 /** Direct device assignment (SR-IOV VF). */

@@ -144,13 +144,14 @@ runFaultScenario(std::uint64_t seed)
     // dropped, delayed, or duplicated — replays from the seed.
     unsigned attached = 0;
     for (unsigned round = 0; round < 40; ++round) {
-        auto gate = guest.attachWithRetry(
+        auto result = guest.attachWithRetry(
             "chaos", [&] { manager.pollRequests(); });
-        if (!gate)
+        if (!result)
             continue;
         ++attached;
-        client_vm.run(0, [&] { gate->call(0); });
-        guest.detach(*gate);
+        core::Gate gate = result.take();
+        client_vm.run(0, [&] { gate.call(0); });
+        gate.detach();
     }
 
     std::ostringstream out;

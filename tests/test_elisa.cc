@@ -107,18 +107,23 @@ TEST_F(ElisaTest, AttachNegotiationFullFlow)
 
     auto req = guest.requestAttach("kv");
     ASSERT_TRUE(req);
-    // Before the manager polls, the request is pending.
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_FALSE(guest.lastDenied());
+    // Before the manager polls, the request is pending — the status
+    // travels in the AttachResult, not a side channel.
+    AttachResult pending = guest.pollAttach(*req);
+    EXPECT_EQ(pending.status(), AttachStatus::Pending);
+    EXPECT_FALSE(pending.ok());
+    EXPECT_EQ(pending.request(), req);
 
     EXPECT_EQ(manager.pollRequests(), 1u);
-    auto gate = guest.completeAttach(*req);
-    ASSERT_TRUE(gate);
-    EXPECT_TRUE(gate->valid());
+    AttachResult attached = guest.pollAttach(*req);
+    ASSERT_TRUE(attached.ok());
+    EXPECT_TRUE(attached.reason().empty());
+    Gate gate = attached.take();
+    EXPECT_TRUE(gate.valid());
     EXPECT_EQ(svc.attachmentCount(), 1u);
-    EXPECT_GT(gate->info().gateIndex, 0u);
-    EXPECT_GT(gate->info().subIndex, 0u);
-    EXPECT_NE(gate->info().gateIndex, gate->info().subIndex);
+    EXPECT_GT(gate.info().gateIndex, 0u);
+    EXPECT_GT(gate.info().subIndex, 0u);
+    EXPECT_NE(gate.info().gateIndex, gate.info().subIndex);
 }
 
 TEST_F(ElisaTest, AttachUnknownExportFails)
@@ -134,8 +139,9 @@ TEST_F(ElisaTest, ApproverPolicyDenies)
     auto req = guest.requestAttach("kv");
     ASSERT_TRUE(req);
     manager.pollRequests();
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_TRUE(guest.lastDenied());
+    AttachResult denied = guest.pollAttach(*req);
+    EXPECT_EQ(denied.status(), AttachStatus::Denied);
+    EXPECT_FALSE(denied.reason().empty());
     EXPECT_EQ(svc.attachmentCount(), 0u);
 }
 
@@ -148,7 +154,7 @@ TEST_F(ElisaTest, GateCallReadsAndWritesObject)
     auto mview = manager.view();
     mview.write<std::uint64_t>(exp->objectGpa + 0x80, 0x1111beef);
 
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Guest reads the value the manager wrote: shared access works.
@@ -163,7 +169,7 @@ TEST_F(ElisaTest, GateCallReadsAndWritesObject)
 TEST_F(ElisaTest, GateCallRestoresDefaultContext)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(guest.vcpu().activeIndex(), 0u);
     gate->call(3);
@@ -174,7 +180,7 @@ TEST_F(ElisaTest, GateCallRestoresDefaultContext)
 TEST_F(ElisaTest, GateCallCostsExactly196ns)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // fn 3 touches no memory: the pure context round trip.
@@ -189,7 +195,7 @@ TEST_F(ElisaTest, ExchangeBufferCarriesBulkData)
 {
     auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     const char payload[] = "bulk payload through exchange";
@@ -206,7 +212,7 @@ TEST_F(ElisaTest, ExchangeBufferCarriesBulkData)
 TEST_F(ElisaTest, BadFunctionIdFaults)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     auto result = guestVm.run(0, [&] { gate->call(99); });
@@ -218,7 +224,7 @@ TEST_F(ElisaTest, BadFunctionIdFaults)
 TEST_F(ElisaTest, DetachRevokesEptpEntries)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachInfo info = gate->info();
 
@@ -237,8 +243,8 @@ TEST_F(ElisaTest, MultipleAttachmentsPerGuest)
 {
     ASSERT_TRUE(manager.exportObject("a", 4 * KiB, basicFns()));
     ASSERT_TRUE(manager.exportObject("b", 4 * KiB, basicFns()));
-    auto ga = guest.attach("a", manager);
-    auto gb = guest.attach("b", manager);
+    auto ga = guest.tryAttach("a", manager).intoOptional();
+    auto gb = guest.tryAttach("b", manager).intoOptional();
     ASSERT_TRUE(ga && gb);
     EXPECT_NE(ga->info().exchangeGuestGpa, gb->info().exchangeGuestGpa);
     EXPECT_EQ(svc.attachmentCount(), 2u);
@@ -256,8 +262,8 @@ TEST_F(ElisaTest, TwoGuestsShareOneObject)
     ElisaGuest guest2(guest2Vm, svc);
 
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto g1 = guest.attach("kv", manager);
-    auto g2 = guest2.attach("kv", manager);
+    auto g1 = guest.tryAttach("kv", manager).intoOptional();
+    auto g2 = guest2.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(g1 && g2);
 
     g1->call(1, 0x10, 777);
@@ -267,7 +273,7 @@ TEST_F(ElisaTest, TwoGuestsShareOneObject)
 TEST_F(ElisaTest, RevokeExportInvalidatesLiveGates)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     EXPECT_TRUE(svc.revokeExport("kv"));
@@ -288,7 +294,7 @@ TEST_F(ElisaTest, SetupCostsChargedOnSlowPath)
               hv.cost().vmcallRttNs()); // export > bare hypercall
 
     const SimNs g0 = guest.vcpu().clock().now();
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     // Attach needs at least request+query hypercalls and hops.
     EXPECT_GT(guest.vcpu().clock().now() - g0,
@@ -299,7 +305,7 @@ TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
 {
     auto exp = manager.exportObject("kv", 4 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // A non-owner cannot revoke it (the guest is no manager at all).
@@ -325,7 +331,7 @@ TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
 TEST_F(ElisaTest, DumpStateReflectsLifecycle)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     const std::string dump = svc.dumpState();
@@ -345,8 +351,8 @@ TEST_F(ElisaTest, MultiVcpuGuestAttachesPerVcpu)
     ElisaGuest g1(smp, svc, 1);
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
 
-    auto gate0 = g0.attach("kv", manager);
-    auto gate1 = g1.attach("kv", manager);
+    auto gate0 = g0.tryAttach("kv", manager).intoOptional();
+    auto gate1 = g1.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate0 && gate1);
 
     // EPTP lists are per-vCPU: vCPU 1's indices mean nothing on
@@ -367,7 +373,7 @@ TEST_F(ElisaTest, BatchedCallAmortizesTransition)
 {
     auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Batch: write 0x10, read it back, constant.
@@ -394,7 +400,7 @@ TEST_F(ElisaTest, BatchedCallAmortizesTransition)
 TEST_F(ElisaTest, BatchedCallBadFnFaultsWholeBatch)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     std::vector<core::Gate::BatchEntry> batch(2);
     batch[0] = {3, 0, 0, 0, 0};
@@ -410,7 +416,7 @@ TEST_F(ElisaTest, DestroyingGuestVmReapsItsAttachments)
     hv::Vm &doomed = hv.createVm("doomed", 16 * MiB);
     {
         ElisaGuest dguest(doomed, svc);
-        auto gate = dguest.attach("kv", manager);
+        auto gate = dguest.tryAttach("kv", manager).intoOptional();
         ASSERT_TRUE(gate);
         EXPECT_EQ(svc.attachmentCount(), 1u);
     }
@@ -426,7 +432,7 @@ TEST_F(ElisaTest, DestroyingManagerVmRevokesItsExports)
         ElisaManager mgr2(mgr2_vm, svc);
         ASSERT_TRUE(mgr2.exportObject("ephemeral", 4 * KiB,
                                       basicFns()));
-        auto gate = guest.attach("ephemeral", mgr2);
+        auto gate = guest.tryAttach("ephemeral", mgr2).intoOptional();
         ASSERT_TRUE(gate);
         ASSERT_EQ(svc.attachmentCount(), 1u);
 
@@ -503,7 +509,7 @@ TEST_F(ShmAllocTest, AllocationsVisibleThroughGate)
     ASSERT_TRUE(off);
     mview->write<std::uint64_t>(exp->objectGpa + *off, 0xfeed);
 
-    auto gate = guest.attach("heap", manager);
+    auto gate = guest.tryAttach("heap", manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0, *off), 0xfeedu);
 }

@@ -289,7 +289,7 @@ TEST(ElisaLargePages, BigExportsUseLargeMappings)
         manager.exportObject("big", 8 * MiB, std::move(fns));
     ASSERT_TRUE(exported);
 
-    auto gate = guest.attach("big", manager);
+    auto gate = guest.tryAttach("big", manager).intoOptional();
     ASSERT_TRUE(gate);
     core::Attachment *attach = svc.attachment(gate->info().attachment);
     ASSERT_NE(attach, nullptr);

@@ -352,7 +352,7 @@ TEST_F(FaultTest, DuplicateRunsTheHandlerTwice)
 TEST_F(FaultTest, DuplicatedDetachIsIdempotent)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     sim::FaultRule rule;
@@ -408,7 +408,7 @@ TEST_F(FaultTest, KillCallerIsDeferredPastItsOwnFrames)
 TEST_F(FaultTest, GateStaleFaultsLikeARevokedAttachment)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     sim::FaultRule rule;
@@ -487,7 +487,7 @@ TEST_F(FaultTest, ZeroFaultPlanIsInvisible)
     hv.setFaultPlan(&plan); // no rules, no chances
 
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0), 42u);
     EXPECT_TRUE(guest.detach(*gate));
@@ -510,9 +510,10 @@ TEST_F(FaultTest, PendingRequestTimesOutInsteadOfHanging)
     // The manager never polls; past the bound the guest's Query
     // observes TimedOut and the request is reaped.
     guest.vcpu().clock().advance(hv.cost().negotiationTimeoutNs + 1);
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_TRUE(guest.lastTimedOut());
-    EXPECT_FALSE(guest.lastDenied());
+    AttachResult late = guest.pollAttach(*req);
+    EXPECT_EQ(late.status(), AttachStatus::TimedOut);
+    EXPECT_FALSE(late.ok());
+    EXPECT_FALSE(late.reason().empty());
     EXPECT_EQ(svc.requestCount(), 0u);
     EXPECT_EQ(hv.stats().get("elisa_timeouts"), 1u);
 }
@@ -520,7 +521,7 @@ TEST_F(FaultTest, PendingRequestTimesOutInsteadOfHanging)
 TEST_F(FaultTest, ManagerDeathDeniesWaitersAndRevokesExports)
 {
     ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto held = guest.attach("kv", manager);
+    auto held = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(held);
     const EptpIndex gateIdx = held->info().gateIndex;
     const EptpIndex subIdx = held->info().subIndex;
@@ -531,8 +532,7 @@ TEST_F(FaultTest, ManagerDeathDeniesWaitersAndRevokesExports)
     hv.destroyVm(managerVm.id());
 
     // The waiter observes Denied, not a hang.
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_TRUE(guest.lastDenied());
+    EXPECT_EQ(guest.pollAttach(*req).status(), AttachStatus::Denied);
     EXPECT_EQ(hv.stats().get("elisa_orphan_denied"), 1u);
 
     // The export and the live attachment are gone; the guest's
@@ -563,10 +563,11 @@ TEST_F(FaultTest, AttachWithRetrySurvivesDroppedHypercalls)
     plan.addRule(drop);
     hv.setFaultPlan(&plan);
 
-    auto gate = guest.attachWithRetry(
+    AttachResult attached = guest.attachWithRetry(
         "kv", [&] { manager.pollRequests(); });
-    ASSERT_TRUE(gate);
-    EXPECT_EQ(gate->call(0), 42u);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+    EXPECT_EQ(gate.call(0), 42u);
     EXPECT_EQ(plan.injectedCount(), 2u);
     EXPECT_GE(guest.vcpu().stats().get("elisa_attach_retries"), 1u);
 }
@@ -580,8 +581,11 @@ TEST_F(FaultTest, AttachWithRetryGivesUpOnDeadManager)
     // The manager dies while the request hypercall is in flight: the
     // export is auto-revoked and the request denied, so the retry
     // loop terminates with a definitive failure instead of spinning.
-    auto gate = guest.attachWithRetry("kv");
-    EXPECT_FALSE(gate);
+    AttachResult failed = guest.attachWithRetry("kv");
+    EXPECT_FALSE(failed.ok());
+    // The export was auto-revoked with its manager, so the bounded
+    // loop ends on a non-Attached status with the reason filled in.
+    EXPECT_FALSE(failed.reason().empty());
     EXPECT_FALSE(hv.hasVm(managerVm.id()));
     EXPECT_EQ(svc.requestCount(), 0u);
 }
@@ -595,16 +599,16 @@ TEST_F(FaultTest, AttachBuildFaultDeniesCleanly)
     plan.addRule(rule);
     hv.setFaultPlan(&plan);
 
-    auto gate = guest.attach("kv", manager);
-    EXPECT_FALSE(gate);
-    EXPECT_TRUE(guest.lastDenied());
+    AttachResult faulted = guest.tryAttach("kv", manager);
+    EXPECT_EQ(faulted.status(), AttachStatus::Denied);
+    EXPECT_FALSE(faulted.reason().empty());
     EXPECT_EQ(svc.attachmentCount(), 0u);
     EXPECT_EQ(hv.stats().get("elisa_attach_build_faults"), 1u);
 
     // Transient: with the rule spent, the same attach succeeds.
-    auto retry = guest.attach("kv", manager);
-    ASSERT_TRUE(retry);
-    EXPECT_EQ(retry->call(0), 42u);
+    AttachResult retry = guest.tryAttach("kv", manager);
+    ASSERT_TRUE(retry.ok());
+    EXPECT_EQ(retry.gate().call(0), 42u);
 }
 
 TEST_F(FaultTest, ChaosSeedIsReproducible)

@@ -187,7 +187,7 @@ TEST_F(GuestPagingTest, GuestAppCanDriveElisaThroughVirtualMemory)
     auto exported =
         manager.exportObject("app-obj", pageSize, std::move(fns));
     ASSERT_TRUE(exported);
-    auto gate = guest.attach("app-obj", manager);
+    auto gate = guest.tryAttach("app-obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // The app's buffer lives at a GVA; it reads it through its own

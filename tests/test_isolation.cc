@@ -90,7 +90,7 @@ TEST_F(IsolationTest, GuestCannotTouchManagerObjectFromDefaultContext)
 {
     auto exp = manager.exportObject("obj", 4 * KiB, fns());
     ASSERT_TRUE(exp);
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     cpu::GuestView v(victimVm.vcpu(0));
@@ -105,7 +105,7 @@ TEST_F(IsolationTest, GuestCannotTouchManagerObjectFromDefaultContext)
 TEST_F(IsolationTest, UnattachedGuestCannotVmfuncAnywhere)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // The attacker guesses the victim's indices: its own EPTP list
@@ -120,7 +120,7 @@ TEST_F(IsolationTest, UnattachedGuestCannotVmfuncAnywhere)
 TEST_F(IsolationTest, DirectVmfuncToSubContextStrandsTheGuest)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // A malicious guest skips the gate and VMFUNCs straight into the
@@ -143,7 +143,7 @@ TEST_F(IsolationTest, DirectVmfuncToSubContextStrandsTheGuest)
 TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Even *trusted* shared code cannot read the caller's RAM: GPA
@@ -156,7 +156,7 @@ TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
     // Splice the leaky table in via a second export.
     ASSERT_TRUE(manager.exportObject("leaky", 4 * KiB,
                                      std::move(leak)));
-    auto leaky_gate = victim.attach("leaky", manager);
+    auto leaky_gate = victim.tryAttach("leaky", manager).intoOptional();
     ASSERT_TRUE(leaky_gate);
 
     auto result = victimVm.run(0, [&] { leaky_gate->call(0); });
@@ -167,8 +167,8 @@ TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
 TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto g_victim = victim.attach("obj", manager);
-    auto g_attacker = attacker.attach("obj", manager);
+    auto g_victim = victim.tryAttach("obj", manager).intoOptional();
+    auto g_attacker = attacker.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(g_victim && g_attacker);
 
     const char secret[] = "victim secret";
@@ -189,7 +189,7 @@ TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
     EXPECT_STRNE(probe2, secret);
 
     // Within one VM, distinct attachments get distinct window GPAs.
-    auto g_second = victim.attach("obj", manager);
+    auto g_second = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(g_second);
     EXPECT_NE(g_second->info().exchangeGuestGpa,
               g_victim->info().exchangeGuestGpa);
@@ -202,7 +202,7 @@ TEST_F(IsolationTest, ReadOnlyExportRejectsWrites)
     ASSERT_TRUE(exp);
     manager.view().write<std::uint64_t>(exp->objectGpa, 0x1234);
 
-    auto gate = victim.attach("ro", manager);
+    auto gate = victim.tryAttach("ro", manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0, 0), 0x1234u); // reads fine
 
@@ -227,8 +227,8 @@ TEST_F(IsolationTest, PerClientPermissionGrants)
                                        : ept::Perms::Read;
         });
 
-    auto g_rw = victim.attach("shared", manager);
-    auto g_ro = attacker.attach("shared", manager);
+    auto g_rw = victim.tryAttach("shared", manager).intoOptional();
+    auto g_ro = attacker.tryAttach("shared", manager).intoOptional();
     ASSERT_TRUE(g_rw && g_ro);
 
     // Writer writes; reader reads — shared state, asymmetric rights.
@@ -256,14 +256,14 @@ TEST_F(IsolationTest, PermissionEscalationRefused)
     ASSERT_TRUE(req);
     manager.pollRequests();
     // The Approve hypercall is refused; the request stays pending.
-    EXPECT_FALSE(victim.completeAttach(*req));
+    EXPECT_EQ(victim.pollAttach(*req).status(), AttachStatus::Pending);
     EXPECT_EQ(svc.attachmentCount(), 0u);
 }
 
 TEST_F(IsolationTest, DetachedIndexCannotBeReplayed)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
     const EptpIndex stale = gate->info().subIndex;
     ASSERT_TRUE(victim.detach(*gate));
@@ -279,7 +279,7 @@ TEST_F(IsolationTest, TlbDoesNotLeakAcrossRevocation)
 {
     auto exp = manager.exportObject("obj", 4 * KiB, fns());
     ASSERT_TRUE(exp);
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Warm the victim's TLB with sub-context translations.
@@ -298,7 +298,7 @@ TEST_F(IsolationTest, TlbDoesNotLeakAcrossRevocation)
 TEST_F(IsolationTest, GuestCannotDetachForeignAttachment)
 {
     ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.attach("obj", manager);
+    auto gate = victim.tryAttach("obj", manager).intoOptional();
     ASSERT_TRUE(gate);
 
     cpu::HypercallArgs args;

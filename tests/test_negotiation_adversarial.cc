@@ -123,13 +123,12 @@ TEST_F(AdversarialTest, ApproveAfterDenyFails)
     EXPECT_EQ(raw(managerVm, ElisaHc::Approve, *req), hv::hcError);
     EXPECT_EQ(svc.attachmentCount(), 0u);
 
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_TRUE(guest.lastDenied());
+    EXPECT_EQ(guest.pollAttach(*req).status(), AttachStatus::Denied);
 }
 
 TEST_F(AdversarialTest, GuestCannotDetachAnothersAttachment)
 {
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachmentId aid = gate->info().attachment;
 
@@ -156,7 +155,7 @@ TEST_F(AdversarialTest, GuestCannotQueryAnothersRequest)
     EXPECT_EQ(svc.requestCount(), 1u);
 
     ASSERT_EQ(manager.pollRequests(), 1u);
-    EXPECT_TRUE(guest.completeAttach(*req));
+    EXPECT_TRUE(guest.pollAttach(*req).ok());
 }
 
 TEST_F(AdversarialTest, QuerySpamIsHarmless)
@@ -165,15 +164,15 @@ TEST_F(AdversarialTest, QuerySpamIsHarmless)
     ASSERT_TRUE(req);
 
     // Spamming Query on a Pending request changes nothing.
-    for (unsigned i = 0; i < 100; ++i) {
-        EXPECT_FALSE(guest.completeAttach(*req));
-        EXPECT_FALSE(guest.lastDenied());
-    }
+    for (unsigned i = 0; i < 100; ++i)
+        EXPECT_EQ(guest.pollAttach(*req).status(),
+                  AttachStatus::Pending);
     EXPECT_EQ(svc.requestCount(), 1u);
 
     ASSERT_EQ(manager.pollRequests(), 1u);
-    auto gate = guest.completeAttach(*req);
-    ASSERT_TRUE(gate);
+    AttachResult attached = guest.pollAttach(*req);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take(); // keep it alive: RAII auto-detaches
 
     // The request was consumed on the Approved answer; further spam
     // on the stale id is an error, not a second attachment.
@@ -248,14 +247,12 @@ TEST_F(AdversarialTest, RequestQueueCapReturnsBusy)
     for (unsigned i = 0; i < 8; ++i) {
         last = guest.requestAttach("kv");
         ASSERT_TRUE(last);
-        EXPECT_FALSE(guest.lastBusy());
     }
     const std::size_t queued = svc.requestCount();
 
-    // ...the next request is refused with Busy, distinct from error,
-    // and creates no host-side state.
+    // ...the next request is refused with Busy (the elisa_busy
+    // counter, distinct from error) and creates no host-side state.
     EXPECT_FALSE(guest.requestAttach("kv"));
-    EXPECT_TRUE(guest.lastBusy());
     EXPECT_EQ(svc.requestCount(), queued);
     EXPECT_EQ(hv.stats().get("elisa_busy"), 1u);
 
@@ -263,7 +260,7 @@ TEST_F(AdversarialTest, RequestQueueCapReturnsBusy)
     EXPECT_EQ(manager.pollRequests(), 8u);
     auto req = guest.requestAttach("kv");
     ASSERT_TRUE(req);
-    EXPECT_FALSE(guest.lastBusy());
+    EXPECT_EQ(hv.stats().get("elisa_busy"), 1u);
 }
 
 TEST_F(AdversarialTest, BusyGuestRetriesThroughBackoff)
@@ -273,16 +270,16 @@ TEST_F(AdversarialTest, BusyGuestRetriesThroughBackoff)
 
     // The second guest's robust attach backs off, pumps the manager
     // (which drains the queue), and then succeeds.
-    auto gate = other.attachWithRetry(
+    AttachResult attached = other.attachWithRetry(
         "kv", [&] { manager.pollRequests(); });
-    ASSERT_TRUE(gate);
-    EXPECT_EQ(gate->call(0), 42u);
+    ASSERT_TRUE(attached.ok());
+    EXPECT_EQ(attached.gate().call(0), 42u);
     EXPECT_GE(hv.stats().get("elisa_busy"), 1u);
 }
 
 TEST_F(AdversarialTest, DetachReplayIsIdempotentForOwnerOnly)
 {
-    auto gate = guest.attach("kv", manager);
+    auto gate = guest.tryAttach("kv", manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachmentId aid = gate->info().attachment;
 
@@ -303,5 +300,38 @@ TEST_F(AdversarialTest, RevokeReplayIsIdempotentForOwnerOnly)
     EXPECT_GE(hv.stats().get("elisa_idempotent_revokes"), 1u);
     EXPECT_EQ(svc.exportCount(), 0u);
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST_F(AdversarialTest, DeprecatedShimsStillWork)
+{
+    // The pre-AttachResult surface (attach/completeAttach plus the
+    // lastDenied/lastTimedOut/lastBusy side channel) stays functional
+    // until removal; this is the one deliberate consumer.
+    auto gate = guest.attach("kv", manager);
+    ASSERT_TRUE(gate.has_value());
+    EXPECT_FALSE(guest.lastDenied());
+    EXPECT_FALSE(guest.lastTimedOut());
+    EXPECT_FALSE(guest.lastBusy());
+    EXPECT_EQ(gate->call(0), 42u);
+    EXPECT_TRUE(guest.detach(*gate));
+
+    // Unknown export: the shim reports failure through the flags.
+    EXPECT_FALSE(guest.attach("no-such-export", manager));
+    EXPECT_TRUE(guest.lastDenied());
+
+    // completeAttach on a pending request mirrors pollAttach.
+    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(req);
+    EXPECT_FALSE(guest.completeAttach(*req));
+    EXPECT_FALSE(guest.lastDenied());
+    ASSERT_EQ(manager.pollRequests(), 1u);
+    auto late = guest.completeAttach(*req);
+    ASSERT_TRUE(late.has_value());
+    EXPECT_TRUE(guest.detach(*late));
+}
+
+#pragma GCC diagnostic pop
 
 } // anonymous namespace

@@ -254,17 +254,17 @@ TEST_P(NegotiationFuzz, AdversarialHypercallsNeverCorruptTheService)
         switch (action) {
           case 0: { // legitimate attach
             if (gates.size() < 40) {
-                auto g = guest.attach("target", manager);
+                auto g = guest.tryAttach("target", manager);
                 if (g)
-                    gates.push_back(*g);
+                    gates.push_back(g.take());
             }
             break;
           }
           case 1: { // legitimate detach
             if (!gates.empty()) {
                 const std::size_t pick = rng.below(gates.size());
-                guest.detach(gates[pick]);
-                gates[pick] = gates.back();
+                gates[pick].detach();
+                gates[pick] = std::move(gates.back());
                 gates.pop_back();
             }
             break;
@@ -346,7 +346,7 @@ TEST_P(NegotiationFuzz, AdversarialHypercallsNeverCorruptTheService)
     // and revoking the export reaps any attachment the fuzzer's
     // random-but-valid AttachRequests may have created.
     for (auto &g : gates)
-        guest.detach(g);
+        g.detach();
     EXPECT_TRUE(svc.revokeExport("target"));
     EXPECT_EQ(svc.attachmentCount(), 0u);
     EXPECT_EQ(svc.exportCount(), 0u);
