@@ -65,5 +65,10 @@ main()
     paperCheck("ELISA context RTT", elisa_ns, 196.0, "ns");
     paperCheck("VMCALL context RTT", vmcall_ns, 699.0, "ns");
     paperCheck("VMCALL/ELISA ratio", vmcall_ns / elisa_ns, 3.5, "x");
+
+    BenchReport report("context_rtt");
+    report.set("elisa_rtt_ns", elisa_ns);
+    report.set("vmcall_rtt_ns", vmcall_ns);
+    report.set("vmcall_over_elisa_ratio", vmcall_ns / elisa_ns);
     return 0;
 }

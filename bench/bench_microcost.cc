@@ -107,6 +107,14 @@ main()
                 "ELISA RTT of T2.\n",
                 4 * vmfunc_ns + 2.0 * (double)cost.gateCodeNs);
 
+    BenchReport report("microcost");
+    report.set("vmfunc_ns", vmfunc_ns);
+    report.set("gate_code_ns", (double)cost.gateCodeNs);
+    report.set("vmcall_rtt_ns", vmcall_ns);
+    report.set("cpuid_rtt_ns", cpuid_ns);
+    report.set("tlb_hit_ns", hit_ns);
+    report.set("ept_walk_ns", walk_ns);
+
     bed.hv.allocator().free(*frame);
     return 0;
 }

@@ -81,5 +81,15 @@ main()
     std::printf("%s\n", t2.render().c_str());
     paperCheck("HyperNF VMCALL reduction vs direct",
                (h_direct - h_vmcall) / h_direct * 100.0, 49.0, "%");
+
+    BenchReport report("net_rx");
+    report.set("elisa_64b_mpps", elisa64);
+    report.set("vmcall_64b_mpps", vmcall64);
+    report.set("direct_64b_mpps", direct64);
+    report.set("hypernf_direct_mpps", h_direct);
+    report.set("hypernf_vmcall_mpps", h_vmcall);
+    report.set("hypernf_elisa_mpps", h_elisa);
+    report.set("hypernf_vmcall_reduction_pct",
+               (h_direct - h_vmcall) / h_direct * 100.0);
     return 0;
 }

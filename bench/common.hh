@@ -9,8 +9,10 @@
 #ifndef ELISA_BENCH_COMMON_HH
 #define ELISA_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <system_error>
@@ -115,6 +117,99 @@ saveCsv(const TextTable &table, const char *exp_id)
     std::fclose(f);
     std::printf("  [csv] series saved to %s\n", path.c_str());
 }
+
+/**
+ * Machine-readable bench result for the regression gate.
+ *
+ * Each bench records its headline scalars under stable key names and
+ * writes them as `bench_results/BENCH_<name>.json` on destruction (or
+ * an explicit save()). The JSON is deterministic — keys are sorted,
+ * integral values print with no fraction, everything else as %.6g —
+ * so identical runs produce byte-identical files and
+ * tools/bench_check can diff them against the committed baselines in
+ * bench_results/baselines/. A "quick" flag records whether
+ * ELISA_BENCH_QUICK trimmed the iteration counts, so the gate never
+ * silently compares a smoke run against a full-count baseline.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name)
+        : benchName(std::move(bench_name)),
+          quick(std::getenv("ELISA_BENCH_QUICK") != nullptr)
+    {
+    }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    ~BenchReport() { save(); }
+
+    /** Record one scalar; re-recording a key overwrites it. */
+    void
+    set(const std::string &key, double value)
+    {
+        values[key] = value;
+    }
+
+    /** Render the deterministic JSON document. */
+    std::string
+    json() const
+    {
+        std::string out = "{\n";
+        out += "  \"bench\": \"" + benchName + "\",\n";
+        out += std::string("  \"quick\": ") +
+               (quick ? "true" : "false") + ",\n";
+        out += "  \"metrics\": {";
+        bool first = true;
+        for (const auto &[key, value] : values) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    \"" + key + "\": " + formatValue(value);
+        }
+        out += values.empty() ? "}\n" : "\n  }\n";
+        out += "}\n";
+        return out;
+    }
+
+    /** Write bench_results/BENCH_<name>.json (idempotent). */
+    void
+    save()
+    {
+        if (saved)
+            return;
+        saved = true;
+        std::error_code ec;
+        std::filesystem::create_directories("bench_results", ec);
+        const std::string path =
+            "bench_results/BENCH_" + benchName + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("could not write %s", path.c_str());
+            return;
+        }
+        const std::string doc = json();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("  [json] bench report saved to %s\n", path.c_str());
+    }
+
+  private:
+    static std::string
+    formatValue(double value)
+    {
+        if (std::isfinite(value) && value == std::floor(value) &&
+            std::fabs(value) < 9.007199254740992e15) {
+            return detail::format("%lld", (long long)value);
+        }
+        return detail::format("%.6g", value);
+    }
+
+    std::string benchName;
+    bool quick;
+    bool saved = false;
+    std::map<std::string, double> values;
+};
 
 /** Print one paper-vs-measured check line. */
 inline void

@@ -44,6 +44,36 @@ Vcpu::traceVmfunc(std::uint64_t leaf, EptpIndex index)
 }
 
 void
+Vcpu::setLedger(sim::ExitLedger *ledger)
+{
+    ledgerPtr = ledger;
+    hypercallSlots.clear();
+    if (ledgerPtr) {
+        cpuidSlot = ledgerPtr->slot(
+            ownerVm, vcpuId, sim::CostKind::Exit,
+            static_cast<std::uint32_t>(ExitReason::Cpuid));
+    }
+}
+
+void
+Vcpu::chargeHypercall(std::uint64_t nr, SimNs ns)
+{
+    auto [it, inserted] = hypercallSlots.try_emplace(nr, 0);
+    if (inserted) {
+        it->second = ledgerPtr->slot(
+            ownerVm, vcpuId, sim::CostKind::Hypercall,
+            static_cast<std::uint32_t>(nr));
+    }
+    ledgerPtr->charge(it->second, ns);
+}
+
+void
+Vcpu::chargeCpuid(SimNs ns)
+{
+    ledgerPtr->charge(cpuidSlot, ns);
+}
+
+void
 Vcpu::activateEptp(EptpIndex index)
 {
     auto eptp = list->lookup(index);
@@ -89,8 +119,26 @@ Vcpu::vmcall(const HypercallArgs &args)
     // VmExitEvent (e.g. an injected KillVm fault).
     sim::ScopedSpan span(tracerPtr, sim::SpanCat::Cpu, vmcallName,
                          vcpuId, simClock, args.nr);
+    // Ledger double-entry, exception-safe: the exit+dispatch ns above
+    // are charged even when the handler throws (the VM runner then
+    // charges the faulting exit separately), the vmentry ns only when
+    // the instruction actually re-enters. Local class so the unwind
+    // path needs no try/catch in this hot function.
+    struct LedgerGuard
+    {
+        Vcpu &vcpu;
+        const std::uint64_t nr;
+        SimNs ns;
+        ~LedgerGuard()
+        {
+            if (vcpu.ledgerPtr) [[unlikely]]
+                vcpu.chargeHypercall(nr, ns);
+        }
+    } guard{*this, args.nr,
+            cost.vmexitNs + cost.hypercallDispatchNs};
     const std::uint64_t rax = hypercallSink->handleHypercall(*this, args);
     simClock.advance(cost.vmentryNs);
+    guard.ns += cost.vmentryNs;
     span.setEndArgs(rax);
     return rax;
 }
@@ -100,6 +148,8 @@ Vcpu::cpuid(std::uint64_t leaf)
 {
     statSet.inc(hotIds.cpuid);
     simClock.advance(cost.cpuidRttNs());
+    if (ledgerPtr) [[unlikely]]
+        chargeCpuid(cost.cpuidRttNs());
     // Canned vendor response; the value is irrelevant to the model.
     return 0x656c6973ull ^ leaf;
 }

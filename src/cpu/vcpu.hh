@@ -18,6 +18,7 @@
 #define ELISA_CPU_VCPU_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "base/types.hh"
@@ -27,6 +28,7 @@
 #include "mem/host_memory.hh"
 #include "sim/clock.hh"
 #include "sim/cost_model.hh"
+#include "sim/exit_ledger.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
 
@@ -171,6 +173,26 @@ class Vcpu
     /** The installed tracer, or nullptr (instrumented callers). */
     sim::Tracer *tracer() const { return tracerPtr; }
 
+    /**
+     * Install (or with nullptr remove) the machine's exit-cost ledger
+     * (same contract as setTracer: non-owning, propagated by the
+     * hypervisor, one pointer test per charge point when absent).
+     * World-switch ns charged here: VMCALL round trips keyed by
+     * hypercall number, CPUID forced exits; faulting exits are charged
+     * by the VM runner that catches them.
+     */
+    void setLedger(sim::ExitLedger *ledger);
+
+    /** The installed ledger, or nullptr (instrumented callers). */
+    sim::ExitLedger *ledger() const { return ledgerPtr; }
+
+    /**
+     * Charge @p ns to this vcpu's {Hypercall, @p nr} ledger row
+     * (requires an installed ledger). Out of line: per-nr slot lookup
+     * stays off the no-ledger hot path.
+     */
+    [[gnu::noinline]] void chargeHypercall(std::uint64_t nr, SimNs ns);
+
   private:
     /**
      * Out-of-line vmfunc trace emission: keeps the ring push out of
@@ -179,6 +201,9 @@ class Vcpu
      */
     [[gnu::noinline]] void traceVmfunc(std::uint64_t leaf,
                                        EptpIndex index);
+
+    /** Out-of-line CPUID exit charge (same rationale). */
+    [[gnu::noinline]] void chargeCpuid(SimNs ns);
 
     VcpuId vcpuId;
     VmId ownerVm;
@@ -198,6 +223,12 @@ class Vcpu
     // Interned event names, resolved once at setTracer().
     sim::TraceNameId vmfuncName = 0;
     sim::TraceNameId vmcallName = 0;
+
+    /** Machine exit ledger (nullptr = accounting off). */
+    sim::ExitLedger *ledgerPtr = nullptr;
+    // Ledger slots, resolved once per (ledger, code) at first charge.
+    sim::LedgerSlot cpuidSlot = 0;
+    std::map<std::uint64_t, sim::LedgerSlot> hypercallSlots;
 };
 
 } // namespace elisa::cpu

@@ -49,6 +49,48 @@ struct GateSpan<true> : sim::ScopedSpan
 
 } // anonymous namespace
 
+const char *
+gateLegToString(GateLeg leg)
+{
+    switch (leg) {
+      case GateLeg::EnterSwitch:
+        return "enter_switch";
+      case GateLeg::Prologue:
+        return "prologue";
+      case GateLeg::SubSwitch:
+        return "sub_switch";
+      case GateLeg::ReturnSwitch:
+        return "return_switch";
+      case GateLeg::Epilogue:
+        return "epilogue";
+      case GateLeg::ExitSwitch:
+        return "exit_switch";
+    }
+    return "?";
+}
+
+void
+registerGateLegNames(sim::ExitLedger &ledger)
+{
+    for (unsigned l = 0; l < gateLegCount; ++l) {
+        ledger.setCodeName(sim::CostKind::GateLeg, l,
+                           gateLegToString(static_cast<GateLeg>(l)));
+    }
+}
+
+void
+Gate::resolveLegSlots(sim::ExitLedger &ledger)
+{
+    if (ledgerSerial == ledger.serial())
+        return;
+    registerGateLegNames(ledger);
+    for (unsigned l = 0; l < gateLegCount; ++l) {
+        legSlots[l] = ledger.slot(ownerVm, cpuPtr->id(),
+                                  sim::CostKind::GateLeg, l);
+    }
+    ledgerSerial = ledger.serial();
+}
+
 Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
     : cpuPtr(&vcpu), svc(&service), attachInfo(info), ownerVm(vcpu.vm())
 {
@@ -60,8 +102,11 @@ Gate::Gate(cpu::Vcpu &vcpu, ElisaService &service, const AttachInfo &info)
 Gate::Gate(Gate &&other) noexcept
     : cpuPtr(other.cpuPtr), svc(other.svc), attachInfo(other.attachInfo),
       ownerVm(other.ownerVm), callsId(other.callsId),
-      batchedFnsId(other.batchedFnsId), badFnId(other.badFnId)
+      batchedFnsId(other.batchedFnsId), badFnId(other.badFnId),
+      ledgerSerial(other.ledgerSerial)
 {
+    for (unsigned l = 0; l < gateLegCount; ++l)
+        legSlots[l] = other.legSlots[l];
     other.cpuPtr = nullptr;
     other.svc = nullptr;
 }
@@ -83,6 +128,9 @@ Gate::operator=(Gate &&other) noexcept
         callsId = other.callsId;
         batchedFnsId = other.batchedFnsId;
         badFnId = other.badFnId;
+        ledgerSerial = other.ledgerSerial;
+        for (unsigned l = 0; l < gateLegCount; ++l)
+            legSlots[l] = other.legSlots[l];
         other.cpuPtr = nullptr;
         other.svc = nullptr;
     }
@@ -171,13 +219,18 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
            std::uint64_t arg2)
 {
     panic_if(!valid(), "call through an invalid gate");
-    // The whole tracing decision is this one branch (see callImpl).
-    if (cpuPtr->tracer())
-        return callImpl<true>(fn, arg0, arg1, arg2);
-    return callImpl<false>(fn, arg0, arg1, arg2);
+    // The whole instrumentation decision is these two branches (see
+    // callImpl): the plain instantiation is the uninstrumented code.
+    const bool ledgered = cpuPtr->ledger() != nullptr;
+    if (cpuPtr->tracer()) {
+        return ledgered ? callImpl<true, true>(fn, arg0, arg1, arg2)
+                        : callImpl<true, false>(fn, arg0, arg1, arg2);
+    }
+    return ledgered ? callImpl<false, true>(fn, arg0, arg1, arg2)
+                    : callImpl<false, false>(fn, arg0, arg1, arg2);
 }
 
-template <bool Traced>
+template <bool Traced, bool Ledgered>
 std::uint64_t
 Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
                std::uint64_t arg2)
@@ -188,6 +241,22 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
     sim::Tracer *tr = Traced ? cpu.tracer() : nullptr;
     const std::uint32_t track = cpu.id();
 
+    // Ledgered instantiation: per-leg simulated-clock deltas, charged
+    // only on leg completion so a faulting leg is attributed to the
+    // exit (by the VM runner), never double-counted here.
+    sim::ExitLedger *led = nullptr;
+    SimNs leg_start = 0;
+    if constexpr (Ledgered) {
+        led = cpu.ledger();
+        resolveLegSlots(*led);
+    }
+    auto charge_leg = [&](GateLeg leg) {
+        const SimNs now = cpu.clock().now();
+        led->observe(legSlots[static_cast<unsigned>(leg)],
+                     now - leg_start);
+        leg_start = now;
+    };
+
     // Whole-call span: opened before the stale-EPTP injection point so
     // a faulted entry is attributed to this call; the RAII end closes
     // it on every unwind path. A successful call stamps (ret, fn+1) on
@@ -195,12 +264,17 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
     GateSpan<Traced> call_span(tr, gateCallName, track, cpu.clock(), fn);
     maybeInjectStale();
 
+    if constexpr (Ledgered)
+        leg_start = cpu.clock().now();
+
     // --- enter: default -> gate ------------------------------------
     {
         GateSpan<Traced> s(tr, eptpSwitchName, track, cpu.clock(),
                            attachInfo.gateIndex);
         cpu.vmfunc(0, attachInfo.gateIndex);
     }
+    if constexpr (Ledgered)
+        charge_leg(GateLeg::EnterSwitch);
 
     // Gate prologue: the trampoline must be executable here, and the
     // spill area must live on the isolated stack. Non-charging view:
@@ -213,6 +287,8 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
         gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
         cpu.clock().advance(cost.gateCodeNs);
     }
+    if constexpr (Ledgered)
+        charge_leg(GateLeg::Prologue);
 
     // --- gate -> sub --------------------------------------------------
     {
@@ -220,6 +296,8 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
                            attachInfo.subIndex);
         cpu.vmfunc(0, attachInfo.subIndex);
     }
+    if constexpr (Ledgered)
+        charge_leg(GateLeg::SubSwitch);
 
     const SharedFnTable &table = resolveTable();
     if (fn >= table.size())
@@ -245,6 +323,11 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
         ret = table[fn](ctx);
     }
 
+    // Payload time belongs to the shared function, not the mechanism:
+    // restart the leg clock at the return phase.
+    if constexpr (Ledgered)
+        leg_start = cpu.clock().now();
+
     {
         GateSpan<Traced> s(tr, returnPhaseName, track, cpu.clock());
         // --- sub -> gate ------------------------------------------
@@ -253,6 +336,8 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
                                 attachInfo.gateIndex);
             cpu.vmfunc(0, attachInfo.gateIndex);
         }
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::ReturnSwitch);
 
         // Gate epilogue: reload the spill, verify trampoline still
         // there.
@@ -260,11 +345,15 @@ Gate::callImpl(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
         std::uint64_t restore[4];
         gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
         cpu.clock().advance(cost.gateCodeNs);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::Epilogue);
 
         // --- gate -> default --------------------------------------
         GateSpan<Traced> sw(tr, eptpSwitchName, track, cpu.clock(),
                             restore[0]);
         cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::ExitSwitch);
     }
     cpu.stats().inc(callsId);
     call_span.setEndArgs(ret, fn + 1);
@@ -277,13 +366,17 @@ Gate::callBatch(std::span<BatchEntry> entries)
     panic_if(!valid(), "batched call through an invalid gate");
     if (entries.empty())
         return 0;
-    // Same single-branch tracing decision as call().
-    if (cpuPtr->tracer())
-        return callBatchImpl<true>(entries);
-    return callBatchImpl<false>(entries);
+    // Same single-branch instrumentation decisions as call().
+    const bool ledgered = cpuPtr->ledger() != nullptr;
+    if (cpuPtr->tracer()) {
+        return ledgered ? callBatchImpl<true, true>(entries)
+                        : callBatchImpl<true, false>(entries);
+    }
+    return ledgered ? callBatchImpl<false, true>(entries)
+                    : callBatchImpl<false, false>(entries);
 }
 
-template <bool Traced>
+template <bool Traced, bool Ledgered>
 std::size_t
 Gate::callBatchImpl(std::span<BatchEntry> entries)
 {
@@ -293,20 +386,42 @@ Gate::callBatchImpl(std::span<BatchEntry> entries)
     sim::Tracer *tr = Traced ? cpu.tracer() : nullptr;
     const std::uint32_t track = cpu.id();
 
+    sim::ExitLedger *led = nullptr;
+    SimNs leg_start = 0;
+    if constexpr (Ledgered) {
+        led = cpu.ledger();
+        resolveLegSlots(*led);
+    }
+    auto charge_leg = [&](GateLeg leg) {
+        const SimNs now = cpu.clock().now();
+        led->observe(legSlots[static_cast<unsigned>(leg)],
+                     now - leg_start);
+        leg_start = now;
+    };
+
     GateSpan<Traced> call_span(tr, gateBatchName, track, cpu.clock(),
                                entries.size());
     maybeInjectStale();
+
+    if constexpr (Ledgered)
+        leg_start = cpu.clock().now();
 
     // One transition in...
     {
         GateSpan<Traced> s(tr, stackSwapName, track, cpu.clock());
         cpu.vmfunc(0, attachInfo.gateIndex);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::EnterSwitch);
         cpu::GuestView gate_view(cpu, /*charge_time=*/false);
         gate_view.fetchCheck(gateCodeGpa);
         const std::uint64_t spill[2] = {caller_index, entries.size()};
         gate_view.writeBytes(gateStackGpa, spill, sizeof(spill));
         cpu.clock().advance(cost.gateCodeNs);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::Prologue);
         cpu.vmfunc(0, attachInfo.subIndex);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::SubSwitch);
     }
 
     const SharedFnTable &table = resolveTable();
@@ -332,15 +447,23 @@ Gate::callBatchImpl(std::span<BatchEntry> entries)
     }
 
     // ...one transition out.
+    if constexpr (Ledgered)
+        leg_start = cpu.clock().now();
     {
         GateSpan<Traced> s(tr, returnPhaseName, track, cpu.clock());
         cpu.vmfunc(0, attachInfo.gateIndex);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::ReturnSwitch);
         cpu::GuestView gate_view(cpu, /*charge_time=*/false);
         gate_view.fetchCheck(gateCodeGpa);
         std::uint64_t restore[2];
         gate_view.readBytes(gateStackGpa, restore, sizeof(restore));
         cpu.clock().advance(cost.gateCodeNs);
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::Epilogue);
         cpu.vmfunc(0, static_cast<EptpIndex>(restore[0]));
+        if constexpr (Ledgered)
+            charge_leg(GateLeg::ExitSwitch);
     }
     cpu.stats().inc(callsId);
     cpu.stats().inc(batchedFnsId, entries.size());

@@ -28,10 +28,41 @@
 
 #include "elisa/abi.hh"
 #include "elisa/negotiation.hh"
+#include "sim/exit_ledger.hh"
 #include "sim/stats.hh"
 
 namespace elisa::core
 {
+
+/**
+ * The six overhead legs of one gate round trip (ExitLedger code values
+ * under sim::CostKind::GateLeg). The payload itself is deliberately
+ * not a leg: the ledger attributes *mechanism* cost, and the sum of
+ * the six legs is exactly the paper's 196 ns round-trip overhead
+ * (4 x vmfuncNs + 2 x gateCodeNs).
+ */
+enum class GateLeg : std::uint8_t
+{
+    EnterSwitch,  ///< VMFUNC default -> gate
+    Prologue,     ///< trampoline fetch check + spill (gateCodeNs)
+    SubSwitch,    ///< VMFUNC gate -> sub
+    ReturnSwitch, ///< VMFUNC sub -> gate
+    Epilogue,     ///< fetch check + restore (gateCodeNs)
+    ExitSwitch,   ///< VMFUNC gate -> default
+};
+
+/** Number of GateLeg values (slot tables). */
+inline constexpr unsigned gateLegCount = 6;
+
+/** Render a gate leg. */
+const char *gateLegToString(GateLeg leg);
+
+/**
+ * Register the GateLeg display names with @p ledger (idempotent).
+ * Gates do this on their first ledgered call; tools building reports
+ * from a bare ledger call it directly.
+ */
+void registerGateLegNames(sim::ExitLedger &ledger);
 
 /**
  * Guest-side handle on one attachment.
@@ -131,19 +162,27 @@ class Gate
 
   private:
     /**
-     * The call() body, instantiated once with spans and once without.
-     * The tracing decision is a single branch in call(): the untraced
-     * instantiation contains no span objects at all, because even an
-     * inert ScopedSpan needs exception-cleanup landing pads whose
-     * member spills cost several ns on the 196 ns gate call.
+     * The call() body, instantiated per (traced, ledgered) decision.
+     * Both decisions are single branches in call(): the plain
+     * instantiation contains no span objects and no clock reads at
+     * all, because even an inert ScopedSpan needs exception-cleanup
+     * landing pads whose member spills cost several ns on the 196 ns
+     * gate call — and the ledger's per-leg clock deltas would cost
+     * the same again.
      */
-    template <bool Traced>
+    template <bool Traced, bool Ledgered>
     std::uint64_t callImpl(unsigned fn, std::uint64_t arg0,
                            std::uint64_t arg1, std::uint64_t arg2);
 
     /** The callBatch() body; same single-branch scheme as callImpl. */
-    template <bool Traced>
+    template <bool Traced, bool Ledgered>
     std::size_t callBatchImpl(std::span<BatchEntry> entries);
+
+    /**
+     * Resolve (once per ledger instance, serial-guarded) this gate's
+     * six GateLeg slots and register the leg display names.
+     */
+    [[gnu::noinline]] void resolveLegSlots(sim::ExitLedger &ledger);
 
     /**
      * Resolve the shared-function table, faulting like the MMU would
@@ -173,6 +212,10 @@ class Gate
     sim::StatId callsId = 0;
     sim::StatId batchedFnsId = 0;
     sim::StatId badFnId = 0;
+    // Ledger leg slots, resolved once per ledger instance
+    // (serial-guarded, like TraceNameCache).
+    std::uint64_t ledgerSerial = 0;
+    sim::LedgerSlot legSlots[gateLegCount] = {};
 };
 
 } // namespace elisa::core

@@ -221,24 +221,6 @@ ElisaGuest::attachWithRetry(const std::string &name,
     return last;
 }
 
-std::optional<Gate>
-ElisaGuest::completeAttach(RequestId request)
-{
-    AttachResult result = pollAttach(request);
-    denied = result.status() == AttachStatus::Denied;
-    timedOut = result.status() == AttachStatus::TimedOut;
-    return std::move(result).intoOptional();
-}
-
-std::optional<Gate>
-ElisaGuest::attach(const std::string &name, ElisaManager &manager)
-{
-    AttachResult result = tryAttach(name, manager);
-    denied = result.status() == AttachStatus::Denied;
-    timedOut = result.status() == AttachStatus::TimedOut;
-    return std::move(result).intoOptional();
-}
-
 bool
 ElisaGuest::detach(Gate &gate)
 {

@@ -6,9 +6,9 @@
  * out Gate objects for the exit-less data path.
  *
  * Attach outcomes travel in a value-typed AttachResult (status +
- * failure reason + the Gate on success) instead of the old
- * optional<Gate> plus lastDenied()/lastTimedOut()/lastBusy() stateful
- * side channel; the old entry points remain as thin deprecated shims.
+ * failure reason + the Gate on success). The pre-AttachResult surface
+ * (attach()/completeAttach() plus stateful lastDenied()-style flags)
+ * went through one deprecation release and is gone.
  */
 
 #ifndef ELISA_ELISA_GUEST_API_HH
@@ -81,9 +81,8 @@ class AttachResult
     Gate take();
 
     /**
-     * Collapse into the legacy optional<Gate> shape (status and
-     * reason are dropped) — migration helper for call sites that only
-     * care about success.
+     * Collapse into an optional<Gate> (status and reason dropped) —
+     * for call sites that only care about success.
      */
     std::optional<Gate>
     intoOptional() &&
@@ -160,33 +159,6 @@ class ElisaGuest
     /** Detach (slow path); delegates to Gate::detach(). */
     bool detach(Gate &gate);
 
-    // ---- deprecated shims (pre-AttachResult API) -------------------
-    /**
-     * @deprecated Use tryAttach(): the status travels in the result
-     * instead of the lastDenied()/lastTimedOut() side channel.
-     */
-    [[deprecated("use tryAttach(); status travels in the "
-                 "AttachResult")]]
-    std::optional<Gate> attach(const std::string &name,
-                               ElisaManager &manager);
-
-    /** @deprecated Use pollAttach(). */
-    [[deprecated("use pollAttach(); status travels in the "
-                 "AttachResult")]]
-    std::optional<Gate> completeAttach(RequestId request);
-
-    /** @deprecated Check AttachResult::status() instead. */
-    [[deprecated("check AttachResult::status()")]]
-    bool lastDenied() const { return denied; }
-
-    /** @deprecated Check AttachResult::status() instead. */
-    [[deprecated("check AttachResult::status()")]]
-    bool lastTimedOut() const { return timedOut; }
-
-    /** @deprecated Check AttachResult::status() instead. */
-    [[deprecated("check AttachResult::status()")]]
-    bool lastBusy() const { return busy; }
-
     /** The client's vCPU. */
     cpu::Vcpu &vcpu();
 
@@ -201,9 +173,9 @@ class ElisaGuest
     ElisaService &svc;
     unsigned vcpuIndex;
     Gpa scratchGpa = 0;
-    // Legacy status flags, kept only for the deprecated shims.
-    bool denied = false;
-    bool timedOut = false;
+    // Whether the last requestAttach was refused with hcBusy (full
+    // manager queue) rather than an outright error; tryAttach and
+    // attachWithRetry map the nullopt to the right AttachStatus.
     bool busy = false;
 };
 

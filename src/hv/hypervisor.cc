@@ -101,8 +101,49 @@ Hypervisor::setTracer(sim::Tracer *tracer)
 }
 
 void
+Hypervisor::setLedger(sim::ExitLedger *ledger)
+{
+    ledgerPtr = ledger;
+    if (ledgerPtr) {
+        for (unsigned r = 0; r < cpu::exitReasonCount; ++r) {
+            ledgerPtr->setCodeName(
+                sim::CostKind::Exit, r,
+                cpu::exitReasonToString(static_cast<cpu::ExitReason>(r)));
+        }
+        for (const auto &[nr, name] : hcNames) {
+            ledgerPtr->setCodeName(sim::CostKind::Hypercall,
+                                   static_cast<std::uint32_t>(nr), name);
+        }
+    }
+    for (auto &[id, vm] : vms) {
+        for (unsigned i = 0; i < vm->vcpuCount(); ++i)
+            vm->vcpu(i).setLedger(ledger);
+    }
+}
+
+void
+Hypervisor::attachMetrics(sim::Metrics &metrics)
+{
+    metrics.attachStatSet(statSet, {{"layer", "hv"}}, "hv_");
+    for (auto &[id, vm] : vms) {
+        for (unsigned i = 0; i < vm->vcpuCount(); ++i) {
+            cpu::Vcpu &vcpu = vm->vcpu(i);
+            metrics.attachStatSet(
+                vcpu.stats(),
+                {{"vm", detail::format("%u", id)},
+                 {"vcpu", detail::format("%u", vcpu.id())}},
+                "vcpu_");
+        }
+    }
+}
+
+void
 Hypervisor::setHypercallName(std::uint64_t nr, std::string name)
 {
+    if (ledgerPtr) {
+        ledgerPtr->setCodeName(sim::CostKind::Hypercall,
+                               static_cast<std::uint32_t>(nr), name);
+    }
     hcNames[nr] = std::move(name);
     hcNameIds.erase(nr);
 }

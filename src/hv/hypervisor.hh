@@ -22,7 +22,9 @@
 #include "mem/frame_allocator.hh"
 #include "mem/host_memory.hh"
 #include "sim/cost_model.hh"
+#include "sim/exit_ledger.hh"
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
 
@@ -108,6 +110,29 @@ class Hypervisor : public cpu::HypercallSink
 
     /** The installed tracer, or nullptr. */
     sim::Tracer *tracer() const { return tracerPtr; }
+
+    // ---- exit-cost ledger ------------------------------------------
+    /**
+     * Install (or with nullptr remove) the exit-cost ledger. Same
+     * contract as setTracer: non-owning, propagated to every existing
+     * and future vCPU, one pointer test per charge point when absent.
+     * Registers display names for every exit reason and every named
+     * hypercall so ExitLedger::report() renders symbolically.
+     */
+    void setLedger(sim::ExitLedger *ledger);
+
+    /** The installed ledger, or nullptr. */
+    sim::ExitLedger *ledger() const { return ledgerPtr; }
+
+    /**
+     * Attach this machine's StatSets to @p metrics as labeled counter
+     * families: the hypervisor set as {layer="hv"} with prefix "hv_",
+     * every vCPU set as {vm, vcpu} with prefix "vcpu_". Call after the
+     * VMs of interest exist (attachment is by StatSet, and Metrics
+     * holds non-owning pointers — re-call after creating more VMs,
+     * and never destroy attached VMs before the export).
+     */
+    void attachMetrics(sim::Metrics &metrics);
 
     /**
      * Give hypercall @p nr a human-readable span name (services call
@@ -228,6 +253,9 @@ class Hypervisor : public cpu::HypercallSink
 
     /** Installed tracer (nullptr = tracing off). */
     sim::Tracer *tracerPtr = nullptr;
+
+    /** Installed exit ledger (nullptr = accounting off). */
+    sim::ExitLedger *ledgerPtr = nullptr;
 
     /** Resolve the dispatch-span name for hypercall @p nr (lazily
      *  interned into the installed tracer). */

@@ -39,6 +39,7 @@ Vm::Vm(Hypervisor &hv, VmId id, std::string name, std::uint64_t ram_bytes,
         vcpu->eptpList().set(0, defaultContext->eptp());
         vcpu->activateEptp(0);
         vcpu->setTracer(hv.tracerPtr);
+        vcpu->setLedger(hv.ledgerPtr);
         vcpus.push_back(std::move(vcpu));
     }
 }
@@ -99,6 +100,14 @@ Vm::run(unsigned vcpu_index, const std::function<void()> &guest_code)
                     (unsigned long long)exit.qualification());
         cpu.activateEptp(0);
         cpu.clock().advance(hyper.costModel.vmentryNs);
+        if (sim::ExitLedger *led = cpu.ledger()) {
+            // Cold path (faulting exits only): resolving the slot per
+            // catch is fine, and keeps this file free of caches.
+            led->charge(
+                led->slot(vmId, cpu.id(), sim::CostKind::Exit,
+                          static_cast<std::uint32_t>(exit.reason())),
+                hyper.costModel.vmexitNs + hyper.costModel.vmentryNs);
+        }
 
         GuestRunResult result;
         result.ok = false;

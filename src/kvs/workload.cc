@@ -106,7 +106,8 @@ class ClientActor : public sim::Actor
 KvsRunResult
 runKvsWorkload(const std::vector<KvsClient *> &clients, Mix mix,
                std::uint64_t key_space, std::uint64_t ops_per_client,
-               std::uint64_t seed)
+               std::uint64_t seed, SimNs sample_period,
+               std::function<void(SimNs)> sampler)
 {
     panic_if(clients.empty(), "KVS workload needs at least one client");
     panic_if(key_space == 0 || ops_per_client == 0,
@@ -120,6 +121,7 @@ runKvsWorkload(const std::vector<KvsClient *> &clients, Mix mix,
             seed * 0x9e3779b97f4a7c15ull + i));
         engine.add(actors.back().get());
     }
+    engine.setSampler(sample_period, std::move(sampler));
     engine.run();
 
     KvsRunResult result;

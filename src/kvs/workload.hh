@@ -13,6 +13,7 @@
 #define ELISA_KVS_WORKLOAD_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "kvs/clients.hh"
@@ -63,11 +64,17 @@ struct KvsRunResult
  *        must have prepopulated exactly this range.
  * @param ops_per_client operations per client.
  * @param seed workload RNG seed (clients get decorrelated streams).
+ * @param sample_period when nonzero, @p sampler fires on every
+ *        multiple of this simulated-time period during the run
+ *        (Engine::setSampler; pair with sim::MetricsCsvSampler for
+ *        a metrics time series of the workload).
  */
 KvsRunResult runKvsWorkload(const std::vector<KvsClient *> &clients,
                             Mix mix, std::uint64_t key_space,
                             std::uint64_t ops_per_client,
-                            std::uint64_t seed = 42);
+                            std::uint64_t seed = 42,
+                            SimNs sample_period = 0,
+                            std::function<void(SimNs)> sampler = {});
 
 } // namespace elisa::kvs
 

@@ -18,6 +18,20 @@ Engine::clear()
     active.clear();
 }
 
+void
+Engine::setSampler(SimNs period_ns, std::function<void(SimNs)> fn)
+{
+    if (period_ns == 0 || !fn) {
+        samplePeriod = 0;
+        nextSample = 0;
+        sampler = nullptr;
+        return;
+    }
+    samplePeriod = period_ns;
+    nextSample = period_ns;
+    sampler = std::move(fn);
+}
+
 std::uint64_t
 Engine::run(SimNs horizon_ns)
 {
@@ -38,6 +52,14 @@ Engine::run(SimNs horizon_ns)
 
         if (best_now >= horizon_ns)
             break;
+
+        // The minimum clock is the causal frontier: every sample
+        // boundary at or below it is final (no actor can still add
+        // work before it), so fire those now, in order.
+        while (samplePeriod && best_now >= nextSample) {
+            sampler(nextSample);
+            nextSample += samplePeriod;
+        }
 
         Actor *actor = active[best];
         const bool more = actor->step();

@@ -14,6 +14,7 @@
 #define ELISA_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/types.hh"
@@ -65,8 +66,24 @@ class Engine
     /** Number of actors still runnable after the last run(). */
     std::size_t runnable() const { return active.size(); }
 
+    /**
+     * Install a periodic simulated-time sampler: before stepping an
+     * actor whose clock has crossed the next multiple of @p period_ns,
+     * run() invokes @p fn with that boundary. The callback fires once
+     * per boundary in strictly increasing order (boundaries the whole
+     * population skipped over are each still fired — a time series
+     * never has holes), and because the minimum clock drives it, no
+     * actor can later perform work at a simulated time before a sample
+     * that already fired. A null @p fn (or period 0) uninstalls.
+     * Pair it with MetricsCsvSampler for metrics snapshots.
+     */
+    void setSampler(SimNs period_ns, std::function<void(SimNs)> fn);
+
   private:
     std::vector<Actor *> active;
+    SimNs samplePeriod = 0;
+    SimNs nextSample = 0;
+    std::function<void(SimNs)> sampler;
 };
 
 } // namespace elisa::sim

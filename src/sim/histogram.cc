@@ -64,6 +64,7 @@ Histogram::recordN(std::uint64_t value, std::uint64_t count)
     panic_if(idx >= buckets.size(), "histogram index out of range");
     buckets[idx] += count;
     total += count;
+    sumSeen += value * count;
     if (value < minSeen)
         minSeen = value;
     if (value > maxSeen)
@@ -85,6 +86,22 @@ Histogram::mean() const
 }
 
 std::uint64_t
+Histogram::valueAtRank(std::uint64_t rank) const
+{
+    if (rank == 0)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    return maxSeen;
+}
+
+std::uint64_t
 Histogram::percentile(double q) const
 {
     if (total == 0)
@@ -93,18 +110,25 @@ Histogram::percentile(double q) const
         q = 0.0;
     if (q > 1.0)
         q = 1.0;
-    // Rank of the target sample, 1-based, ceil semantics.
-    std::uint64_t rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(total));
-    if (rank == 0)
-        rank = 1;
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets.size(); ++i) {
-        seen += buckets[i];
-        if (seen >= rank)
-            return bucketUpperBound(i);
-    }
-    return maxSeen;
+    // Rank of the target sample, 1-based, ceil semantics. The epsilon
+    // keeps exact products (0.5 * 300 == 150.0) from ceiling to 151
+    // when the double rounds a hair above the true value.
+    const double scaled = q * static_cast<double>(total);
+    auto rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled - 1e-9)
+        ++rank;
+    return valueAtRank(rank);
+}
+
+std::uint64_t
+Histogram::percentileRatio(std::uint64_t num, std::uint64_t den) const
+{
+    if (total == 0 || den == 0)
+        return 0;
+    // ceil(total * num / den) in integers; total and num are small
+    // enough in practice (ns-scale counts, num <= 999) not to overflow.
+    const std::uint64_t rank = (total * num + den - 1) / den;
+    return valueAtRank(rank);
 }
 
 void
@@ -115,6 +139,7 @@ Histogram::merge(const Histogram &other)
     for (std::size_t i = 0; i < buckets.size(); ++i)
         buckets[i] += other.buckets[i];
     total += other.total;
+    sumSeen += other.sumSeen;
     saturatedCount += other.saturatedCount;
     if (other.total) {
         if (other.minSeen < minSeen)
@@ -129,6 +154,7 @@ Histogram::clear()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     total = 0;
+    sumSeen = 0;
     saturatedCount = 0;
     minSeen = ~std::uint64_t{0};
     maxSeen = 0;

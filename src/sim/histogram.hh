@@ -42,6 +42,9 @@ class Histogram
     /** Total number of recorded samples. */
     std::uint64_t count() const { return total; }
 
+    /** Exact sum of recorded samples (after clamping to maxValue). */
+    std::uint64_t sum() const { return sumSeen; }
+
     /** Number of samples clamped to maxValue. */
     std::uint64_t saturated() const { return saturatedCount; }
 
@@ -55,8 +58,24 @@ class Histogram
     /**
      * Value at quantile @p q in [0,1]; e.g. q=0.99 for the p99.
      * Returns an upper bound of the bucket containing the quantile.
+     * The target rank is ceil(q * count), so q=0.99 over 300 samples
+     * reads the 297th, not the 296th (the pre-fix truncation artifact
+     * at exact bucket boundaries).
      */
     std::uint64_t percentile(double q) const;
+
+    /**
+     * Integer-exact quantile num/den (rank = ceil(count * num / den)),
+     * immune to double rounding at bucket boundaries. Backs the named
+     * accessors below, which the exporters use.
+     */
+    std::uint64_t percentileRatio(std::uint64_t num,
+                                  std::uint64_t den) const;
+
+    std::uint64_t p50() const { return percentileRatio(1, 2); }
+    std::uint64_t p95() const { return percentileRatio(19, 20); }
+    std::uint64_t p99() const { return percentileRatio(99, 100); }
+    std::uint64_t p999() const { return percentileRatio(999, 1000); }
 
     /** Merge another histogram (same geometry required). */
     void merge(const Histogram &other);
@@ -74,9 +93,13 @@ class Histogram
     /** Upper bound (inclusive) of bucket @p index. */
     std::uint64_t bucketUpperBound(std::size_t index) const;
 
+    /** Bucket upper bound at 1-based rank @p rank (rank <= total). */
+    std::uint64_t valueAtRank(std::uint64_t rank) const;
+
     unsigned subBits;
     std::uint64_t maxValue;
     std::uint64_t total = 0;
+    std::uint64_t sumSeen = 0;
     std::uint64_t saturatedCount = 0;
     std::uint64_t minSeen = ~std::uint64_t{0};
     std::uint64_t maxSeen = 0;

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Labeled metrics registry: typed counters, gauges and histograms with
+ * a dense-id hot path, plus byte-deterministic exporters.
+ *
+ * Metrics is the aggregate layer above the per-subsystem StatSets that
+ * PR 1 interned: every existing hot path keeps incrementing its dense
+ * StatIds (zero added cost), and a Metrics registry *adopts* those
+ * StatSets as labeled counter families at export time (subsuming
+ * sim::Stats as its storage backend). First-class metrics — gauges,
+ * histograms, and counters that belong to no StatSet — register
+ * directly and are updated through dense MetricIds, never per-event
+ * string lookups.
+ *
+ * Label interning: a metric is identified by (name, sorted label
+ * pairs). Registration is idempotent — the same identity always
+ * resolves to the same MetricId — and the index key is structured
+ * (control-character separators), so names and label values containing
+ * '=', ',' or '_' can never collide into one identity.
+ *
+ * Exporters (all byte-deterministic for a given registry state):
+ *  - prometheus(): Prometheus text exposition — counters as
+ *    "<name>_total", gauges plain, histograms as summaries with
+ *    p50/p95/p99/p999 quantile samples; families sorted by name, then
+ *    samples by label string.
+ *  - report(): human-readable sections (replaces Stats::dump at call
+ *    sites that want the whole machine, not one StatSet).
+ *  - csvHeader()/csvRow(): one wide time-series row per simulated-time
+ *    sample (see MetricsCsvSampler and Engine::setSampler).
+ *
+ * Layering: like Tracer and FaultPlan, this file knows nothing about
+ * vCPUs or the hypervisor; subsystems attach their StatSets with plain
+ * string labels (by convention vm="<id>", vcpu="<id>").
+ */
+
+#ifndef ELISA_SIM_METRICS_HH
+#define ELISA_SIM_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/histogram.hh"
+#include "sim/stats.hh"
+
+namespace elisa::sim
+{
+
+/** Metric families a registry can hold. */
+enum class MetricKind : std::uint8_t
+{
+    Counter,   ///< monotonically increasing uint64
+    Gauge,     ///< last-written double (occupancy, depth, ratio)
+    Histogram, ///< sim::Histogram of uint64 samples (ns by convention)
+};
+
+/** Render a kind (report/debugging). */
+const char *metricKindToString(MetricKind kind);
+
+/**
+ * Dense handle of one registered metric. Obtained once via
+ * counter()/gauge()/histogram(); updating through it is an array
+ * index, no string or label hashing. Only meaningful for the Metrics
+ * registry that issued it.
+ */
+using MetricId = std::uint32_t;
+
+/** One label dimension: (key, value). */
+using Label = std::pair<std::string, std::string>;
+
+/** A label set; sorted by key at registration. */
+using Labels = std::vector<Label>;
+
+/**
+ * The registry. Owns first-class metric storage; adopted StatSets stay
+ * owned by their subsystems (non-owning pointers, same lifetime
+ * contract as Tracer/FaultPlan installation).
+ */
+class Metrics
+{
+  public:
+    /**
+     * Register (or re-resolve) a counter identified by
+     * (@p name, @p labels). The only string-keyed operation — call at
+     * construction time, never per event.
+     */
+    MetricId counter(const std::string &name, Labels labels = {});
+
+    /** Register (or re-resolve) a gauge. */
+    MetricId gauge(const std::string &name, Labels labels = {});
+
+    /**
+     * Register (or re-resolve) a histogram metric.
+     * @param sub_bucket_bits / @p max_value forwarded to
+     *        sim::Histogram on first registration.
+     */
+    MetricId histogram(const std::string &name, Labels labels = {},
+                       unsigned sub_bucket_bits = 6,
+                       std::uint64_t max_value = 1ull << 40);
+
+    // ---- hot path (no checks, no lookups) --------------------------
+    /** Increment counter @p id. */
+    void
+    add(MetricId id, std::uint64_t delta = 1)
+    {
+        counters[metas[id].slot] += delta;
+    }
+
+    /** Set gauge @p id. */
+    void
+    set(MetricId id, double value)
+    {
+        gauges[metas[id].slot] = value;
+    }
+
+    /** Record one sample into histogram @p id. */
+    void
+    observe(MetricId id, std::uint64_t sample)
+    {
+        hists[metas[id].slot].record(sample);
+    }
+
+    // ---- reads (tests / exporters) ---------------------------------
+    std::uint64_t counterValue(MetricId id) const;
+    double gaugeValue(MetricId id) const;
+    const Histogram &histogramAt(MetricId id) const;
+
+    /** Number of first-class registered metrics. */
+    std::size_t size() const { return metas.size(); }
+
+    /** Kind of a registered metric. */
+    MetricKind kind(MetricId id) const { return metas[id].kind; }
+
+    /**
+     * Adopt @p set as a family of labeled counters: at export time
+     * every counter "x" of the set appears as counter
+     * "<prefix>x" with @p labels. Non-owning — the StatSet must
+     * outlive this registry or be detached first. Attaching the same
+     * set again replaces its labels/prefix (idempotent).
+     */
+    void attachStatSet(const StatSet &set, Labels labels,
+                       std::string prefix = "");
+
+    /** Remove an adopted StatSet (no-op when not attached). */
+    void detachStatSet(const StatSet &set);
+
+    /** Number of adopted StatSets. */
+    std::size_t statSetCount() const { return sources.size(); }
+
+    /**
+     * Reset every first-class value (counters to 0, gauges to 0,
+     * histograms emptied). Registrations are kept; adopted StatSets
+     * are NOT cleared (their subsystems own them).
+     */
+    void clearValues();
+
+    // ---- exporters -------------------------------------------------
+    /**
+     * Prometheus text exposition (version 0.0.4), byte-deterministic:
+     * families sorted by name, samples sorted by label string.
+     */
+    std::string prometheus() const;
+
+    /** Human-readable report, one "name{labels} = value" per line. */
+    std::string report() const;
+
+    /**
+     * CSV time-series header: "sim_ns" plus one column per sample
+     * (histograms expand to _count/_p50/_p99). Column set is computed
+     * fresh; register everything before sampling begins.
+     */
+    std::string csvHeader() const;
+
+    /** One CSV row of current values at simulated time @p now. */
+    std::string csvRow(SimNs now) const;
+
+    /**
+     * Number of columns csvHeader()/csvRow() emit right now (sim_ns
+     * plus one per scalar sample, three per histogram). The sampler
+     * compares this across ticks; counting commas would miscount
+     * label cells, which are quoted and may contain commas.
+     */
+    std::size_t csvColumnCount() const;
+
+  private:
+    struct Meta
+    {
+        std::string name;
+        Labels labels;
+        MetricKind kind;
+        std::uint32_t slot; ///< index into the kind's value array
+    };
+
+    struct Source
+    {
+        const StatSet *set;
+        Labels labels;
+        std::string prefix;
+    };
+
+    /** One flattened export sample (shared by every exporter). */
+    struct Sample
+    {
+        std::string family;   ///< sanitized family name
+        std::string labelStr; ///< rendered {k="v",...} or ""
+        Labels labels;        ///< raw pairs (quantile re-rendering)
+        MetricKind kind;
+        std::uint64_t counterVal = 0;
+        double gaugeVal = 0.0;
+        const Histogram *hist = nullptr;
+    };
+
+    /** Flatten first-class metrics + adopted StatSets, sorted. */
+    std::vector<Sample> collect() const;
+
+    MetricId registerMetric(const std::string &name, Labels labels,
+                            MetricKind kind, unsigned sub_bits,
+                            std::uint64_t max_value);
+
+    std::map<std::string, MetricId> index; ///< structured key -> id
+    std::vector<Meta> metas;
+    std::vector<std::uint64_t> counters;
+    std::vector<double> gauges;
+    std::vector<Histogram> hists;
+    std::vector<Source> sources;
+};
+
+/**
+ * Accumulates one CSV row per sample tick into a growing document.
+ * Pair it with Engine::setSampler for periodic simulated-time
+ * snapshots:
+ *
+ *   MetricsCsvSampler sampler(metrics);
+ *   engine.setSampler(10_000, [&](SimNs t) { sampler.sample(t); });
+ *
+ * The column set is frozen at construction (the header row); a sample
+ * observing a different column count panics, pointing at metrics
+ * registered after sampling started.
+ */
+class MetricsCsvSampler
+{
+  public:
+    explicit MetricsCsvSampler(const Metrics &metrics);
+
+    /** Append one row at simulated time @p now. */
+    void sample(SimNs now);
+
+    /** Rows recorded so far. */
+    std::size_t rows() const { return rowCount; }
+
+    /** The full CSV document (header + rows). */
+    const std::string &csv() const { return doc; }
+
+  private:
+    const Metrics &reg;
+    std::string doc;
+    std::size_t columns;
+    std::size_t rowCount = 0;
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_METRICS_HH

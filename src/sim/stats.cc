@@ -83,6 +83,10 @@ StatSet::clear()
         v = 0;
 }
 
+// Defining a [[deprecated]] member triggers the warning too; the
+// definition itself is of course intentional.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::string
 StatSet::dump() const
 {
@@ -91,6 +95,7 @@ StatSet::dump() const
         out << name << " = " << values[sid] << '\n';
     return out.str();
 }
+#pragma GCC diagnostic pop
 
 std::map<std::string, std::uint64_t>
 StatSet::all() const

@@ -27,6 +27,7 @@
 #include "net/paths.hh"
 #include "sim/fault.hh"
 #include "sim/histogram.hh"
+#include "sim/metrics.hh"
 
 namespace
 {
@@ -93,10 +94,13 @@ runScenario()
         << "rtt_max=" << tx_rtt.max() << '\n'
         << "rtt_p50=" << tx_rtt.percentile(0.5) << '\n'
         << "rtt_p99=" << tx_rtt.percentile(0.99) << '\n'
-        << "rtt_summary=" << tx_rtt.summary() << '\n'
-        << "hv_stats:\n" << hv.stats().dump()
-        << "manager_vcpu_stats:\n" << manager_vm.vcpu(0).stats().dump()
-        << "client_vcpu_stats:\n" << client_vm.vcpu(0).stats().dump();
+        << "rtt_summary=" << tx_rtt.summary() << '\n';
+    // Every counter of the machine (hv + both vCPUs' StatSets) through
+    // the Metrics registry's byte-deterministic Prometheus exposition:
+    // the fingerprint now also guards the exporter itself.
+    sim::Metrics metrics;
+    hv.attachMetrics(metrics);
+    out << "prometheus:\n" << metrics.prometheus();
     return out.str();
 }
 
@@ -159,9 +163,10 @@ runFaultScenario(std::uint64_t seed)
         << "injected=" << plan.injectedCount() << '\n'
         << "fault_log:\n" << plan.eventLog()
         << "manager_clock=" << manager_vm.vcpu(0).clock().now() << '\n'
-        << "client_clock=" << client_vm.vcpu(0).clock().now() << '\n'
-        << "hv_stats:\n" << hv.stats().dump()
-        << "client_vcpu_stats:\n" << client_vm.vcpu(0).stats().dump();
+        << "client_clock=" << client_vm.vcpu(0).clock().now() << '\n';
+    sim::Metrics metrics;
+    hv.attachMetrics(metrics);
+    out << "report:\n" << metrics.report();
     return out.str();
 }
 

@@ -19,6 +19,7 @@
 #include "elisa/negotiation.hh"
 #include "elisa/shm_allocator.hh"
 #include "hv/hypervisor.hh"
+#include "sim/exit_ledger.hh"
 #include "sim/fault.hh"
 
 namespace
@@ -426,6 +427,78 @@ TEST_F(FaultTest, GateStaleFaultsLikeARevokedAttachment)
     // One-shot rule: the attachment is actually intact, so the next
     // call goes through.
     EXPECT_EQ(gate->call(0), 42u);
+}
+
+TEST_F(FaultTest, LedgerConservationHoldsUnderChaos)
+{
+    // The ExitLedger's double-entry property: however chaotically
+    // hypercalls are dropped, delayed, duplicated, and gate calls
+    // faulted mid-leg, the per-kind and per-VM totals always
+    // partition the grand total, and the row sums equal it exactly.
+    sim::ExitLedger ledger;
+    hv.setLedger(&ledger);
+
+    sim::FaultPlan chaos(7);
+    chaos.setDropChance(0.2);
+    chaos.setDelayChance(0.15, 500);
+    chaos.setDuplicateChance(0.1);
+    hv.setFaultPlan(&chaos);
+
+    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+
+    for (int cycle = 0; cycle < 12; ++cycle) {
+        auto result = guest.attachWithRetry(
+            "kv", [&] { manager.pollRequests(); });
+        if (!result.ok())
+            continue; // chaos won this round; accounting still must
+        Gate gate = result.take();
+
+        // Every third cycle, one call faults mid-gate (stale EPTP);
+        // the run() wrapper absorbs the exit, which the ledger
+        // charges as a faulting Exit row.
+        if (cycle % 3 == 0) {
+            sim::FaultRule rule;
+            rule.action = sim::FaultAction::GateStale;
+            chaos.addRule(rule);
+        }
+        for (int call = 0; call < 8; ++call)
+            guestVm.run(0, [&] { gate.call(0); });
+        guest.detach(gate);
+    }
+    hv.setFaultPlan(nullptr);
+
+    // The chaos actually exercised all three cost kinds.
+    EXPECT_GT(ledger.totalEvents(), 0u);
+    EXPECT_GT(ledger.kindNs(sim::CostKind::Hypercall), 0u);
+    EXPECT_GT(ledger.kindNs(sim::CostKind::GateLeg), 0u);
+    EXPECT_GT(ledger.kindNs(sim::CostKind::Exit), 0u);
+
+    // Conservation: kinds partition the total...
+    SimNs kinds = 0;
+    kinds += ledger.kindNs(sim::CostKind::Exit);
+    kinds += ledger.kindNs(sim::CostKind::Hypercall);
+    kinds += ledger.kindNs(sim::CostKind::GateLeg);
+    EXPECT_EQ(kinds, ledger.totalNs());
+
+    // ...as do the VMs, and the raw rows match both totals.
+    SimNs vms = ledger.vmNs(managerVm.id()) + ledger.vmNs(guestVm.id());
+    EXPECT_EQ(vms, ledger.totalNs());
+
+    SimNs row_ns = 0;
+    std::uint64_t row_events = 0;
+    for (const sim::ExitLedger::Row &row : ledger.rows()) {
+        row_ns += row.ns;
+        row_events += row.events;
+        // Gate legs are observe()d: their duration histogram must
+        // agree with the scalar columns (charge()d rows keep none).
+        if (row.kind == sim::CostKind::GateLeg) {
+            EXPECT_EQ(row.durations.count(), row.events);
+            EXPECT_EQ(static_cast<SimNs>(row.durations.sum()),
+                      row.ns);
+        }
+    }
+    EXPECT_EQ(row_ns, ledger.totalNs());
+    EXPECT_EQ(row_events, ledger.totalEvents());
 }
 
 TEST_F(FaultTest, ShmExhaustAndCorrupt)

@@ -301,37 +301,4 @@ TEST_F(AdversarialTest, RevokeReplayIsIdempotentForOwnerOnly)
     EXPECT_EQ(svc.exportCount(), 0u);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST_F(AdversarialTest, DeprecatedShimsStillWork)
-{
-    // The pre-AttachResult surface (attach/completeAttach plus the
-    // lastDenied/lastTimedOut/lastBusy side channel) stays functional
-    // until removal; this is the one deliberate consumer.
-    auto gate = guest.attach("kv", manager);
-    ASSERT_TRUE(gate.has_value());
-    EXPECT_FALSE(guest.lastDenied());
-    EXPECT_FALSE(guest.lastTimedOut());
-    EXPECT_FALSE(guest.lastBusy());
-    EXPECT_EQ(gate->call(0), 42u);
-    EXPECT_TRUE(guest.detach(*gate));
-
-    // Unknown export: the shim reports failure through the flags.
-    EXPECT_FALSE(guest.attach("no-such-export", manager));
-    EXPECT_TRUE(guest.lastDenied());
-
-    // completeAttach on a pending request mirrors pollAttach.
-    auto req = guest.requestAttach("kv");
-    ASSERT_TRUE(req);
-    EXPECT_FALSE(guest.completeAttach(*req));
-    EXPECT_FALSE(guest.lastDenied());
-    ASSERT_EQ(manager.pollRequests(), 1u);
-    auto late = guest.completeAttach(*req);
-    ASSERT_TRUE(late.has_value());
-    EXPECT_TRUE(guest.detach(*late));
-}
-
-#pragma GCC diagnostic pop
-
 } // anonymous namespace

@@ -139,7 +139,12 @@ TEST(StatSet, IncrementAndDump)
     EXPECT_EQ(s.get("a"), 3u);
     EXPECT_EQ(s.get("b"), 1u);
     EXPECT_EQ(s.get("missing"), 0u);
+    // The deprecated dump() shim stays functional for its final
+    // release; this is the one deliberate consumer.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_NE(s.dump().find("a = 3"), std::string::npos);
+#pragma GCC diagnostic pop
     s.clear();
     EXPECT_EQ(s.get("a"), 0u);
 }
@@ -174,6 +179,54 @@ TEST(Histogram, PercentileWithinRelativeErrorBound)
         // 1/2^6 relative quantization plus rank slop.
         EXPECT_NEAR((double)approx, (double)exact, 0.04 * exact + 2);
     }
+}
+
+TEST(Histogram, CeilRankPercentileAtBucketBoundaries)
+{
+    // Small exact-region values: the percentile is the ceil-rank
+    // order statistic with no interpolation artifacts. For {1,2,3,4}:
+    // rank(q) = ceil(q * 4), so p50 is the 2nd value, not 2.5
+    // rounded to 3 (the pre-fix behaviour).
+    Histogram h;
+    for (std::uint64_t v : {1u, 2u, 3u, 4u})
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.25), 1u);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(0.75), 3u);
+    EXPECT_EQ(h.percentile(1.0), 4u);
+    // Just past a boundary picks the next order statistic.
+    EXPECT_EQ(h.percentile(0.51), 3u);
+
+    // The integer-exact ratio form agrees with the double form and
+    // with the named accessors the exporters use.
+    EXPECT_EQ(h.percentileRatio(1, 2), h.percentile(0.5));
+    EXPECT_EQ(h.p50(), h.percentile(0.5));
+    EXPECT_EQ(h.p95(), h.percentile(0.95));
+    EXPECT_EQ(h.p99(), h.percentile(0.99));
+    EXPECT_EQ(h.p999(), h.percentile(0.999));
+}
+
+TEST(Histogram, NamedPercentilesAndSum)
+{
+    // All values inside the exact region (< 2^sub_bucket_bits), so
+    // the named accessors are exact order statistics.
+    Histogram h;
+    std::uint64_t total = 0;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+        h.record(v);
+        total += v;
+    }
+    EXPECT_EQ(h.sum(), total);
+    EXPECT_EQ(h.p50(), 31u);  // rank 32, values are 0-based
+    EXPECT_EQ(h.p95(), 60u);  // rank ceil(60.8) = 61
+    EXPECT_EQ(h.p99(), 63u);  // rank ceil(63.36) = 64
+    EXPECT_EQ(h.p999(), 63u); // rank ceil(63.936) = 64
+
+    // Empty histogram: everything is 0, nothing divides by zero.
+    Histogram empty;
+    EXPECT_EQ(empty.sum(), 0u);
+    EXPECT_EQ(empty.p50(), 0u);
+    EXPECT_EQ(empty.p999(), 0u);
 }
 
 TEST(Histogram, MergeAndSaturation)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * elisa_report — the paper's accounting claims as one command.
+ *
+ * Modes (combinable; --ledger is the default when none given):
+ *
+ *   --ledger      Install a sim::ExitLedger, run the headline
+ *                 workloads, and print the per-{vm, vcpu, kind, code}
+ *                 cost table. Reproduces the two decompositions the
+ *                 paper argues from:
+ *                   - one gate round trip = six legs summing to
+ *                     ~196 ns (4 VMFUNC switches + 2 gate-code
+ *                     segments), each leg with its duration histogram;
+ *                   - with HyperNF-class per-packet work, VM
+ *                     exit/entry cycles consume ~49 % of the VMCALL
+ *                     path's runtime — the ledger share, not a
+ *                     throughput subtraction.
+ *   --prometheus  Attach a sim::Metrics registry to the machine, run
+ *                 the gate/VMCALL workload, and dump the Prometheus
+ *                 text exposition.
+ *   --csv [NS]    Run the KVS workload with a periodic simulated-time
+ *                 sampler (default every 100000 ns) and print the
+ *                 metrics time-series CSV.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "cpu/exit.hh"
+#include "elisa/gate.hh"
+#include "kvs/clients.hh"
+#include "kvs/workload.hh"
+#include "net/paths.hh"
+#include "net/phys_nic.hh"
+#include "net/workloads.hh"
+#include "sim/exit_ledger.hh"
+#include "sim/metrics.hh"
+
+namespace
+{
+
+using namespace elisa;
+using namespace elisa::bench;
+
+/** Mean ns of one ledger row (0 when it never fired). */
+double
+meanNs(const sim::ExitLedger::Row &row)
+{
+    return row.events == 0 ? 0.0
+                           : (double)row.ns / (double)row.events;
+}
+
+/**
+ * The gate-vs-VMCALL decomposition: a no-op export called in a tight
+ * loop with the ledger installed, then the per-leg table.
+ */
+void
+ledgerGateSection()
+{
+    std::printf("--- ledger: gate round-trip decomposition ---------"
+                "-----------\n");
+    Testbed bed;
+    sim::ExitLedger ledger;
+    bed.hv.setLedger(&ledger);
+
+    hv::Vm &vm = bed.addGuest("guest");
+    core::ElisaGuest guest(vm, bed.svc);
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
+    auto exported = bed.manager.exportObject("noop", pageSize,
+                                             std::move(fns));
+    fatal_if(!exported, "export failed");
+    core::Gate gate = mustAttach(guest, "noop", bed.manager);
+    cpu::Vcpu &cpu = guest.vcpu();
+
+    const std::uint64_t iterations = scaledCount(100000);
+    gate.call(0); // warm translation caches
+    ledger.clear(); // drop setup-time negotiation hypercalls
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        gate.call(0);
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+
+    std::printf("%s\n", ledger.report().c_str());
+
+    double gate_rtt = 0.0;
+    for (const auto &row : ledger.rows()) {
+        if (row.kind == sim::CostKind::GateLeg)
+            gate_rtt += meanNs(row);
+    }
+    double vmcall_rtt = 0.0;
+    for (const auto &row : ledger.rows()) {
+        if (row.kind == sim::CostKind::Hypercall &&
+            row.code == (std::uint32_t)hv::Hc::Nop) {
+            vmcall_rtt = meanNs(row);
+        }
+    }
+    paperCheck("gate legs sum (ledger)", gate_rtt, 196.0, "ns");
+    paperCheck("VMCALL mechanism (ledger)", vmcall_rtt, 699.0, "ns");
+}
+
+/**
+ * The HyperNF 49 % claim, derived from the ledger share: with heavy
+ * per-packet NF work, (exit + hypercall mechanism ns) / elapsed of
+ * the VMCALL RX run is the fraction of runtime the exits consumed —
+ * and matches the throughput loss vs direct mapping.
+ */
+void
+ledgerHypernfSection()
+{
+    std::printf("--- ledger: HyperNF exit-cost share ---------------"
+                "-----------\n");
+    sim::CostModel heavy = sim::CostModel::fromEnv();
+    heavy.netPerPacketNs += 615; // NF chain processing per packet
+    Testbed bed(1536 * MiB, heavy);
+    sim::ExitLedger ledger;
+    bed.hv.setLedger(&ledger);
+
+    hv::Vm &vm = bed.addGuest("rx-heavy", 64 * MiB);
+    net::DirectPath direct(bed.hv, vm);
+    net::VmcallPath vmcall(bed.hv, vm);
+    net::PhysNic nic(heavy);
+    const std::uint64_t packets = scaledCount(60000);
+
+    nic.reset();
+    const auto r_direct = net::runRx(direct, nic, 64, packets);
+
+    ledger.clear(); // count the VMCALL run only
+    nic.reset();
+    const auto r_vmcall = net::runRx(vmcall, nic, 64, packets);
+
+    std::printf("%s\n", ledger.report().c_str());
+
+    const SimNs mech =
+        ledger.kindNs(sim::CostKind::Hypercall) +
+        ledger.kindNs(sim::CostKind::Exit);
+    const double share =
+        r_vmcall.elapsed == 0
+            ? 0.0
+            : (double)mech / (double)r_vmcall.elapsed * 100.0;
+    const double loss =
+        (r_direct.mpps() - r_vmcall.mpps()) / r_direct.mpps() * 100.0;
+
+    std::printf("  direct  %.2f Mpps, VMCALL %.2f Mpps over %llu "
+                "packets\n",
+                r_direct.mpps(), r_vmcall.mpps(),
+                (unsigned long long)r_vmcall.packets);
+    paperCheck("exit cycles / VMCALL runtime (ledger)", share, 49.0,
+               "%");
+    paperCheck("throughput loss vs direct", loss, 49.0, "%");
+}
+
+/** Gate/VMCALL workload with a Metrics registry; Prometheus dump. */
+void
+prometheusSection()
+{
+    Testbed bed;
+    hv::Vm &vm = bed.addGuest("guest");
+    core::ElisaGuest guest(vm, bed.svc);
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
+    auto exported = bed.manager.exportObject("noop", pageSize,
+                                             std::move(fns));
+    fatal_if(!exported, "export failed");
+    core::Gate gate = mustAttach(guest, "noop", bed.manager);
+    cpu::Vcpu &cpu = guest.vcpu();
+
+    const std::uint64_t iterations = scaledCount(10000);
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        gate.call(0);
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+
+    sim::Metrics metrics;
+    bed.hv.attachMetrics(metrics);
+    std::fputs(metrics.prometheus().c_str(), stdout);
+}
+
+/** KVS workload sampled on a simulated-time period; CSV dump. */
+void
+csvSection(SimNs period)
+{
+    Testbed bed(3 * GiB / 2);
+    std::vector<hv::Vm *> vms;
+    for (unsigned i = 0; i < 2; ++i)
+        vms.push_back(&bed.addGuest("client" + std::to_string(i),
+                                    16 * MiB));
+
+    constexpr std::uint64_t buckets = 1 << 12;
+    kvs::DirectKvsTable table(bed.hv, buckets);
+    kvs::prepopulate(table.hostIo(), buckets);
+    std::vector<std::unique_ptr<kvs::DirectKvsClient>> clients;
+    std::vector<kvs::KvsClient *> ptrs;
+    for (hv::Vm *vm : vms) {
+        clients.push_back(
+            std::make_unique<kvs::DirectKvsClient>(table, *vm));
+        ptrs.push_back(clients.back().get());
+    }
+
+    sim::Metrics metrics;
+    bed.hv.attachMetrics(metrics);
+    sim::MetricsCsvSampler sampler(metrics);
+    const auto r = kvs::runKvsWorkload(
+        ptrs, kvs::Mix::Mixed9010, buckets, scaledCount(20000), 42,
+        period, [&](SimNs now) { sampler.sample(now); });
+    fatal_if(r.corrupt || r.failed, "KVS workload misbehaved");
+    std::fputs(sampler.csv().c_str(), stdout);
+    std::fprintf(stderr, "elisa_report: %zu sample row(s) at %llu ns\n",
+                 sampler.rows(), (unsigned long long)period);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    bool do_ledger = false;
+    bool do_prometheus = false;
+    bool do_csv = false;
+    SimNs csv_period = 100000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--ledger") {
+            do_ledger = true;
+        } else if (arg == "--prometheus") {
+            do_prometheus = true;
+        } else if (arg == "--csv") {
+            do_csv = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                csv_period = std::strtoull(argv[++i], nullptr, 10);
+                if (csv_period == 0) {
+                    std::fprintf(stderr,
+                                 "elisa_report: bad --csv period\n");
+                    return 2;
+                }
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: elisa_report [--ledger] "
+                         "[--prometheus] [--csv [PERIOD_NS]]\n");
+            return 2;
+        }
+    }
+    if (!do_ledger && !do_prometheus && !do_csv)
+        do_ledger = true;
+
+    if (do_ledger) {
+        ledgerGateSection();
+        ledgerHypernfSection();
+    }
+    if (do_prometheus)
+        prometheusSection();
+    if (do_csv)
+        csvSection(csv_period);
+    return 0;
+}
