@@ -40,12 +40,21 @@ Hypervisor::createVm(const std::string &name, std::uint64_t ram_bytes,
     const VmId id = nextVmId++;
     auto vm = std::make_unique<Vm>(*this, id, name, ram_bytes, vcpu_count);
     Vm &ref = *vm;
+    ref.setShard(machineShard);
     vms.emplace(id, std::move(vm));
     statSet.inc("vm_created");
     ELISA_TRACE(Hv, "created VM %u '%s' (%llu MiB RAM)", id,
                 ref.name().c_str(),
                 (unsigned long long)(ram_bytes >> 20));
     return ref;
+}
+
+void
+Hypervisor::setShard(ShardId shard)
+{
+    machineShard = shard;
+    for (auto &[id, vm] : vms)
+        vm->setShard(shard);
 }
 
 Vm &

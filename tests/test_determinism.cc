@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/units.hh"
@@ -113,6 +115,109 @@ TEST(Determinism, KvsAndNetWorkloadIsBitIdenticalAcrossRuns)
     // Sanity: the fingerprint actually observed simulated progress.
     EXPECT_NE(first.find("kvs_ops=1500"), std::string::npos);
     EXPECT_NE(first.find("rtt_count=300"), std::string::npos);
+}
+
+/**
+ * One self-contained machine (hypervisor, manager VM + client VM,
+ * gate-called KVS table) pinned to an engine shard. Everything inside
+ * a machine shares mutable state, so the machine is the sharding
+ * unit; distinct machines may execute on distinct host threads.
+ */
+struct ShardedMachine
+{
+    hv::Hypervisor hv{128 * MiB};
+    core::ElisaService svc{hv};
+    hv::Vm &manager_vm;
+    hv::Vm &client_vm;
+    core::ElisaManager manager;
+    core::ElisaGuest guest;
+    kvs::ElisaKvsTable table;
+    kvs::ElisaKvsClient client;
+
+    ShardedMachine(unsigned shard, std::uint64_t key_space)
+        : manager_vm(hv.createVm("manager", 16 * MiB)),
+          client_vm(hv.createVm("client", 16 * MiB)),
+          manager(manager_vm, svc), guest(client_vm, svc),
+          table(hv, manager, "kvs", 4096),
+          client(table, manager, guest)
+    {
+        hv.setShard(shard);
+        kvs::prepopulate(table.hostIo(), key_space);
+    }
+};
+
+/**
+ * The same KVS workload spread over three single-machine shards,
+ * with a periodic engine sampler, rendered into one string. The
+ * engine picks up its thread count from ELISA_SIM_THREADS, so one
+ * scenario function exercises 1..N host threads.
+ */
+std::string
+runShardedScenario(unsigned threads)
+{
+    setQuiet(true);
+    ::setenv("ELISA_SIM_THREADS", std::to_string(threads).c_str(), 1);
+
+    constexpr std::uint64_t key_space = 256;
+    std::vector<std::unique_ptr<ShardedMachine>> machines;
+    std::vector<kvs::KvsClient *> clients;
+    for (unsigned m = 0; m < 3; ++m) {
+        machines.push_back(
+            std::make_unique<ShardedMachine>(m, key_space));
+        clients.push_back(&machines.back()->client);
+    }
+
+    std::vector<SimNs> samples;
+    const kvs::KvsRunResult result = kvs::runKvsWorkload(
+        clients, kvs::Mix::Mixed9010, key_space,
+        /*ops_per_client=*/800, /*seed=*/0x51a2d,
+        /*sample_period=*/50'000,
+        [&](SimNs t) { samples.push_back(t); });
+    ::unsetenv("ELISA_SIM_THREADS");
+    EXPECT_EQ(result.corrupt, 0u);
+    EXPECT_EQ(result.failed, 0u);
+
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "ops=" << result.ops << '\n'
+        << "hits=" << result.hits << '\n'
+        << "mops=" << result.totalMops << '\n';
+    for (std::size_t i = 0; i < result.perClientMops.size(); ++i)
+        out << "client" << i << "_mops=" << result.perClientMops[i]
+            << '\n';
+    out << "samples=";
+    for (SimNs t : samples)
+        out << t << ',';
+    out << '\n';
+    for (unsigned m = 0; m < machines.size(); ++m) {
+        ShardedMachine &machine = *machines[m];
+        out << "machine" << m << "_clock="
+            << machine.client_vm.vcpu(0).clock().now() << '\n';
+        sim::Metrics metrics;
+        machine.hv.attachMetrics(metrics);
+        out << "machine" << m << "_prometheus:\n"
+            << metrics.prometheus();
+    }
+    return out.str();
+}
+
+TEST(Determinism, ShardedKvsFingerprintIdenticalAcrossThreadCounts)
+{
+    // The gate for the parallel engine: every exporter byte — sampler
+    // series, per-client throughput, per-machine clocks and counters —
+    // must be a pure function of the workload, whether the three
+    // shards run on one host thread or race on four.
+    const std::string serial = runShardedScenario(1);
+    const std::string parallel4 = runShardedScenario(4);
+    EXPECT_EQ(serial, parallel4);
+    const std::string parallel2 = runShardedScenario(2);
+    EXPECT_EQ(serial, parallel2);
+
+    // Sanity: the fingerprint observed all three machines making
+    // progress, and the sampler actually sampled.
+    EXPECT_NE(serial.find("ops=2400"), std::string::npos);
+    EXPECT_NE(serial.find("machine2_clock="), std::string::npos);
+    EXPECT_EQ(serial.find("samples=\n"), std::string::npos);
 }
 
 /**

@@ -328,9 +328,11 @@ TEST(SimResource, FifoQueueing)
 class StrideActor : public Actor
 {
   public:
-    StrideActor(SimNs stride, int steps, std::vector<int> *log, int tag)
+    StrideActor(SimNs stride, int steps, std::vector<int> *log, int tag,
+                SimNs start = 0)
         : stride(stride), remaining(steps), log(log), tag(tag)
     {
+        clock.advance(start);
     }
 
     SimNs actorNow() const override { return clock.now(); }
@@ -389,6 +391,230 @@ TEST(Engine, HorizonStopsEarly)
     // Steps until the clock passes 1000: start 0,100,...,900 = 10 steps;
     // at 1000 the actor is at/past the horizon.
     EXPECT_EQ(log.size(), 10u);
+}
+
+TEST(Engine, ZeroActorRunTerminates)
+{
+    Engine engine;
+    EXPECT_EQ(engine.run(), 0u);
+
+    std::vector<SimNs> samples;
+    engine.setThreads(4);
+    engine.setSampler(100, [&](SimNs t) { samples.push_back(t); });
+    EXPECT_EQ(engine.run(1000), 0u);
+    EXPECT_TRUE(samples.empty());
+    EXPECT_EQ(engine.runnable(), 0u);
+    EXPECT_EQ(engine.delivered(), 0u);
+}
+
+TEST(Engine, EqualClockTieBreakIsRegistrationOrder)
+{
+    // Three actors in lockstep; the middle one finishes early. The
+    // per-time scheduling order must stay 1,2,3 / 1,3 — with the old
+    // swap-removal scan, removing actor 2 moved actor 3 into its slot
+    // and equal-clock rounds came out 1,3 in a history-dependent way.
+    std::vector<int> log;
+    StrideActor a(10, 10, &log, 1);
+    StrideActor b(10, 2, &log, 2);
+    StrideActor c(10, 10, &log, 3);
+    Engine engine;
+    engine.add(&a);
+    engine.add(&b);
+    engine.add(&c);
+    EXPECT_EQ(engine.run(), 22u);
+
+    std::vector<int> expect;
+    for (int round = 0; round < 10; ++round) {
+        expect.push_back(1);
+        if (round < 2)
+            expect.push_back(2);
+        expect.push_back(3);
+    }
+    EXPECT_EQ(log, expect);
+}
+
+TEST(Engine, ClearResetsSamplerBookkeeping)
+{
+    std::vector<SimNs> samples;
+    std::vector<int> log;
+    Engine engine;
+    engine.setSampler(100, [&](SimNs t) { samples.push_back(t); });
+    StrideActor a(50, 8, &log, 1); // work at 0..350
+    engine.add(&a);
+    engine.run();
+    EXPECT_EQ(samples, (std::vector<SimNs>{100, 200, 300}));
+
+    // A reused engine restarts the sample series at one period; a
+    // stale nextSample (400 here) would silently skip every boundary
+    // of the second run.
+    samples.clear();
+    engine.clear();
+    StrideActor b(50, 8, &log, 2);
+    engine.add(&b);
+    engine.run();
+    EXPECT_EQ(samples, (std::vector<SimNs>{100, 200, 300}));
+}
+
+TEST(Engine, SamplerBoundaryExactlyAtHorizonDoesNotFire)
+{
+    std::vector<SimNs> samples;
+    std::vector<int> log;
+    StrideActor a(60, 10, &log, 1);
+    Engine engine;
+    engine.setSampler(100, [&](SimNs t) { samples.push_back(t); });
+    engine.add(&a);
+
+    // Work at 0 and 60 runs; the next unit (120) is at/past the
+    // horizon, so nothing below the horizon remains and the boundary
+    // at exactly 100 == horizon must not fire.
+    engine.run(100);
+    EXPECT_TRUE(samples.empty());
+    EXPECT_EQ(log.size(), 2u);
+
+    // With the boundary interior to the horizon it fires, before the
+    // work at 120 becomes eligible.
+    engine.run(130);
+    EXPECT_EQ(samples, std::vector<SimNs>{100});
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(Engine, ActorFinishingOnBoundaryFiresNoTrailingSample)
+{
+    std::vector<SimNs> samples;
+    std::vector<int> log;
+    Engine engine;
+    engine.setSampler(100, [&](SimNs t) { samples.push_back(t); });
+
+    // One step at t=0 lands the clock exactly on the boundary and
+    // finishes the population: the series has no work at/past 100,
+    // so the boundary is trailing and must not fire.
+    StrideActor a(100, 1, &log, 1);
+    engine.add(&a);
+    engine.run();
+    EXPECT_TRUE(samples.empty());
+    EXPECT_EQ(log, std::vector<int>{1});
+
+    // With a companion still working past 100, the boundary is
+    // interior: it fires after the finisher's last step (everything
+    // below 100 is done) and before the work at 120.
+    samples.clear();
+    log.clear();
+    engine.clear();
+    StrideActor f(100, 1, &log, 1);
+    StrideActor g(60, 3, &log, 2); // work at 0, 60, 120
+    engine.add(&f);
+    engine.add(&g);
+    engine.run();
+    EXPECT_EQ(samples, std::vector<SimNs>{100});
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 2, 2}));
+}
+
+TEST(Engine, ActorAddedPastNextSampleBackfillsBoundaries)
+{
+    // Sampler callbacks log -(boundary/100), steps log the actor tag,
+    // so the vector shows the exact interleaving.
+    std::vector<int> log;
+    StrideActor a(40, 3, &log, 1, /*start=*/250); // work at 250/290/330
+    Engine engine;
+    engine.setSampler(100,
+                      [&](SimNs t) { log.push_back(-(int)(t / 100)); });
+    engine.add(&a);
+    engine.run();
+
+    // The skipped boundaries 100 and 200 each still fire (time series
+    // must not have holes), before the actor's first step; 300 fires
+    // between the steps at 290 and 330.
+    EXPECT_EQ(log, (std::vector<int>{-1, -2, 1, 1, -3, 1}));
+}
+
+/**
+ * Test actor: every step posts a cross-shard event that occupies a
+ * SimResource living in the destination shard.
+ */
+class CrossShardPoster : public Actor
+{
+  public:
+    CrossShardPoster(Engine &engine, ShardId dest, SimNs stride,
+                     int steps, SimResource &res,
+                     std::vector<std::pair<SimNs, int>> *grants, int tag)
+        : engine(engine), dest(dest), stride(stride), remaining(steps),
+          res(&res), grants(grants), tag(tag)
+    {
+    }
+
+    SimNs actorNow() const override { return clock.now(); }
+
+    bool
+    step() override
+    {
+        engine.post(dest, clock.now() + engine.lookahead(),
+                    [this](SimNs at) {
+                        grants->push_back({res->submit(at, 7), tag});
+                    });
+        clock.advance(stride);
+        return --remaining > 0;
+    }
+
+  private:
+    Engine &engine;
+    ShardId dest;
+    SimClock clock;
+    SimNs stride;
+    int remaining;
+    SimResource *res;
+    std::vector<std::pair<SimNs, int>> *grants;
+    int tag;
+};
+
+TEST(Engine, CrossShardResourceRaceHasSameWinnerAtAnyThreadCount)
+{
+    // Two shards race for one SimResource owned by a third shard;
+    // their requests arrive as cross-shard events with identical
+    // delivery times. The merge order — and therefore every grant
+    // time the resource hands out — must be a pure function of the
+    // simulated workload, not of host-thread scheduling.
+    auto race = [](unsigned threads) {
+        SimResource res;
+        std::vector<std::pair<SimNs, int>> grants;
+        std::vector<int> log;
+        Engine engine;
+        engine.setThreads(threads);
+        engine.setLookahead(25);
+        StrideActor owner(10, 1, &log, 0); // anchors shard 0
+        engine.add(&owner, 0);
+        CrossShardPoster p1(engine, 0, 10, 50, res, &grants, 1);
+        CrossShardPoster p2(engine, 0, 10, 50, res, &grants, 2);
+        engine.add(&p1, 1);
+        engine.add(&p2, 2);
+        engine.run();
+        EXPECT_EQ(engine.delivered(), 100u);
+        EXPECT_EQ(grants.size(), 100u);
+        return std::make_pair(grants, res.busyUntil());
+    };
+
+    const auto serial = race(1);
+    const auto parallel4 = race(4);
+    const auto parallel2 = race(2);
+    EXPECT_EQ(serial, parallel4);
+    EXPECT_EQ(serial, parallel2);
+    // Equal delivery times resolve by source shard: shard 1 wins.
+    EXPECT_EQ(serial.first.front().second, 1);
+}
+
+TEST(CostModel, MinCrossShardLatencyIsTheCheapestTransport)
+{
+    CostModel cost;
+    // Defaults: a 64 B frame's wire time (70.4 ns floored) undercuts
+    // the IPI (1100) and propagation (11000) latencies.
+    EXPECT_EQ(cost.minCrossShardLatencyNs(), 70u);
+
+    // The bound tracks the cheapest transport under overlays and
+    // never collapses to zero (the engine needs lookahead >= 1).
+    cost.nicLineRateBps = 40e9; // wire time 17.6 ns
+    cost.ipiDeliverNs = 30;
+    EXPECT_EQ(cost.minCrossShardLatencyNs(), 17u);
+    cost.nicLineRateBps = 1000e9; // wire time below 1 ns
+    EXPECT_EQ(cost.minCrossShardLatencyNs(), 1u);
 }
 
 TEST(CostModel, PaperHeadlineCalibration)

@@ -11,12 +11,18 @@
  * committed baselines need a deliberate re-bless.
  *
  *   bench_check [--baselines DIR] [--current DIR] [--tolerance PCT]
- *               [--quick-tolerance PCT]
+ *               [--quick-tolerance PCT] [--wall-tolerance PCT]
  *
  * Defaults: baselines bench_results/baselines, current bench_results,
  * tolerance 2 %, quick-tolerance 5 % (applied when one side ran with
  * ELISA_BENCH_QUICK and the other did not — trimmed iteration counts
  * shift amortized warmup slightly).
+ *
+ * Metrics whose key starts with "wall_" are host wall-clock derived
+ * (sim/wall ratios, parallel speedups): inherently noisy and
+ * machine-dependent, so they get their own generous tolerance
+ * (--wall-tolerance, default 60 %) and are gated one-sided — only a
+ * drop below baseline fails; running on a faster or wider box passes.
  *
  * Exit codes: 0 all metrics within tolerance; 1 regression (or a
  * baseline bench that was not run); 2 usage or I/O error.
@@ -237,6 +243,7 @@ main(int argc, char **argv)
     std::string current_dir = "bench_results";
     double tolerance_pct = 2.0;
     double quick_tolerance_pct = 5.0;
+    double wall_tolerance_pct = 60.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -257,11 +264,14 @@ main(int argc, char **argv)
             tolerance_pct = parsePct(next());
         } else if (arg == "--quick-tolerance") {
             quick_tolerance_pct = parsePct(next());
+        } else if (arg == "--wall-tolerance") {
+            wall_tolerance_pct = parsePct(next());
         } else {
             std::fprintf(
                 stderr,
                 "usage: bench_check [--baselines DIR] [--current DIR]"
-                " [--tolerance PCT] [--quick-tolerance PCT]\n");
+                " [--tolerance PCT] [--quick-tolerance PCT]"
+                " [--wall-tolerance PCT]\n");
             return 2;
         }
     }
@@ -324,17 +334,22 @@ main(int argc, char **argv)
             const double dev_pct =
                 want == 0.0 ? (got == 0.0 ? 0.0 : 100.0)
                             : (got - want) / std::fabs(want) * 100.0;
-            if (std::fabs(dev_pct) > tol) {
+            const bool wall = key.rfind("wall_", 0) == 0;
+            const bool bad = wall
+                                 ? -dev_pct > wall_tolerance_pct
+                                 : std::fabs(dev_pct) > tol;
+            if (bad) {
                 std::printf("FAIL %-16s %-32s baseline=%.6g got=%.6g "
-                            "(%+.2f%% > ±%.1f%%)\n",
+                            "(%+.2f%% > %s%.1f%%)\n",
                             base->bench.c_str(), key.c_str(), want, got,
-                            dev_pct, tol);
+                            dev_pct, wall ? "-" : "±",
+                            wall ? wall_tolerance_pct : tol);
                 ++failures;
             } else {
                 std::printf("  ok %-16s %-32s baseline=%.6g got=%.6g "
-                            "(%+.2f%%)\n",
+                            "(%+.2f%%%s)\n",
                             base->bench.c_str(), key.c_str(), want, got,
-                            dev_pct);
+                            dev_pct, wall ? ", wall" : "");
             }
         }
         for (const auto &[key, value] : cur->metrics) {
