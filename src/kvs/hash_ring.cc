@@ -1,0 +1,102 @@
+#include "kvs/hash_ring.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace elisa::kvs
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: the position mixer for ring points. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+HashRing::vnodePosition(std::uint32_t node, std::uint32_t vnode) const
+{
+    return mix64(mix64(ringSeed ^ (std::uint64_t{node} << 32 | vnode)));
+}
+
+void
+HashRing::addNode(std::uint32_t node)
+{
+    if (hasNode(node))
+        return;
+    members.push_back(node);
+    std::sort(members.begin(), members.end());
+    for (std::uint32_t v = 0; v < vnodesPerNode; ++v)
+        points.push_back(Point{vnodePosition(node, v), node});
+    std::sort(points.begin(), points.end());
+}
+
+void
+HashRing::removeNode(std::uint32_t node)
+{
+    members.erase(std::remove(members.begin(), members.end(), node),
+                  members.end());
+    points.erase(std::remove_if(points.begin(), points.end(),
+                                [node](const Point &p) {
+                                    return p.node == node;
+                                }),
+                 points.end());
+}
+
+bool
+HashRing::hasNode(std::uint32_t node) const
+{
+    return std::find(members.begin(), members.end(), node) !=
+           members.end();
+}
+
+std::uint32_t
+HashRing::nodeCount() const
+{
+    return static_cast<std::uint32_t>(members.size());
+}
+
+std::uint64_t
+HashRing::pointOf(const Key &key)
+{
+    // Same murmur finalizer as hashKey, but over the full 64-bit
+    // range instead of a bucket modulus.
+    std::uint64_t h;
+    std::memcpy(&h, key.data(), 8);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+}
+
+std::uint32_t
+HashRing::ownerOfHash(std::uint64_t hash) const
+{
+    panic_if(points.empty(), "ownership query on an empty ring");
+    auto it = std::lower_bound(
+        points.begin(), points.end(), hash,
+        [](const Point &p, std::uint64_t h) { return p.position < h; });
+    if (it == points.end())
+        it = points.begin(); // wrap past the last point
+    return it->node;
+}
+
+std::uint32_t
+HashRing::ownerOf(const Key &key) const
+{
+    return ownerOfHash(pointOf(key));
+}
+
+} // namespace elisa::kvs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A deterministic consistent-hash ring with virtual nodes.
+ *
+ * Each cluster node owns `vnodesPerNode` points on a 64-bit ring; a
+ * key maps to the node owning the first point at or after the key's
+ * hash (wrapping). Point positions are a pure function of
+ * (ring seed, node id, vnode index), so two processes building the
+ * ring from the same membership agree byte-for-byte on ownership —
+ * the property the cluster's clients and servers both rely on, and
+ * the one the reshard path exploits: adding or removing one node
+ * moves only the keys whose successor point changed, ~1/N of them.
+ */
+
+#ifndef ELISA_KVS_HASH_RING_HH
+#define ELISA_KVS_HASH_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kvs/shm_kvs.hh" // Key
+
+namespace elisa::kvs
+{
+
+/** Consistent-hash ring over small integer node ids. */
+class HashRing
+{
+  public:
+    /** Ring points per node. 64 keeps ownership within ~13% of even. */
+    static constexpr std::uint32_t vnodesPerNode = 64;
+
+    explicit HashRing(std::uint64_t seed) : ringSeed(seed) {}
+
+    /** Add @p node's virtual points. No-op when already present. */
+    void addNode(std::uint32_t node);
+
+    /** Remove @p node's virtual points. No-op when absent. */
+    void removeNode(std::uint32_t node);
+
+    /** True when @p node is a member. */
+    bool hasNode(std::uint32_t node) const;
+
+    /** Member count. */
+    std::uint32_t nodeCount() const;
+
+    /** Owner of a raw 64-bit hash point. Panics on an empty ring. */
+    std::uint32_t ownerOfHash(std::uint64_t hash) const;
+
+    /** Owner of @p key. Panics on an empty ring. */
+    std::uint32_t ownerOf(const Key &key) const;
+
+    /** The 64-bit point a key hashes to (shared with ownerOf). */
+    static std::uint64_t pointOf(const Key &key);
+
+  private:
+    struct Point
+    {
+        std::uint64_t position;
+        std::uint32_t node;
+
+        bool
+        operator<(const Point &other) const
+        {
+            // Position ties (astronomically rare) break by node id so
+            // ownership never depends on insertion order.
+            if (position != other.position)
+                return position < other.position;
+            return node < other.node;
+        }
+    };
+
+    std::uint64_t ringSeed;
+    std::vector<Point> points;       ///< sorted by (position, node)
+    std::vector<std::uint32_t> members;
+
+    std::uint64_t vnodePosition(std::uint32_t node,
+                                std::uint32_t vnode) const;
+};
+
+} // namespace elisa::kvs
+
+#endif // ELISA_KVS_HASH_RING_HH

@@ -1,8 +1,10 @@
 #include "memcached/loadgen.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "base/logging.hh"
+#include "sim/zipf.hh"
 
 namespace elisa::memcached
 {
@@ -11,7 +13,7 @@ LoadPoint
 runLoadPoint(Server &server, net::PhysNic &nic, double offered_rps,
              std::uint64_t requests, double set_ratio,
              std::uint64_t key_space, std::uint64_t seed,
-             WakeMode wake)
+             WakeMode wake, double zipf_s)
 {
     panic_if(offered_rps <= 0.0, "offered load must be positive");
     panic_if(requests == 0, "empty load point");
@@ -19,6 +21,9 @@ runLoadPoint(Server &server, net::PhysNic &nic, double offered_rps,
     const sim::CostModel &cost = server.vcpu().costModel();
     const double mean_gap_ns = 1e9 / offered_rps;
     sim::Rng rng(seed);
+    std::unique_ptr<sim::Zipf> zipf;
+    if (zipf_s > 0.0)
+        zipf = std::make_unique<sim::Zipf>(key_space, zipf_s);
 
     const std::uint64_t warmup = requests / 20;
     const std::uint64_t total = requests + warmup;
@@ -38,7 +43,9 @@ runLoadPoint(Server &server, net::PhysNic &nic, double offered_rps,
         const auto a = static_cast<SimNs>(arrival);
 
         const bool is_set = rng.chance(set_ratio);
-        const std::uint64_t key_id = rng.below(key_space);
+        const std::uint64_t key_id =
+            zipf ? sim::Zipf::spreadRank(zipf->sample(rng), key_space)
+                 : rng.below(key_space);
         const std::uint32_t req_len =
             is_set ? setRequestBytes : getRequestBytes;
         const std::uint32_t resp_len =

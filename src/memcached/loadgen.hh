@@ -77,15 +77,19 @@ struct LoadPoint
  * @param offered_rps offered load (Poisson).
  * @param requests number of requests (plus 5 % warm-up, discarded).
  * @param set_ratio fraction of SETs (0.1 = GET-heavy, 0.5 = SET-heavy).
- * @param key_space key ids uniform in [0, key_space).
+ * @param key_space key ids drawn over [0, key_space).
  * @param seed RNG seed.
  * @param wake polling (default) or doorbell-driven wake-up.
+ * @param zipf_s hot-key skew: 0 (default) keeps the uniform draw;
+ *        s > 0 draws zipfian ranks (s = 0.99 is the YCSB hot-key
+ *        curve) scattered over the key space via Zipf::spreadRank.
  */
 LoadPoint runLoadPoint(Server &server, net::PhysNic &nic,
                        double offered_rps, std::uint64_t requests,
                        double set_ratio, std::uint64_t key_space,
                        std::uint64_t seed = 7,
-                       WakeMode wake = WakeMode::Polling);
+                       WakeMode wake = WakeMode::Polling,
+                       double zipf_s = 0.0);
 
 } // namespace elisa::memcached
 

@@ -1,0 +1,51 @@
+#include "sim/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace elisa::sim
+{
+
+Zipf::Zipf(std::uint64_t n, double s)
+{
+    panic_if(n == 0, "zipf over an empty item set");
+    panic_if(s < 0, "zipf skew must be non-negative");
+    cdf.resize(n);
+    double total = 0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf[r] = total;
+    }
+    for (std::uint64_t r = 0; r < n; ++r)
+        cdf[r] /= total;
+    cdf[n - 1] = 1.0; // exact, despite rounding
+}
+
+std::uint64_t
+Zipf::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+double
+Zipf::massOf(std::uint64_t r) const
+{
+    panic_if(r >= cdf.size(), "zipf rank out of range");
+    return r == 0 ? cdf[0] : cdf[r] - cdf[r - 1];
+}
+
+std::uint64_t
+Zipf::spreadRank(std::uint64_t rank, std::uint64_t n)
+{
+    // A fixed odd multiplier is coprime with any modulus when the
+    // modulus is a power of two, and close enough to bijective for
+    // the workloads' modest key spaces otherwise: collisions only
+    // fold a negligible tail mass together.
+    return (rank * 0x9e3779b97f4a7c15ull) % n;
+}
+
+} // namespace elisa::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A deterministic bounded zipfian rank sampler for hot-key skew.
+ *
+ * Rank r in [0, n) is drawn with probability proportional to
+ * 1 / (r+1)^s — the memcached-style popularity curve (s = 0.99 is the
+ * YCSB default). The CDF is precomputed once and sampled by binary
+ * search on a uniform draw from the caller's Rng, so the sequence is
+ * a pure function of (n, s, seed) and stays bit-identical across
+ * hosts, like everything else fed into determinism fingerprints.
+ *
+ * Rank 0 is the hottest item. Workloads that want hot *keys* spread
+ * uniformly across a hashed key space should map ranks through
+ * spreadRank() so consecutive hot ranks do not collide in one bucket
+ * or cluster shard.
+ */
+
+#ifndef ELISA_SIM_ZIPF_HH
+#define ELISA_SIM_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace elisa::sim
+{
+
+/** Bounded zipfian sampler over ranks [0, n). */
+class Zipf
+{
+  public:
+    /**
+     * @param n number of items (> 0)
+     * @param s skew exponent (s = 0 degenerates to uniform)
+     */
+    Zipf(std::uint64_t n, double s);
+
+    /** Draw one rank using @p rng; 0 is the hottest. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Item count. */
+    std::uint64_t
+    items() const
+    {
+        return static_cast<std::uint64_t>(cdf.size());
+    }
+
+    /** Probability mass of rank @p r. */
+    double massOf(std::uint64_t r) const;
+
+    /**
+     * Bijectively scatter a rank over [0, n) (odd-multiplier modular
+     * map) so neighboring hot ranks land far apart — in distinct
+     * buckets and, at cluster scale, on distinct shards.
+     */
+    static std::uint64_t spreadRank(std::uint64_t rank,
+                                    std::uint64_t n);
+
+  private:
+    std::vector<double> cdf; ///< cdf[r] = P(rank <= r), cdf.back() == 1
+};
+
+} // namespace elisa::sim
+
+#endif // ELISA_SIM_ZIPF_HH

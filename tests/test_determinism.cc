@@ -25,6 +25,7 @@
 #include "elisa/negotiation.hh"
 #include "hv/hypervisor.hh"
 #include "kvs/clients.hh"
+#include "kvs/cluster.hh"
 #include "kvs/workload.hh"
 #include "net/paths.hh"
 #include "sim/fault.hh"
@@ -218,6 +219,91 @@ TEST(Determinism, ShardedKvsFingerprintIdenticalAcrossThreadCounts)
     EXPECT_NE(serial.find("ops=2400"), std::string::npos);
     EXPECT_NE(serial.find("machine2_clock="), std::string::npos);
     EXPECT_EQ(serial.find("samples=\n"), std::string::npos);
+}
+
+/**
+ * The sharded KVS cluster — three server machines behind a consistent-
+ * hash ring, zipfian open-loop clients, one store VM killed mid-run by
+ * a FaultPlan — rendered into one string: load counters, latency
+ * summary, per-server store fingerprints, failover bookkeeping, and
+ * clocks. The cluster builds its own engine, which reads
+ * ELISA_SIM_THREADS at construction.
+ */
+std::string
+runClusterScenario(unsigned threads)
+{
+    setQuiet(true);
+    ::setenv("ELISA_SIM_THREADS", std::to_string(threads).c_str(), 1);
+
+    kvs::ClusterConfig cfg;
+    cfg.servers = 3;
+    cfg.scheme = kvs::ClusterScheme::Elisa;
+    cfg.buckets = 512;
+    cfg.logSlots = 8192;
+    kvs::KvsCluster cluster(cfg);
+    ::unsetenv("ELISA_SIM_THREADS");
+
+    constexpr std::uint64_t key_space = 700;
+    cluster.prepopulate(key_space);
+
+    // Kill server 1's primary store VM at its 5th protocol step: the
+    // failover (replica log replay + standby re-seed) must itself be
+    // bit-reproducible at any host thread count.
+    sim::FaultPlan plan;
+    plan.killVmAt(cluster.stepNr(1), cluster.primaryVmId(1),
+                  /*occurrence=*/5);
+    cluster.setFaultPlan(1, &plan);
+    const kvs::ClusterLoadResult r = cluster.runLoad(
+        /*clients_per_server=*/2, /*offered_rps_per_client=*/45e3,
+        /*requests_per_client=*/200, /*put_ratio=*/0.4, key_space,
+        /*zipf_s=*/0.99, /*seed=*/0xc105);
+    cluster.setFaultPlan(1, nullptr);
+    EXPECT_EQ(r.corrupt, 0u);
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_EQ(plan.injectedCount(), 1u);
+    EXPECT_GE(cluster.failovers(1), 1u);
+
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "ops=" << r.ops << '\n'
+        << "hits=" << r.hits << '\n'
+        << "acked=" << r.acked << '\n'
+        << "remote=" << r.remote << '\n'
+        << "achieved=" << r.achievedRps << '\n'
+        << "latency=" << r.latency.summary() << '\n';
+    out << "acked_ids=";
+    for (const std::uint64_t id : r.ackedPutIds)
+        out << id << ',';
+    out << '\n';
+    for (unsigned s = 0; s < cluster.serverCount(); ++s) {
+        out << "server" << s << "_clock="
+            << cluster.serverVcpu(s).clock().now() << '\n'
+            << "server" << s << "_fp=" << cluster.fingerprintOf(s)
+            << '\n'
+            << "server" << s << "_live=" << cluster.liveEntriesOf(s)
+            << '\n'
+            << "server" << s << "_failovers=" << cluster.failovers(s)
+            << '\n';
+    }
+    out << "dying_fp=" << cluster.lastDyingFingerprint(1) << '\n'
+        << "promoted_fp=" << cluster.lastPromotedFingerprint(1) << '\n'
+        << "fault_log:\n"
+        << plan.eventLog();
+    return out.str();
+}
+
+TEST(Determinism, ClusterWithKillIsIdenticalAcrossThreadCounts)
+{
+    const std::string serial = runClusterScenario(1);
+    const std::string parallel2 = runClusterScenario(2);
+    const std::string parallel4 = runClusterScenario(4);
+    EXPECT_EQ(serial, parallel2);
+    EXPECT_EQ(serial, parallel4);
+
+    // Sanity: the scenario made progress and actually failed over.
+    EXPECT_NE(serial.find("ops=1200"), std::string::npos);
+    EXPECT_NE(serial.find("server1_failovers="), std::string::npos);
+    EXPECT_EQ(serial.find("server1_failovers=0"), std::string::npos);
 }
 
 /**

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * The cluster test battery: the log-structured store fuzzed against a
+ * model (including a crash at *every* write boundary), the consistent-
+ * hash ring and zipfian generator pinned, and the sharded cluster
+ * itself — load correctness under all three schemes, failover with
+ * byte-identical recovery, and online resharding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "kvs/cluster.hh"
+#include "kvs/hash_ring.hh"
+#include "kvs/kv_log.hh"
+#include "net/desc_ring.hh"
+#include "sim/fault.hh"
+#include "sim/rng.hh"
+#include "sim/zipf.hh"
+
+namespace
+{
+
+using namespace elisa;
+using kvs::Key;
+using kvs::LogKvs;
+using kvs::Value;
+
+// ---- a journaling in-memory RegionIo ---------------------------------
+
+/**
+ * Plain byte-buffer region that records every write while recording is
+ * on, so a crash can be simulated at any write boundary by replaying a
+ * prefix of the journal onto a snapshot.
+ */
+class JournalIo : public net::RegionIo
+{
+  public:
+    explicit JournalIo(std::uint64_t bytes) : buf(bytes, 0) {}
+
+    void
+    read(std::uint64_t off, void *dst, std::uint64_t len) override
+    {
+        ASSERT_LE(off + len, buf.size());
+        std::memcpy(dst, buf.data() + off, len);
+    }
+
+    void
+    write(std::uint64_t off, const void *src, std::uint64_t len) override
+    {
+        ASSERT_LE(off + len, buf.size());
+        std::memcpy(buf.data() + off, src, len);
+        if (recording) {
+            const auto *p = static_cast<const std::uint8_t *>(src);
+            journal.push_back({off, {p, p + len}});
+        }
+    }
+
+    struct WriteOp
+    {
+        std::uint64_t off;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::vector<std::uint8_t> buf;
+    std::vector<WriteOp> journal;
+    bool recording = false;
+};
+
+/** Simple read/write view over an externally owned byte buffer. */
+class VecIo : public net::RegionIo
+{
+  public:
+    explicit VecIo(std::vector<std::uint8_t> &bytes) : buf(bytes) {}
+
+    void
+    read(std::uint64_t off, void *dst, std::uint64_t len) override
+    {
+        std::memcpy(dst, buf.data() + off, len);
+    }
+
+    void
+    write(std::uint64_t off, const void *src, std::uint64_t len) override
+    {
+        std::memcpy(buf.data() + off, src, len);
+    }
+
+    std::vector<std::uint8_t> &buf;
+};
+
+using Model = std::map<Key, Value>;
+
+Model
+liveTable(net::RegionIo &io)
+{
+    Model table;
+    LogKvs::forEachLive(io, [&](const Key &k, const Value &v) {
+        table[k] = v;
+        return true;
+    });
+    return table;
+}
+
+// ---- LogKvs basics ---------------------------------------------------
+
+TEST(LogKvs, PutGetRemoveRoundTrip)
+{
+    JournalIo io(LogKvs::regionBytesFor(64, 256));
+    LogKvs::format(io, 64, 256);
+    EXPECT_TRUE(LogKvs::formatted(io));
+    EXPECT_EQ(LogKvs::liveEntries(io), 0u);
+
+    for (std::uint64_t id = 0; id < 100; ++id)
+        EXPECT_TRUE(
+            LogKvs::put(io, kvs::makeKey(id), kvs::makeValue(id)));
+    EXPECT_EQ(LogKvs::liveEntries(io), 100u);
+
+    for (std::uint64_t id = 0; id < 100; ++id) {
+        auto v = LogKvs::get(io, kvs::makeKey(id));
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, kvs::makeValue(id));
+    }
+    EXPECT_FALSE(LogKvs::get(io, kvs::makeKey(100)).has_value());
+
+    // Overwrite does not grow the live count.
+    EXPECT_TRUE(LogKvs::put(io, kvs::makeKey(7), kvs::makeValue(700)));
+    EXPECT_EQ(LogKvs::liveEntries(io), 100u);
+    EXPECT_EQ(*LogKvs::get(io, kvs::makeKey(7)), kvs::makeValue(700));
+
+    EXPECT_TRUE(LogKvs::remove(io, kvs::makeKey(7)));
+    EXPECT_FALSE(LogKvs::remove(io, kvs::makeKey(7)));
+    EXPECT_EQ(LogKvs::liveEntries(io), 99u);
+    EXPECT_FALSE(LogKvs::get(io, kvs::makeKey(7)).has_value());
+}
+
+TEST(LogKvs, WrapAroundCleansObsoleteRecords)
+{
+    // 32 log slots, heavy overwriting of 8 keys: the circle must wrap
+    // many times without losing the live table.
+    JournalIo io(LogKvs::regionBytesFor(16, 32));
+    LogKvs::format(io, 16, 32);
+    for (std::uint64_t round = 0; round < 64; ++round) {
+        for (std::uint64_t id = 0; id < 8; ++id)
+            ASSERT_TRUE(LogKvs::put(io, kvs::makeKey(id),
+                                    kvs::makeValue(id + round)));
+    }
+    EXPECT_EQ(LogKvs::liveEntries(io), 8u);
+    EXPECT_LE(LogKvs::logDepth(io), 32u);
+    for (std::uint64_t id = 0; id < 8; ++id)
+        EXPECT_EQ(*LogKvs::get(io, kvs::makeKey(id)),
+                  kvs::makeValue(id + 63));
+}
+
+TEST(LogKvs, PutFailsOnlyWhenAllSlotsAreLive)
+{
+    JournalIo io(LogKvs::regionBytesFor(8, 16));
+    LogKvs::format(io, 8, 16);
+    for (std::uint64_t id = 0; id < 16; ++id)
+        ASSERT_TRUE(
+            LogKvs::put(io, kvs::makeKey(id), kvs::makeValue(id)));
+    // Every slot holds a live record: a new key cannot fit...
+    EXPECT_FALSE(
+        LogKvs::put(io, kvs::makeKey(99), kvs::makeValue(99)));
+    // ...but deleting one makes room again (tombstone + new record
+    // both fit once cleaning reclaims obsolete space).
+    EXPECT_TRUE(LogKvs::remove(io, kvs::makeKey(0)));
+    EXPECT_TRUE(LogKvs::put(io, kvs::makeKey(99), kvs::makeValue(99)));
+    EXPECT_EQ(*LogKvs::get(io, kvs::makeKey(99)), kvs::makeValue(99));
+}
+
+TEST(LogKvs, FingerprintIsOrderIndependent)
+{
+    JournalIo a(LogKvs::regionBytesFor(32, 128));
+    JournalIo b(LogKvs::regionBytesFor(32, 128));
+    LogKvs::format(a, 32, 128);
+    LogKvs::format(b, 32, 128);
+    for (std::uint64_t id = 0; id < 40; ++id)
+        LogKvs::put(a, kvs::makeKey(id), kvs::makeValue(id));
+    for (std::uint64_t id = 40; id-- > 0;)
+        LogKvs::put(b, kvs::makeKey(id), kvs::makeValue(id));
+    EXPECT_EQ(LogKvs::fingerprint(a), LogKvs::fingerprint(b));
+
+    LogKvs::remove(a, kvs::makeKey(3));
+    EXPECT_NE(LogKvs::fingerprint(a), LogKvs::fingerprint(b));
+}
+
+// ---- the property/fuzz test ------------------------------------------
+
+/**
+ * Random op sequence against a std::map model; after every operation
+ * the store must agree with the model, and a crash at every single
+ * write boundary inside the operation, followed by replay() (the
+ * recovery path), must yield either the pre-op or the post-op table —
+ * never a torn hybrid.
+ */
+TEST(LogKvsFuzz, ModelEquivalenceWithCrashAtEveryWriteBoundary)
+{
+    constexpr std::uint64_t buckets = 32;
+    constexpr std::uint64_t slots = 64;
+    constexpr std::uint64_t keySpaceSz = 48; // < slots: cleaning works
+    const std::uint64_t bytes = LogKvs::regionBytesFor(buckets, slots);
+
+    JournalIo io(bytes);
+    LogKvs::format(io, buckets, slots);
+    Model model;
+    sim::Rng rng(0xf22d);
+
+    for (unsigned op = 0; op < 600; ++op) {
+        const std::uint64_t id = rng.below(keySpaceSz);
+        const Key key = kvs::makeKey(id);
+        const unsigned kind = (unsigned)rng.below(10);
+
+        const Model before = model;
+        const std::vector<std::uint8_t> snapshot = io.buf;
+        io.journal.clear();
+        io.recording = true;
+
+        if (kind < 7) { // put / overwrite
+            const Value value = kvs::makeValue(id + op * 1000);
+            const bool ok = LogKvs::put(io, key, value);
+            ASSERT_TRUE(ok); // key space < slots: always fits
+            model[key] = value;
+        } else { // remove (maybe absent)
+            const bool ok = LogKvs::remove(io, key);
+            EXPECT_EQ(ok, before.count(key) == 1);
+            model.erase(key);
+        }
+        io.recording = false;
+
+        // Live state matches the model exactly.
+        ASSERT_EQ(liveTable(io), model) << "op " << op;
+        ASSERT_EQ(LogKvs::liveEntries(io), model.size());
+
+        // Crash at every write boundary inside this operation: replay
+        // over the torn region must equal the pre- or post-op model.
+        for (std::size_t cut = 0; cut <= io.journal.size(); ++cut) {
+            std::vector<std::uint8_t> torn = snapshot;
+            {
+                VecIo crash(torn);
+                for (std::size_t w = 0; w < cut; ++w)
+                    crash.write(io.journal[w].off,
+                                io.journal[w].bytes.data(),
+                                io.journal[w].bytes.size());
+                LogKvs::replay(crash);
+                const Model recovered = liveTable(crash);
+                ASSERT_TRUE(recovered == before || recovered == model)
+                    << "op " << op << " cut " << cut << " of "
+                    << io.journal.size();
+            }
+        }
+    }
+
+    // Full-region recovery at the end reconstructs the same table and
+    // the same fingerprint.
+    const std::uint64_t fp = LogKvs::fingerprint(io);
+    std::vector<std::uint8_t> copy = io.buf;
+    VecIo recovered(copy);
+    LogKvs::replay(recovered);
+    EXPECT_EQ(liveTable(recovered), model);
+    EXPECT_EQ(LogKvs::fingerprint(recovered), fp);
+}
+
+// ---- the consistent-hash ring ----------------------------------------
+
+TEST(HashRing, DeterministicUnderFixedSeed)
+{
+    kvs::HashRing a(0xabc), b(0xabc), c(0xdef);
+    for (std::uint32_t n = 0; n < 5; ++n) {
+        a.addNode(n);
+        b.addNode(n);
+        c.addNode(n);
+    }
+    unsigned differs = 0;
+    for (std::uint64_t id = 0; id < 4096; ++id) {
+        const Key key = kvs::makeKey(id);
+        EXPECT_EQ(a.ownerOf(key), b.ownerOf(key));
+        differs += a.ownerOf(key) != c.ownerOf(key);
+    }
+    // A different seed is a genuinely different ring.
+    EXPECT_GT(differs, 0u);
+}
+
+TEST(HashRing, SpreadsKeysRoughlyEvenly)
+{
+    constexpr unsigned nodes = 4;
+    constexpr std::uint64_t keys = 20000;
+    kvs::HashRing ring(0xe115a);
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        ring.addNode(n);
+    std::vector<std::uint64_t> owned(nodes, 0);
+    for (std::uint64_t id = 0; id < keys; ++id)
+        ++owned[ring.ownerOf(kvs::makeKey(id))];
+    for (unsigned n = 0; n < nodes; ++n) {
+        // 64 vnodes per node: within 2x of the fair share both ways.
+        EXPECT_GT(owned[n], keys / nodes / 2) << "node " << n;
+        EXPECT_LT(owned[n], keys / nodes * 2) << "node " << n;
+    }
+}
+
+TEST(HashRing, RebalanceMovesAboutOneNthOfTheKeys)
+{
+    constexpr std::uint64_t keys = 20000;
+    kvs::HashRing ring(0x5eed);
+    for (std::uint32_t n = 0; n < 4; ++n)
+        ring.addNode(n);
+    std::vector<std::uint32_t> before(keys);
+    for (std::uint64_t id = 0; id < keys; ++id)
+        before[id] = ring.ownerOf(kvs::makeKey(id));
+
+    // Adding node 4 must only *pull* keys onto node 4 (consistent
+    // hashing's whole point), about 1/5 of them.
+    ring.addNode(4);
+    std::uint64_t moved = 0;
+    for (std::uint64_t id = 0; id < keys; ++id) {
+        const std::uint32_t now = ring.ownerOf(kvs::makeKey(id));
+        if (now != before[id]) {
+            EXPECT_EQ(now, 4u) << "key moved between old nodes";
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, 2 * keys / 5);
+
+    // Removing it again restores the exact old assignment.
+    ring.removeNode(4);
+    for (std::uint64_t id = 0; id < keys; ++id)
+        EXPECT_EQ(ring.ownerOf(kvs::makeKey(id)), before[id]);
+}
+
+// ---- the zipfian generator -------------------------------------------
+
+TEST(Zipf, DeterministicUnderFixedSeed)
+{
+    sim::Zipf zipf(1000, 0.99);
+    sim::Rng a(42), b(42);
+    for (unsigned i = 0; i < 1000; ++i)
+        EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+TEST(Zipf, HeadFrequencyMatchesTheoreticalMass)
+{
+    constexpr std::uint64_t n = 1000;
+    sim::Zipf zipf(n, 0.99);
+    sim::Rng rng(0x2e1f);
+    constexpr std::uint64_t draws = 200000;
+    std::uint64_t head = 0, top10 = 0;
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint64_t rank = zipf.sample(rng);
+        head += rank == 0;
+        top10 += rank < 10;
+    }
+    const double head_freq = (double)head / (double)draws;
+    const double expect_head = zipf.massOf(0);
+    // s = 0.99, n = 1000: the hottest rank carries ~13% of the mass.
+    EXPECT_NEAR(head_freq, expect_head, 0.15 * expect_head);
+    double expect_top10 = 0;
+    for (unsigned r = 0; r < 10; ++r)
+        expect_top10 += zipf.massOf(r);
+    EXPECT_NEAR((double)top10 / (double)draws, expect_top10,
+                0.10 * expect_top10);
+}
+
+TEST(Zipf, SpreadRankStaysInRangeAndScattersTheHead)
+{
+    constexpr std::uint64_t n = 1000;
+    for (std::uint64_t r = 0; r < n; ++r)
+        EXPECT_LT(sim::Zipf::spreadRank(r, n), n);
+    // Consecutive hot ranks must not land on consecutive keys.
+    const std::uint64_t k0 = sim::Zipf::spreadRank(0, n);
+    const std::uint64_t k1 = sim::Zipf::spreadRank(1, n);
+    const std::uint64_t k2 = sim::Zipf::spreadRank(2, n);
+    EXPECT_NE(k0, k1);
+    EXPECT_NE(k1, k2);
+    EXPECT_GT(std::max(k1, k0) - std::min(k1, k0), 1u);
+}
+
+// ---- the sharded cluster ---------------------------------------------
+
+kvs::ClusterConfig
+smallCluster(kvs::ClusterScheme scheme)
+{
+    kvs::ClusterConfig cfg;
+    cfg.servers = 3;
+    cfg.scheme = scheme;
+    cfg.buckets = 512;
+    cfg.logSlots = 8192;
+    return cfg;
+}
+
+TEST(KvsCluster, ServesZipfianLoadUnderEveryScheme)
+{
+    setQuiet(true);
+    constexpr std::uint64_t key_space = 1500;
+    sim::Histogram elisa_lat{6, 1ull << 40};
+    sim::Histogram vmcall_lat{6, 1ull << 40};
+    for (const auto scheme :
+         {kvs::ClusterScheme::Elisa, kvs::ClusterScheme::Vmcall,
+          kvs::ClusterScheme::Direct}) {
+        kvs::KvsCluster cluster(smallCluster(scheme));
+        cluster.prepopulate(key_space);
+        const kvs::ClusterLoadResult r = cluster.runLoad(
+            /*clients_per_server=*/2, /*offered_rps_per_client=*/50e3,
+            /*requests_per_client=*/250, /*put_ratio=*/0.3, key_space,
+            /*zipf_s=*/0.99, /*seed=*/11);
+        EXPECT_EQ(r.ops, 6u * 250u) << kvs::clusterSchemeToString(scheme);
+        EXPECT_EQ(r.corrupt, 0u);
+        EXPECT_EQ(r.failed, 0u);
+        EXPECT_GT(r.hits, 0u);
+        EXPECT_GT(r.acked, 0u);
+        EXPECT_GT(r.remote, 0u); // the ring spreads keys across shards
+        EXPECT_GT(r.achievedRps, 0.0);
+        if (scheme == kvs::ClusterScheme::Elisa)
+            elisa_lat = r.latency;
+        if (scheme == kvs::ClusterScheme::Vmcall)
+            vmcall_lat = r.latency;
+    }
+    // The paper's point, cluster-scale: gate RTT < hypercall RTT.
+    EXPECT_LT(elisa_lat.percentile(0.5), vmcall_lat.percentile(0.5));
+}
+
+TEST(KvsCluster, AcknowledgedPutsAreImmediatelyReadable)
+{
+    setQuiet(true);
+    constexpr std::uint64_t key_space = 800;
+    kvs::KvsCluster cluster(smallCluster(kvs::ClusterScheme::Elisa));
+    cluster.prepopulate(key_space);
+    const kvs::ClusterLoadResult r =
+        cluster.runLoad(1, 40e3, 200, 0.5, key_space, 0.99, 23);
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_GT(r.ackedPutIds.size(), 0u);
+    for (const std::uint64_t id : r.ackedPutIds)
+        EXPECT_TRUE(cluster.hostHas(id)) << "lost acked PUT " << id;
+}
+
+TEST(KvsCluster, PrimaryKillAtSyncPointRecoversByteIdentically)
+{
+    setQuiet(true);
+    constexpr std::uint64_t key_space = 600;
+    kvs::KvsCluster cluster(smallCluster(kvs::ClusterScheme::Elisa));
+    cluster.prepopulate(key_space);
+
+    // All-PUT load: the step beacon fires 3x per PUT, so occurrence
+    // 3 lands exactly on the first PUT's ack point — a sync point.
+    sim::FaultPlan plan;
+    plan.killVmAt(cluster.stepNr(0), cluster.primaryVmId(0),
+                  /*occurrence=*/3);
+    cluster.setFaultPlan(0, &plan);
+    const kvs::ClusterLoadResult r =
+        cluster.runLoad(1, 40e3, 150, 1.0, key_space, 0.99, 31);
+    cluster.setFaultPlan(0, nullptr);
+
+    EXPECT_EQ(plan.injectedCount(), 1u);
+    EXPECT_EQ(cluster.failovers(0), 1u);
+    // The kill hit between operations: the promoted replica's replay
+    // must reconstruct the dying primary's table *exactly*.
+    EXPECT_NE(cluster.lastDyingFingerprint(0), 0u);
+    EXPECT_EQ(cluster.lastDyingFingerprint(0),
+              cluster.lastPromotedFingerprint(0));
+    EXPECT_EQ(r.corrupt, 0u);
+    EXPECT_EQ(r.failed, 0u);
+    for (const std::uint64_t id : r.ackedPutIds)
+        EXPECT_TRUE(cluster.hostHas(id)) << "lost acked PUT " << id;
+}
+
+TEST(KvsCluster, ReshardMovesOnlyTheExpectedKeys)
+{
+    setQuiet(true);
+    constexpr std::uint64_t key_space = 1000;
+    kvs::KvsCluster cluster(smallCluster(kvs::ClusterScheme::Elisa));
+    cluster.prepopulate(key_space);
+
+    std::uint64_t total_before = 0;
+    for (unsigned s = 0; s < cluster.serverCount(); ++s)
+        total_before += cluster.liveEntriesOf(s);
+    EXPECT_EQ(total_before, key_space);
+
+    // Drain server 2, run load on the shrunken ring, re-add it.
+    const std::uint64_t out = cluster.reshardRemove(2);
+    EXPECT_GT(out, 0u);
+    EXPECT_EQ(cluster.liveEntriesOf(2), 0u);
+    std::uint64_t total_mid = 0;
+    for (unsigned s = 0; s < 2; ++s)
+        total_mid += cluster.liveEntriesOf(s);
+    EXPECT_EQ(total_mid, key_space);
+    for (std::uint64_t id = 0; id < key_space; ++id)
+        EXPECT_TRUE(cluster.hostHas(id));
+
+    const kvs::ClusterLoadResult r =
+        cluster.runLoad(1, 40e3, 120, 0.3, key_space, 0.99, 47);
+    EXPECT_EQ(r.corrupt, 0u);
+    EXPECT_EQ(r.failed, 0u);
+
+    const std::uint64_t in = cluster.reshardAdd(2);
+    // Consistent hashing: re-adding pulls back roughly 1/3 of the
+    // keys — and certainly not more than 2/3.
+    EXPECT_GT(in, 0u);
+    EXPECT_LT(in, 2 * key_space / 3);
+    for (std::uint64_t id = 0; id < key_space; ++id)
+        EXPECT_TRUE(cluster.hostHas(id));
+
+    // The drained-then-refilled shard serves again.
+    const kvs::ClusterLoadResult r2 =
+        cluster.runLoad(1, 40e3, 120, 0.3, key_space, 0.99, 53);
+    EXPECT_EQ(r2.corrupt, 0u);
+    EXPECT_EQ(r2.failed, 0u);
+}
+
+} // namespace
