@@ -45,10 +45,10 @@ main()
         ctx.view.vcpu().clock().advance(cost.kvsGetCoreNs);
         return ctx.view.read<std::uint64_t>(ctx.obj);
     });
-    fatal_if(!bed.manager.exportObject("batch", pageSize,
+    fatal_if(!bed.manager.exportObject(core::ExportKey("batch"), pageSize,
                                        std::move(fns)),
              "export failed");
-    core::Gate gate = mustAttach(guest, "batch", bed.manager);
+    core::Gate gate = mustAttach(guest, core::ExportKey("batch"), bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     // Host-side handler for the batched VMCALL equivalent.

@@ -40,9 +40,9 @@ main()
 
     core::SharedFnTable fns;
     fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
-    fatal_if(!bed.manager.exportObject("abl", pageSize, std::move(fns)),
+    fatal_if(!bed.manager.exportObject(core::ExportKey("abl"), pageSize, std::move(fns)),
              "export failed");
-    core::Gate gate = mustAttach(guest, "abl", bed.manager);
+    core::Gate gate = mustAttach(guest, core::ExportKey("abl"), bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     // (a) the real gated path.

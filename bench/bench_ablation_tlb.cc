@@ -43,10 +43,10 @@ main()
         return std::uint64_t{0};
     });
     const std::uint64_t obj_pages = 64;
-    fatal_if(!bed.manager.exportObject("tlb", obj_pages * pageSize,
+    fatal_if(!bed.manager.exportObject(core::ExportKey("tlb"), obj_pages * pageSize,
                                        std::move(fns)),
              "export failed");
-    core::Gate gate = mustAttach(guest, "tlb", bed.manager);
+    core::Gate gate = mustAttach(guest, core::ExportKey("tlb"), bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     TextTable table;

@@ -138,7 +138,7 @@ main()
                 }
                 return std::uint64_t{1};
             });
-            const std::string name = "nf-" + std::to_string(nfs);
+            const core::ExportKey name("nf-" + std::to_string(nfs));
             auto exported =
                 bed.manager.exportObject(name, pageSize,
                                          std::move(fns));

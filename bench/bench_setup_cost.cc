@@ -43,8 +43,8 @@ main()
 
         for (std::uint64_t bytes :
              {4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB}) {
-            const std::string name =
-                "obj-" + std::to_string(bytes);
+            const core::ExportKey name(
+                "obj-" + std::to_string(bytes));
 
             cpu::Vcpu &mgr_cpu = bed.manager.vcpu();
             const SimNs m0 = mgr_cpu.clock().now();
@@ -89,14 +89,14 @@ main()
                       "attach cost"});
         // Aligned: exportObject aligns objects >= 2 MiB automatically.
         {
-            auto exported = bed.manager.exportObject("big-aligned",
+            auto exported = bed.manager.exportObject(core::ExportKey("big-aligned"),
                                                      16 * MiB,
                                                      noopFns());
             fatal_if(!exported, "export failed");
             cpu::Vcpu &g = guest.vcpu();
             cpu::Vcpu &m = bed.manager.vcpu();
             const SimNs t0 = g.clock().now() + m.clock().now();
-            core::Gate gate = mustAttach(guest, "big-aligned", bed.manager);
+            core::Gate gate = mustAttach(guest, core::ExportKey("big-aligned"), bed.manager);
             const SimNs cost_ns =
                 g.clock().now() + m.clock().now() - t0;
             core::Attachment *a =
@@ -127,7 +127,7 @@ main()
             cpu::Vcpu &g = guest.vcpu();
             cpu::Vcpu &m = bed.manager.vcpu();
             const SimNs t0 = g.clock().now() + m.clock().now();
-            core::Gate gate = mustAttach(guest, "big-4k", bed.manager);
+            core::Gate gate = mustAttach(guest, core::ExportKey("big-4k"), bed.manager);
             const SimNs cost_ns =
                 g.clock().now() + m.clock().now() - t0;
             core::Attachment *a =
@@ -158,8 +158,8 @@ main()
         SimNs attach_total = 0;
         for (unsigned target : steps) {
             while (created < target) {
-                const std::string name =
-                    "multi-" + std::to_string(created);
+                const core::ExportKey name(
+                    "multi-" + std::to_string(created));
                 fatal_if(!bed.manager.exportObject(name, pageSize,
                                                    noopFns()),
                          "export failed");

@@ -52,8 +52,8 @@ struct Machine
         core::SharedFnTable fns;
         fns.push_back(
             [](core::SubCallCtx &) { return std::uint64_t{0}; });
-        manager.exportObject("perf", pageSize, std::move(fns));
-        gate = guest.tryAttach("perf", manager).take();
+        manager.exportObject(core::ExportKey("perf"), pageSize, std::move(fns));
+        gate = guest.tryAttach(core::ExportKey("perf"), manager).take();
     }
 
     hv::Hypervisor hv;

@@ -60,14 +60,30 @@ struct Testbed
  * reason instead of a bare "attach failed".
  */
 inline core::Gate
-mustAttach(core::ElisaGuest &guest, const std::string &name,
+mustAttach(core::ElisaGuest &guest, const core::ExportKey &key,
            core::ElisaManager &manager)
 {
-    core::AttachResult attached = guest.tryAttach(name, manager);
-    fatal_if(!attached, "attach to '%s' failed (%s): %s", name.c_str(),
+    core::AttachResult attached = guest.tryAttach(key, manager);
+    fatal_if(!attached, "attach to '%s' failed (%s): %s",
+             key.name().c_str(),
              core::attachStatusToString(attached.status()),
              attached.reason().c_str());
     return attached.take();
+}
+
+/** mustAttach, also handing back the capability behind the gate. */
+inline std::pair<core::Gate, core::Capability>
+mustAttachWithCapability(core::ElisaGuest &guest,
+                         const core::ExportKey &key,
+                         core::ElisaManager &manager)
+{
+    core::AttachResult attached = guest.tryAttach(key, manager);
+    fatal_if(!attached, "attach to '%s' failed (%s): %s",
+             key.name().c_str(),
+             core::attachStatusToString(attached.status()),
+             attached.reason().c_str());
+    core::Capability cap = attached.capability();
+    return {attached.take(), cap};
 }
 
 /**

@@ -77,21 +77,21 @@ main()
         return ctx.view.read<std::uint64_t>(ctx.obj);
     });
     auto exported =
-        manager.exportObject("secrets", pageSize, std::move(fns));
+        manager.exportObject(core::ExportKey("secrets"), pageSize, std::move(fns));
     manager.view().write<std::uint64_t>(exported->objectGpa,
                                         0x5ec2e7);
     manager.setApprover([&](VmId vm, const std::string &) {
         return vm == victim_vm.id();
     });
     core::AttachResult victim_attach =
-        victim.tryAttach("secrets", manager);
+        victim.tryAttach(core::ExportKey("secrets"), manager);
     core::Gate gate = victim_attach.take();
     std::printf("  victim attached, reads secret through gate: %llx\n",
                 (unsigned long long)gate.call(0));
 
     // 1. Attacker's attach is denied by policy; the AttachResult
     //    carries the verdict and the reason.
-    core::AttachResult evil = attacker.tryAttach("secrets", manager);
+    core::AttachResult evil = attacker.tryAttach(core::ExportKey("secrets"), manager);
     report("attach without manager approval",
            evil.status() == core::AttachStatus::Denied,
            evil.reason().c_str());

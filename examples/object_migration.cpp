@@ -48,12 +48,12 @@ main()
         return std::uint64_t{0};
     });
     auto exported =
-        manager.exportObject("dataset", obj_bytes, std::move(fns));
+        manager.exportObject(core::ExportKey("dataset"), obj_bytes, std::move(fns));
     if (!exported) {
         std::fprintf(stderr, "export failed\n");
         return 1;
     }
-    core::AttachResult attached = guest.tryAttach("dataset", manager);
+    core::AttachResult attached = guest.tryAttach(core::ExportKey("dataset"), manager);
     if (!attached) {
         std::fprintf(stderr, "attach failed: %s\n",
                      attached.reason().c_str());

@@ -54,7 +54,7 @@ main(int argc, char **argv)
         return ctx.view.read<std::uint64_t>(ctx.obj);
     });
     auto exported =
-        manager.exportObject("counter", pageSize, std::move(fns));
+        manager.exportObject(core::ExportKey("counter"), pageSize, std::move(fns));
     if (!exported) {
         std::fprintf(stderr, "export failed\n");
         return 1;
@@ -62,7 +62,7 @@ main(int argc, char **argv)
 
     // 3. Attach: request -> manager approval -> gate + sub context.
     //    The whole outcome travels in the AttachResult.
-    core::AttachResult attached = guest.tryAttach("counter", manager);
+    core::AttachResult attached = guest.tryAttach(core::ExportKey("counter"), manager);
     if (!attached) {
         std::fprintf(stderr, "attach failed: %s\n",
                      attached.reason().c_str());

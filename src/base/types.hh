@@ -45,6 +45,16 @@ using ShardId = std::uint32_t;
 /** Index into a per-vCPU EPTP list (0..511). */
 using EptpIndex = std::uint16_t;
 
+/**
+ * Identifier of a capability grant in the hypervisor's grant table
+ * (hv::GrantTable). Ids are minted once and never reused, so a stale
+ * handle can always be told apart from a live one.
+ */
+using CapId = std::uint64_t;
+
+/** An invalid capability id, used as a sentinel ("no grant"). */
+inline constexpr CapId invalidCapId = 0;
+
 /** Width of a page in bytes (only 4 KiB pages are modelled). */
 inline constexpr std::uint64_t pageSize = 4096;
 

@@ -29,6 +29,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -72,6 +74,69 @@ using RequestId = std::uint32_t;
 
 /** Identifier of a live attachment. */
 using AttachmentId = std::uint32_t;
+
+/** Longest export name the wire format carries (WireRequest::name). */
+inline constexpr std::size_t maxExportNameLen = 51;
+
+/** ELISA hypercall numbers (within hv::Hc::ElisaBase's range). */
+enum class ElisaHc : std::uint64_t
+{
+    RegisterManager = 0x100,
+    Export = 0x101,
+    NextRequest = 0x102,
+    Approve = 0x103,
+    Deny = 0x104,
+    AttachRequest = 0x105,
+    Query = 0x106,
+    Detach = 0x107,
+    Revoke = 0x108,
+    /** Peer-to-peer: narrow-and-hand-off a held grant (no manager). */
+    Delegate = 0x109,
+    /** Turn a received grant into an attachment on the caller's vCPU. */
+    Redeem = 0x10a,
+    /** Transitively revoke one grant and its delegation subtree. */
+    CapRevoke = 0x10b,
+};
+
+/**
+ * Bound on delegation-chain depth (root = 0): a grant at depth
+ * maxDelegationDepth - 1 can no longer be delegated. Keeps revocation
+ * walks and per-hop narrowing checks O(small constant) and makes a
+ * delegation loop structurally impossible.
+ */
+inline constexpr std::uint32_t maxDelegationDepth = 8;
+
+/**
+ * Value-typed handle naming an export in the attach API — the lookup
+ * key a guest presents to start a negotiation. Replaces raw string
+ * addressing: the constructor is explicit, so an arbitrary string can
+ * no longer silently flow into an attach call.
+ */
+class ExportKey
+{
+  public:
+    /** An invalid (empty) key. */
+    ExportKey() = default;
+
+    explicit ExportKey(std::string name) : exportName(std::move(name)) {}
+
+    /** The export's negotiation lookup name. */
+    const std::string &name() const { return exportName; }
+
+    /** True when the key can name an export on the wire. */
+    bool
+    valid() const
+    {
+        return !exportName.empty() &&
+               exportName.size() <= maxExportNameLen;
+    }
+
+    friend bool operator==(const ExportKey &,
+                           const ExportKey &) = default;
+
+  private:
+    std::string exportName;
+};
 
 /**
  * Execution context handed to a shared function running inside the sub
@@ -129,8 +194,28 @@ struct AttachInfo
     /** Exchange buffer size. */
     std::uint64_t exchangeBytes = 0;
 
-    /** Shared object size. */
+    /**
+     * Size of the object *window* this attachment maps. Equal to the
+     * export's full size for a manager-approved attach; a delegated
+     * grant may narrow it to a sub-range.
+     */
     std::uint64_t objectBytes = 0;
+
+    /** Byte offset of the window into the export's object. */
+    std::uint64_t objectOffset = 0;
+
+    /** Grant handle of this attachment in the hypervisor grant table. */
+    CapId capability = invalidCapId;
+
+    /** Granted window permissions (raw ept::Perms bits). */
+    std::uint32_t perms = 0;
+
+    /**
+     * Absolute simulated time at which the grant lapses (0 = never).
+     * Evaluated lazily: the next gate entry or redeem attempt at or
+     * past this instant finds the EPTP-list entries cleared.
+     */
+    SimNs expiresNs = 0;
 };
 
 } // namespace elisa::core

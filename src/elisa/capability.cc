@@ -1,0 +1,72 @@
+#include "elisa/capability.hh"
+
+#include "hv/hypercall.hh"
+
+namespace elisa::core
+{
+
+Capability::Capability(cpu::Vcpu &vcpu, CapId id,
+                       std::uint64_t window_bytes,
+                       std::uint64_t window_offset, ept::Perms perms,
+                       SimNs expires_ns)
+    : cpuPtr(&vcpu), capId(id), bytes(window_bytes),
+      offset(window_offset), grantedPerms(perms), expiry(expires_ns)
+{
+}
+
+Capability::Capability(cpu::Vcpu &vcpu, const AttachInfo &info)
+    : Capability(vcpu, info.capability, info.objectBytes,
+                 info.objectOffset,
+                 static_cast<ept::Perms>(info.perms), info.expiresNs)
+{
+}
+
+std::optional<Capability>
+Capability::delegate(VmId target, const DelegateSpec &spec) const
+{
+    if (!valid() || cpuPtr == nullptr)
+        return std::nullopt;
+    // The whole narrowing spec travels in registers — no guest memory
+    // round trip, no manager involvement. Page counts (not bytes) keep
+    // the window fields inside 32 bits each.
+    if (!isPageAligned(spec.offset) || !isPageAligned(spec.bytes))
+        return std::nullopt;
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Delegate);
+    args.arg0 = capId;
+    args.arg1 = target |
+                (static_cast<std::uint64_t>(spec.perms) << 32);
+    args.arg2 = (spec.offset / pageSize) |
+                ((spec.bytes / pageSize) << 32);
+    args.arg3 = spec.expiresNs;
+    const std::uint64_t rc = cpuPtr->vmcall(args);
+    if (rc == hv::hcError || rc == hv::hcBusy)
+        return std::nullopt;
+
+    // Mirror the narrowing the host just performed, so the handle's
+    // metadata matches what a redeeming peer will be granted. The host
+    // stays authoritative; this cache only serves introspection.
+    const std::uint64_t child_off = offset + spec.offset;
+    const std::uint64_t child_bytes =
+        spec.bytes != 0 ? spec.bytes : bytes - spec.offset;
+    const ept::Perms child_perms =
+        spec.perms == ept::Perms::None ? grantedPerms : spec.perms;
+    SimNs child_expiry = spec.expiresNs != 0 ? spec.expiresNs : expiry;
+    if (expiry != 0 && (child_expiry == 0 || child_expiry > expiry))
+        child_expiry = expiry;
+    return Capability(*cpuPtr, static_cast<CapId>(rc), child_bytes,
+                      child_off, child_perms, child_expiry);
+}
+
+bool
+Capability::revoke() const
+{
+    if (!valid() || cpuPtr == nullptr)
+        return false;
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::CapRevoke);
+    args.arg0 = capId;
+    return cpuPtr->vmcall(args) != hv::hcError;
+}
+
+} // namespace elisa::core

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * elisa::core::Capability — the value-typed grant handle of the attach
+ * API.
+ *
+ * Every attachment is backed by a *grant* registered in the
+ * hypervisor's grant table: the manager-approved attach mints the root
+ * grant, and a guest holding one can hand a narrowed view to a peer
+ * with Capability::delegate() — one hypercall, no manager round-trip.
+ * The receiving guest redeems the handle (ElisaGuest::redeem) into an
+ * ordinary Gate whose calls take the same exit-less VMFUNC path as a
+ * direct attach; only the *control* operations (delegate, redeem,
+ * revoke) are hypercalls.
+ *
+ * Narrowing discipline: a delegation may only shrink what the parent
+ * grant holds — a page sub-range of its window, a subset of its
+ * permissions (ept::permits checked host-side at every hop), an
+ * expiry no later than the parent's. Delegations form a tree rooted
+ * at the export; revoking any node (or detaching, or the holder VM
+ * dying) tears down the entire subtree below it.
+ *
+ * The handle itself is a copyable value: copying it does not duplicate
+ * the grant, and the authoritative state always lives host-side. A
+ * handle returned by delegate() stays bound to the *delegator's* vCPU
+ * (so the delegator can revoke); redemption binds a fresh handle to
+ * the receiver.
+ */
+
+#ifndef ELISA_ELISA_CAPABILITY_HH
+#define ELISA_ELISA_CAPABILITY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cpu/vcpu.hh"
+#include "elisa/abi.hh"
+#include "ept/ept_entry.hh"
+
+namespace elisa::core
+{
+
+class Capability
+{
+  public:
+    /** An invalid handle ("no grant"). */
+    Capability() = default;
+
+    /**
+     * @param vcpu the vCPU control hypercalls are issued from.
+     * @param id the grant's id in the hypervisor grant table.
+     * @param window_bytes size of the granted object window.
+     * @param window_offset byte offset of the window into the export.
+     * @param perms granted window permissions.
+     * @param expires_ns absolute lapse time in simulated ns (0 =
+     *        never).
+     */
+    Capability(cpu::Vcpu &vcpu, CapId id, std::uint64_t window_bytes,
+               std::uint64_t window_offset, ept::Perms perms,
+               SimNs expires_ns);
+
+    /** Rebuild the handle a negotiated descriptor describes. */
+    Capability(cpu::Vcpu &vcpu, const AttachInfo &info);
+
+    /** True when this handle names a grant. */
+    bool valid() const { return capId != invalidCapId; }
+
+    explicit operator bool() const { return valid(); }
+
+    /** The grant id (what a peer redeems). */
+    CapId id() const { return capId; }
+
+    /** Size of the granted window. */
+    std::uint64_t windowBytes() const { return bytes; }
+
+    /** Byte offset of the window into the export's object. */
+    std::uint64_t windowOffset() const { return offset; }
+
+    /** Granted permissions. */
+    ept::Perms perms() const { return grantedPerms; }
+
+    /** Absolute lapse time (0 = never). */
+    SimNs expiresNs() const { return expiry; }
+
+    /** How one delegation narrows the parent grant. */
+    struct DelegateSpec
+    {
+        /** Byte offset into *this* window (page aligned). */
+        std::uint64_t offset = 0;
+
+        /** Window size (page multiple; 0 = the rest of the window). */
+        std::uint64_t bytes = 0;
+
+        /** Granted permissions (None = inherit; never widened). */
+        ept::Perms perms = ept::Perms::None;
+
+        /**
+         * Absolute expiry in simulated ns (0 = inherit). Clamped to
+         * the parent's expiry — a delegation cannot outlive its
+         * parent.
+         */
+        SimNs expiresNs = 0;
+    };
+
+    /**
+     * Hand a narrowed grant to @p target — one Delegate hypercall, no
+     * manager involvement, no effect on this grant. The returned
+     * handle stays bound to this holder's vCPU (for revoke()); the
+     * target redeems it by id via ElisaGuest::redeem().
+     * @return nullopt when the hypervisor refuses (widening attempt,
+     *         depth bound, bad window, expired or revoked parent,
+     *         unknown target VM, injected fault).
+     */
+    std::optional<Capability> delegate(VmId target,
+                                       const DelegateSpec &spec) const;
+
+    /** Delegate the full window, permissions, and expiry as-is. */
+    std::optional<Capability>
+    delegate(VmId target) const
+    {
+        return delegate(target, DelegateSpec{});
+    }
+
+    /**
+     * Transitively revoke this grant: its attachment (if redeemed) and
+     * every delegation derived from it are torn down before the
+     * hypercall returns; the subtree's next gate entries fault on
+     * cleared EPTP-list entries. Idempotent host-side.
+     * @return true when the hypervisor acknowledged the revoke.
+     */
+    bool revoke() const;
+
+  private:
+    cpu::Vcpu *cpuPtr = nullptr;
+    CapId capId = invalidCapId;
+    std::uint64_t bytes = 0;
+    std::uint64_t offset = 0;
+    ept::Perms grantedPerms = ept::Perms::None;
+    SimNs expiry = 0;
+};
+
+} // namespace elisa::core
+
+#endif // ELISA_ELISA_CAPABILITY_HH

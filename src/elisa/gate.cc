@@ -192,6 +192,29 @@ Gate::maybeInjectStale() const
                            attachInfo.gateIndex);
 }
 
+void
+Gate::maybeExpire()
+{
+    if (attachInfo.expiresNs == 0)
+        return;
+    cpu::Vcpu &cpu = *cpuPtr;
+    if (cpu.clock().now() < attachInfo.expiresNs)
+        return;
+    // The grant lapsed. Host-side teardown first (the one canonical
+    // routine: EPTP-list entries cleared and TLBs flushed before the
+    // bookkeeping goes), then this handle dies and the entry VMFUNC
+    // faults on the now-cleared index — the same exit a concurrent
+    // revocation would produce.
+    const EptpIndex gate_index = attachInfo.gateIndex;
+    svc->expireCapability(attachInfo.capability, cpu);
+    cpuPtr = nullptr;
+    svc = nullptr;
+    cpu.clock().advance(cpu.costModel().vmfuncNs);
+    cpu.stats().inc(cpu.statIds().vmfunc);
+    cpu.stats().inc(cpu.statIds().vmfuncFail);
+    throw cpu::VmExitEvent(cpu::ExitReason::VmfuncFail, gate_index);
+}
+
 const SharedFnTable &
 Gate::resolveTable() const
 {
@@ -219,6 +242,7 @@ Gate::call(unsigned fn, std::uint64_t arg0, std::uint64_t arg1,
            std::uint64_t arg2)
 {
     panic_if(!valid(), "call through an invalid gate");
+    maybeExpire();
     // The whole instrumentation decision is these two branches (see
     // callImpl): the plain instantiation is the uninstrumented code.
     const bool ledgered = cpuPtr->ledger() != nullptr;
@@ -364,6 +388,7 @@ std::size_t
 Gate::callBatch(std::span<BatchEntry> entries)
 {
     panic_if(!valid(), "batched call through an invalid gate");
+    maybeExpire();
     if (entries.empty())
         return 0;
     // Same single-branch instrumentation decisions as call().

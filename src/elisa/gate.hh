@@ -201,6 +201,16 @@ class Gate
      */
     void maybeInjectStale() const;
 
+    /**
+     * Lazy grant expiry: when the attachment's grant carries a lapse
+     * instant and the vCPU clock has reached it, tear the grant down
+     * host-side (EPTP-list entries cleared, TLBs flushed) and raise
+     * the stale-EPTP fault this entry VMFUNC now hits. One load and
+     * one compare on gates whose grant never expires, so a delegated
+     * gate costs exactly what a direct one does.
+     */
+    void maybeExpire();
+
     cpu::Vcpu *cpuPtr = nullptr;
     ElisaService *svc = nullptr;
     AttachInfo attachInfo;

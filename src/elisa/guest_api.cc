@@ -74,11 +74,12 @@ ElisaGuest::view()
 }
 
 std::optional<RequestId>
-ElisaGuest::requestAttach(const std::string &name)
+ElisaGuest::requestAttach(const ExportKey &key)
 {
     busy = false;
-    if (name.empty() || name.size() > 51)
+    if (!key.valid())
         return std::nullopt;
+    const std::string &name = key.name();
     cpu::GuestView v = view();
     v.writeBytes(scratchGpa, name.data(), name.size());
 
@@ -135,26 +136,52 @@ ElisaGuest::pollAttach(RequestId request)
     }
 
     const auto wire = view().read<WireAttachResult>(scratchGpa);
-    return AttachResult(Gate(vcpu(), svc, wire.info), request);
+    return AttachResult(Gate(vcpu(), svc, wire.info),
+                        Capability(vcpu(), wire.info), request);
 }
 
 AttachResult
-ElisaGuest::tryAttach(const std::string &name, ElisaManager &manager)
+ElisaGuest::tryAttach(const ExportKey &key, ElisaManager &manager)
 {
-    auto request = requestAttach(name);
+    auto request = requestAttach(key);
     if (!request) {
         return busy ? AttachResult(AttachStatus::Busy,
                                    "manager request queue full")
                     : AttachResult(AttachStatus::Denied,
                                    "attach request refused (unknown "
-                                   "export '" + name + "')");
+                                   "export '" + key.name() + "')");
     }
     manager.pollRequests();
     return pollAttach(*request);
 }
 
 AttachResult
-ElisaGuest::attachWithRetry(const std::string &name,
+ElisaGuest::redeem(CapId grant)
+{
+    if (grant == invalidCapId) {
+        return AttachResult(AttachStatus::Denied,
+                            "invalid capability handle");
+    }
+    cpu::HypercallArgs args;
+    args.nr = static_cast<std::uint64_t>(ElisaHc::Redeem);
+    args.arg0 = grant;
+    args.arg1 = scratchGpa;
+    args.arg2 = vcpuIndex;
+    const std::uint64_t rc = vcpu().vmcall(args);
+    if (rc != 0) {
+        return AttachResult(
+            AttachStatus::Denied,
+            detail::format("capability %llu refused (revoked, "
+                           "expired, or not held by this VM)",
+                           (unsigned long long)grant));
+    }
+    const auto wire = view().read<WireAttachResult>(scratchGpa);
+    return AttachResult(Gate(vcpu(), svc, wire.info),
+                        Capability(vcpu(), wire.info));
+}
+
+AttachResult
+ElisaGuest::attachWithRetry(const ExportKey &key,
                             const std::function<void()> &pump,
                             unsigned max_tries, SimNs backoff_ns)
 {
@@ -190,7 +217,7 @@ ElisaGuest::attachWithRetry(const std::string &name,
         }
 
         if (request == 0) {
-            request = requestAttach(name).value_or(0);
+            request = requestAttach(key).value_or(0);
             // Busy (queue full), a dropped hypercall, and a not-yet-
             // registered export are all transient under fault
             // injection: back off and retry until the budget runs out.

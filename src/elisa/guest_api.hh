@@ -2,13 +2,17 @@
  * @file
  * ElisaGuest: the client-side runtime of an ordinary guest VM.
  *
- * Wraps the negotiation hypercalls (request / query / detach) and hands
- * out Gate objects for the exit-less data path.
+ * Wraps the negotiation hypercalls (request / query / detach / redeem)
+ * and hands out Gate objects for the exit-less data path.
  *
- * Attach outcomes travel in a value-typed AttachResult (status +
- * failure reason + the Gate on success). The pre-AttachResult surface
- * (attach()/completeAttach() plus stateful lastDenied()-style flags)
- * went through one deprecation release and is gone.
+ * The attach surface is capability-first: exports are addressed with a
+ * value-typed ExportKey, every successful attach carries the
+ * Capability backing it (delegable peer-to-peer, see
+ * elisa/capability.hh), and a received capability is turned into a
+ * Gate with redeem(). Raw-string addressing is in its one deprecation
+ * release. The pre-AttachResult surface (attach()/completeAttach()
+ * plus stateful lastDenied()-style flags) went through its release and
+ * is gone.
  */
 
 #ifndef ELISA_ELISA_GUEST_API_HH
@@ -19,6 +23,7 @@
 #include <string>
 #include <utility>
 
+#include "elisa/capability.hh"
 #include "elisa/gate.hh"
 #include "elisa/manager.hh"
 #include "hv/vm.hh"
@@ -55,9 +60,11 @@ class AttachResult
     {
     }
 
-    /** A successful attachment. */
-    AttachResult(Gate gate, RequestId request)
-        : st(AttachStatus::Attached), g(std::move(gate)), rid(request)
+    /** A successful attachment (negotiated or redeemed). */
+    AttachResult(Gate gate, Capability capability,
+                 std::optional<RequestId> request = std::nullopt)
+        : st(AttachStatus::Attached), g(std::move(gate)),
+          cap(std::move(capability)), rid(request)
     {
     }
 
@@ -81,6 +88,14 @@ class AttachResult
     Gate take();
 
     /**
+     * The capability backing the attachment (invalid unless ok()).
+     * Copyable: hold on to it to delegate narrowed views of the
+     * attachment to peer VMs or to revoke the whole grant subtree —
+     * the Gate's RAII detach covers only the plain teardown.
+     */
+    const Capability &capability() const { return cap; }
+
+    /**
      * Collapse into an optional<Gate> (status and reason dropped) —
      * for call sites that only care about success.
      */
@@ -96,6 +111,7 @@ class AttachResult
     AttachStatus st;
     std::string why;
     Gate g;
+    Capability cap;
     std::optional<RequestId> rid;
 };
 
@@ -114,11 +130,18 @@ class ElisaGuest
                unsigned vcpu_index = 0);
 
     /**
-     * Start an attach negotiation for export @p name.
+     * Start an attach negotiation for the export @p key names.
      * @return the request id, or nullopt when the export is unknown
      *         or the manager's queue refused the request.
      */
-    std::optional<RequestId> requestAttach(const std::string &name);
+    std::optional<RequestId> requestAttach(const ExportKey &key);
+
+    [[deprecated("address exports with an ExportKey")]]
+    std::optional<RequestId>
+    requestAttach(const std::string &name)
+    {
+        return requestAttach(ExportKey(name));
+    }
 
     /**
      * Query an in-flight request once (one Query hypercall).
@@ -133,8 +156,14 @@ class ElisaGuest
      * Convenience for tests/benches: request + have the manager drain
      * its queue + poll, in one call.
      */
-    AttachResult tryAttach(const std::string &name,
-                           ElisaManager &manager);
+    AttachResult tryAttach(const ExportKey &key, ElisaManager &manager);
+
+    [[deprecated("address exports with an ExportKey")]]
+    AttachResult
+    tryAttach(const std::string &name, ElisaManager &manager)
+    {
+        return tryAttach(ExportKey(name), manager);
+    }
 
     /**
      * Robust attach: bounded retry with exponential backoff (simulated
@@ -151,10 +180,39 @@ class ElisaGuest
      * @param backoff_ns first backoff; doubles per retry, capped at
      *        1024x.
      */
-    AttachResult attachWithRetry(const std::string &name,
+    AttachResult attachWithRetry(const ExportKey &key,
                                  const std::function<void()> &pump = {},
                                  unsigned max_tries = 8,
                                  SimNs backoff_ns = 2000);
+
+    [[deprecated("address exports with an ExportKey")]]
+    AttachResult
+    attachWithRetry(const std::string &name,
+                    const std::function<void()> &pump = {},
+                    unsigned max_tries = 8, SimNs backoff_ns = 2000)
+    {
+        return attachWithRetry(ExportKey(name), pump, max_tries,
+                               backoff_ns);
+    }
+
+    /**
+     * Redeem a capability this VM holds into an attachment on this
+     * vCPU (one Redeem hypercall; the exit-less data path of the
+     * resulting Gate is identical to a negotiated attach). The grant
+     * id is all that crosses VMs — a peer that received a delegated
+     * Capability passes it (or just its id) here.
+     * @return Attached with the Gate and a Capability bound to *this*
+     *         vCPU, or Denied when the grant is unknown, not ours,
+     *         revoked, or expired.
+     */
+    AttachResult redeem(CapId grant);
+
+    /** Redeem a received Capability handle (uses only its id). */
+    AttachResult
+    redeem(const Capability &capability)
+    {
+        return redeem(capability.id());
+    }
 
     /** Detach (slow path); delegates to Gate::detach(). */
     bool detach(Gate &gate);

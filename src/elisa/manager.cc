@@ -34,11 +34,12 @@ ElisaManager::view()
 }
 
 std::optional<ElisaManager::Exported>
-ElisaManager::exportObject(const std::string &name, std::uint64_t bytes,
+ElisaManager::exportObject(const ExportKey &key, std::uint64_t bytes,
                            SharedFnTable fns, ept::Perms perms)
 {
-    if (name.empty() || name.size() > 51)
+    if (!key.valid())
         return std::nullopt;
+    const std::string &name = key.name();
     const std::uint64_t aligned = pageAlignUp(bytes);
     // Large objects get 2 MiB-aligned backing so the sub context can
     // map them with large pages (fewer PTE writes at attach time).
@@ -67,7 +68,7 @@ ElisaManager::exportObject(const std::string &name, std::uint64_t bytes,
     const std::uint64_t rc = vcpu().vmcall(args);
     if (rc == hv::hcError)
         return std::nullopt;
-    return Exported{static_cast<ExportId>(rc), *obj_gpa, aligned};
+    return Exported{static_cast<ExportId>(rc), key, *obj_gpa, aligned};
 }
 
 void

@@ -46,22 +46,32 @@ class ElisaManager
     /**
      * Allocate a shared object from the manager's RAM and export it.
      *
-     * @param name lookup key (max 51 chars).
+     * @param key lookup key guests present to attach.
      * @param bytes object size, rounded up to pages.
      * @param fns the function table clients may invoke.
      * @param perms client permissions on the object window.
-     * @return the export id plus the object's GPA in the *manager's*
-     *         address space, or nullopt on error.
+     * @return the export id, its key, plus the object's GPA in the
+     *         *manager's* address space, or nullopt on error.
      */
     struct Exported
     {
         ExportId id;
+        ExportKey key;
         Gpa objectGpa;
         std::uint64_t bytes;
     };
     std::optional<Exported> exportObject(
-        const std::string &name, std::uint64_t bytes, SharedFnTable fns,
+        const ExportKey &key, std::uint64_t bytes, SharedFnTable fns,
         ept::Perms perms = ept::Perms::RW);
+
+    [[deprecated("address exports with an ExportKey")]]
+    std::optional<Exported>
+    exportObject(const std::string &name, std::uint64_t bytes,
+                 SharedFnTable fns, ept::Perms perms = ept::Perms::RW)
+    {
+        return exportObject(ExportKey(name), bytes, std::move(fns),
+                            perms);
+    }
 
     /** Set the attach-approval policy (default: approve everyone). */
     void setApprover(Approver approver);

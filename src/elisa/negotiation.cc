@@ -31,6 +31,13 @@ sim::TraceNameCache deniedName("denied");
 sim::TraceNameCache timedOutName("timed_out");
 sim::TraceNameCache pendingName("query_pending");
 
+// Capability trace points. One async span per *delegated* grant, keyed
+// by its CapId, runs from Delegate to teardown; redeems land inside it
+// as instants. Root grants piggyback on the attach_request span above
+// and emit nothing of their own.
+sim::TraceNameCache capSpanName("capability");
+sim::TraceNameCache capRedeemedName("cap_redeemed");
+
 } // anonymous namespace
 
 ElisaService::ElisaService(hv::Hypervisor &hv) : hyper(hv)
@@ -42,6 +49,13 @@ ElisaService::ElisaService(hv::Hypervisor &hv) : hyper(hv)
     idempotentRevokesId = hv.stats().id("elisa_idempotent_revokes");
     autoRevokesId = hv.stats().id("elisa_auto_revokes");
     attachBuildFaultsId = hv.stats().id("elisa_attach_build_faults");
+    delegationsId = hv.stats().id("elisa_delegations");
+    redeemsId = hv.stats().id("elisa_redeems");
+    capRevokesId = hv.stats().id("elisa_cap_revokes");
+    capExpiriesId = hv.stats().id("elisa_cap_expiries");
+    grantTeardownsId = hv.stats().id("elisa_grant_teardowns");
+    widenRefusedId = hv.stats().id("elisa_cap_widen_refused");
+    grantExhaustedId = hv.stats().id("elisa_grant_exhausted");
     registerHandlers();
     hv.addVmDestroyHook([this](VmId vm) { onVmDestroyed(vm); });
 }
@@ -71,6 +85,112 @@ ElisaService::retireExport(ExportId id, VmId owner)
         retiredExports.erase(retiredExports.begin());
 }
 
+CapId
+ElisaService::mintGrant(CapId parent, ExportId export_id, VmId issuer,
+                        VmId holder, std::uint64_t offset,
+                        std::uint64_t bytes, ept::Perms perms,
+                        SimNs expires_ns)
+{
+    const CapId id = hyper.grants().create(parent, holder);
+    CapGrant g;
+    g.id = id;
+    g.parent = parent;
+    g.exportId = export_id;
+    g.issuer = issuer;
+    g.holder = holder;
+    g.offset = offset;
+    g.bytes = bytes;
+    g.perms = perms;
+    g.expiresNs = expires_ns;
+    grants.emplace(id, g);
+    return id;
+}
+
+bool
+ElisaService::teardownGrant(CapId id, CapTeardown reason,
+                            cpu::Vcpu *actor)
+{
+    if (!grants.contains(id)) {
+        // Idempotent: a grant that once existed reports success on a
+        // replayed teardown; one that never did reports failure.
+        return retiredGrants.contains(id);
+    }
+
+    // The hypervisor's table dictates the walk: children before their
+    // parent, in creation order, so the teardown sequence is identical
+    // no matter which of the revocation paths started it.
+    const std::vector<CapId> order = hyper.grants().subtree(id);
+    for (const CapId cid : order) {
+        auto git = grants.find(cid);
+        panic_if(git == grants.end(),
+                 "grant %llu in hypervisor table but not in service",
+                 (unsigned long long)cid);
+        CapGrant &g = git->second;
+
+        // Revoke reachability first: the Attachment destructor clears
+        // both EPTP-list entries and flushes cached translations
+        // before any frame or bookkeeping is released.
+        if (g.attachment != 0) {
+            auto at = attachments.find(g.attachment);
+            if (at != attachments.end())
+                retireAttachment(at);
+            attachmentGrant.erase(g.attachment);
+        }
+
+        if (actor != nullptr && g.parent != invalidCapId) {
+            if (sim::Tracer *tr = hyper.tracer()) {
+                tr->asyncEnd(sim::SpanCat::Negotiation,
+                             capSpanName.get(*tr), cid, actor->id(),
+                             actor->clock().now(),
+                             static_cast<std::uint64_t>(reason));
+            }
+        }
+
+        retiredGrants[cid] = {g.holder, g.issuer};
+        if (retiredGrants.size() > retiredCap)
+            retiredGrants.erase(retiredGrants.begin());
+        grants.erase(git);
+        hyper.grants().erase(cid);
+        hyper.stats().inc(grantTeardownsId);
+    }
+
+    switch (reason) {
+      case CapTeardown::Revoke:
+        hyper.stats().inc(capRevokesId);
+        break;
+      case CapTeardown::Expire:
+        hyper.stats().inc(capExpiriesId);
+        break;
+      case CapTeardown::VmDeath:
+        hyper.stats().inc(autoRevokesId);
+        break;
+      case CapTeardown::Detach:
+      case CapTeardown::ExportGone:
+        break;
+    }
+    return true;
+}
+
+bool
+ElisaService::expireCapability(CapId id, cpu::Vcpu &actor)
+{
+    return teardownGrant(id, CapTeardown::Expire, &actor);
+}
+
+void
+ElisaService::teardownExportGrants(ExportId id, cpu::Vcpu *actor)
+{
+    // Snapshot the root ids first: teardown mutates the map, and every
+    // non-root grant of the export lives in some root's subtree.
+    std::vector<CapId> roots;
+    for (const auto &[cid, g] : grants) {
+        if (g.exportId == id && g.parent == invalidCapId)
+            roots.push_back(cid);
+    }
+    for (const CapId root : roots)
+        teardownGrant(root, CapTeardown::ExportGone, actor);
+}
+
 void
 ElisaService::denyPendingRequestsFor(const std::string &name)
 {
@@ -85,22 +205,29 @@ ElisaService::denyPendingRequestsFor(const std::string &name)
 void
 ElisaService::onVmDestroyed(VmId vm)
 {
-    // 1. Attachments held by the dying guest.
-    for (auto it = attachments.begin(); it != attachments.end();) {
-        if (it->second->guestVm() == vm)
-            retireAttachment(it++);
-        else
-            ++it;
+    // 1. Grants held by the dying guest — each teardown is transitive,
+    //    so delegations the dying VM handed onward die with it (a
+    //    delegated grant never outlives its delegator). Attachments
+    //    are torn down as their grants go; idempotent teardownGrant
+    //    makes the snapshot order irrelevant when one held grant sits
+    //    inside another's subtree.
+    std::vector<CapId> held;
+    for (const auto &[cid, g] : grants) {
+        if (g.holder == vm)
+            held.push_back(cid);
     }
-    // 2. Exports owned by the dying manager — revoke them fully:
-    //    other guests' attachments are torn down (their EPTP-list
-    //    entries vanish), and any request still Pending on one of the
-    //    orphaned exports is denied so its guest cannot hang waiting
-    //    for a manager that no longer exists.
+    for (const CapId cid : held)
+        teardownGrant(cid, CapTeardown::VmDeath);
+    // 2. Exports owned by the dying manager — revoke them fully: every
+    //    grant tree rooted at the export is torn down (other guests'
+    //    EPTP-list entries vanish), and any request still Pending on
+    //    one of the orphaned exports is denied so its guest cannot
+    //    hang waiting for a manager that no longer exists.
     for (auto it = exports.begin(); it != exports.end();) {
         if (it->second->managerVm() == vm) {
             Export *exp = it->second.get();
             denyPendingRequestsFor(exp->name());
+            teardownExportGrants(it->first, nullptr);
             for (auto at = attachments.begin();
                  at != attachments.end();) {
                 if (&at->second->exportRecord() == exp)
@@ -129,7 +256,16 @@ ElisaService::onVmDestroyed(VmId vm)
 
 ElisaService::~ElisaService()
 {
-    // Attachments reference exports; destroy them first.
+    // Grants reference attachments, attachments reference exports;
+    // unwind in that order. The grant walk also empties the
+    // hypervisor's table, children before parents.
+    std::vector<CapId> roots;
+    for (const auto &[cid, g] : grants) {
+        if (g.parent == invalidCapId)
+            roots.push_back(cid);
+    }
+    for (const CapId root : roots)
+        teardownGrant(root, CapTeardown::ExportGone);
     attachments.clear();
     exports.clear();
 }
@@ -164,6 +300,7 @@ ElisaService::revokeExport(const std::string &name)
     if (!exp)
         return false;
     denyPendingRequestsFor(name);
+    teardownExportGrants(exp->id(), nullptr);
     for (auto it = attachments.begin(); it != attachments.end();) {
         if (&it->second->exportRecord() == exp)
             retireAttachment(it++);
@@ -202,6 +339,23 @@ ElisaService::dumpState() const
             attach->vcpuIndex(), attach->info().gateIndex,
             attach->info().subIndex);
     }
+    out += detail::format("grants: %zu\n", grants.size());
+    for (const auto &[id, g] : grants) {
+        const std::string origin =
+            g.parent == invalidCapId
+                ? "root"
+                : detail::format("parent=%llu",
+                                 (unsigned long long)g.parent);
+        out += detail::format(
+            "  #%llu %s export=%u holder=%u depth=%u "
+            "window=[%llu+%llu] perms=%s%s%s\n",
+            (unsigned long long)id, origin.c_str(), g.exportId,
+            g.holder, hyper.grants().depthOf(id),
+            (unsigned long long)g.offset, (unsigned long long)g.bytes,
+            ept::permsToString(g.perms).c_str(),
+            g.expiresNs != 0 ? " expiring" : "",
+            g.attachment != 0 ? " redeemed" : "");
+    }
     std::size_t pending = 0;
     for (const auto &[id, req] : requests)
         pending += req.state == RequestState::Pending ? 1 : 0;
@@ -234,6 +388,13 @@ ElisaService::registerHandlers()
                            "hc_detach");
     hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Revoke),
                            "hc_revoke");
+    hyper.setHypercallName(
+        static_cast<std::uint64_t>(ElisaHc::Delegate), "hc_delegate");
+    hyper.setHypercallName(static_cast<std::uint64_t>(ElisaHc::Redeem),
+                           "hc_redeem");
+    hyper.setHypercallName(
+        static_cast<std::uint64_t>(ElisaHc::CapRevoke),
+        "hc_cap_revoke");
 
     auto reg = [this](ElisaHc nr, auto member) {
         hyper.registerHypercall(
@@ -257,6 +418,9 @@ ElisaService::registerHandlers()
     reg(ElisaHc::Query, &ElisaService::hcQuery);
     reg(ElisaHc::Detach, &ElisaService::hcDetach);
     reg(ElisaHc::Revoke, &ElisaService::hcRevoke);
+    reg(ElisaHc::Delegate, &ElisaService::hcDelegate);
+    reg(ElisaHc::Redeem, &ElisaService::hcRedeem);
+    reg(ElisaHc::CapRevoke, &ElisaService::hcCapRevoke);
 }
 
 std::uint64_t
@@ -419,6 +583,16 @@ ElisaService::hcApprove(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
         attach->gateEpt().mappedPages() + attach->subEpt().mappedPages();
     vcpu.clock().advance(2 * cost.subContextCreateNs +
                          mapped_pages * cost.eptMapPageNs);
+
+    // Every attachment is backed by a grant: the root of the export's
+    // delegation tree for this client. The guest can delegate narrowed
+    // views of it peer-to-peer without coming back here.
+    const CapId root =
+        mintGrant(invalidCapId, exp->id(), exp->managerVm(),
+                  req.guestVm, 0, exp->objectBytes(), granted, 0);
+    grants[root].attachment = aid;
+    attachmentGrant[aid] = root;
+    attach->bindGrant(root, 0);
 
     req.state = RequestState::Approved;
     req.info = attach->info();
@@ -585,7 +759,13 @@ ElisaService::hcDetach(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
     vcpu.clock().advance(hyper.cost().negotiationHopNs);
     ELISA_TRACE(Elisa, "detach attachment %llu by VM %u",
                 (unsigned long long)args.arg0, vcpu.vm());
-    retireAttachment(it);
+    // Detach is grant teardown by another name: the attachment's grant
+    // subtree — including any delegation the guest handed onward — is
+    // torn down in the one canonical order.
+    const CapId grant = it->second->grant();
+    panic_if(grant == invalidCapId, "attachment %u without a grant",
+             aid);
+    teardownGrant(grant, CapTeardown::Detach, &vcpu);
     hyper.stats().inc("elisa_detaches");
     return 0;
 }
@@ -615,6 +795,235 @@ ElisaService::hcRevoke(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
                 (unsigned long long)args.arg0, name.c_str(),
                 vcpu.vm());
     return revokeExport(name) ? 0 : hv::hcError;
+}
+
+std::uint64_t
+ElisaService::hcDelegate(cpu::Vcpu &vcpu,
+                         const cpu::HypercallArgs &args)
+{
+    // args: cap_id, target_vm | perms<<32, off_pages | len_pages<<32,
+    // expiry_ns. The whole spec travels in registers — a delegation
+    // never touches guest memory and never involves the manager.
+    auto git = grants.find(static_cast<CapId>(args.arg0));
+    if (git == grants.end())
+        return hv::hcError;
+    CapGrant &g = git->second;
+    if (g.holder != vcpu.vm())
+        return hv::hcError;
+
+    // Lazy expiry: the first control operation past the lapse instant
+    // observes the grant (and its subtree) disappear.
+    if (g.expiresNs != 0 && vcpu.clock().now() >= g.expiresNs) {
+        teardownGrant(g.id, CapTeardown::Expire, &vcpu);
+        return hv::hcError;
+    }
+
+    if (hyper.grants().depthOf(g.id) + 1 >= maxDelegationDepth)
+        return hv::hcError;
+
+    const auto target = static_cast<VmId>(args.arg1 & 0xffffffffull);
+    if (!hyper.hasVm(target))
+        return hv::hcError;
+
+    // Permissions only ever narrow, checked at every hop: a delegatee
+    // re-delegating cannot win back what its own grant lost.
+    const auto asked =
+        static_cast<ept::Perms>((args.arg1 >> 32) & 0x7);
+    const ept::Perms child_perms =
+        asked == ept::Perms::None ? g.perms : asked;
+    if (!ept::permits(g.perms, child_perms)) {
+        hyper.stats().inc(widenRefusedId);
+        return hv::hcError;
+    }
+
+    // Window: page counts relative to *this* grant's window; the
+    // narrowed child window must sit entirely inside it.
+    const std::uint64_t off =
+        (args.arg2 & 0xffffffffull) * pageSize;
+    std::uint64_t len = (args.arg2 >> 32) * pageSize;
+    if (off >= g.bytes)
+        return hv::hcError;
+    if (len == 0)
+        len = g.bytes - off;
+    if (len > g.bytes - off)
+        return hv::hcError;
+
+    // Expiry only ever tightens: inherit the parent's, or lapse
+    // earlier. A bound already in the past is a degenerate grant.
+    SimNs expires = args.arg3 != 0 ? args.arg3 : g.expiresNs;
+    if (g.expiresNs != 0 && (expires == 0 || expires > g.expiresNs))
+        expires = g.expiresNs;
+    if (expires != 0 && expires <= vcpu.clock().now())
+        return hv::hcError;
+
+    // Injected grant-table exhaustion at the registration point.
+    if (sim::FaultPlan *plan = hyper.faultPlan()) {
+        const auto fault = plan->onCapability(vcpu.vm());
+        if (fault.action != sim::FaultAction::None) {
+            hyper.stats().inc(grantExhaustedId);
+            return hv::hcError;
+        }
+    }
+
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+
+    const CapId child =
+        mintGrant(g.id, g.exportId, vcpu.vm(), target, g.offset + off,
+                  len, child_perms, expires);
+    hyper.stats().inc(delegationsId);
+    ELISA_TRACE(Elisa,
+                "delegate grant %llu -> %llu: VM %u -> VM %u "
+                "(%llu KiB @ +%llu)",
+                (unsigned long long)g.id, (unsigned long long)child,
+                vcpu.vm(), target, (unsigned long long)(len >> 10),
+                (unsigned long long)off);
+    if (sim::Tracer *tr = hyper.tracer()) {
+        tr->asyncBegin(sim::SpanCat::Negotiation, capSpanName.get(*tr),
+                       child, vcpu.id(), vcpu.clock().now(),
+                       args.arg0, target);
+    }
+    return child;
+}
+
+std::uint64_t
+ElisaService::hcRedeem(cpu::Vcpu &vcpu, const cpu::HypercallArgs &args)
+{
+    // args: cap_id, result_gpa, vcpu_index. Writes a WireAttachResult
+    // exactly like Query does, so the guest-side plumbing is shared.
+    auto git = grants.find(static_cast<CapId>(args.arg0));
+    if (git == grants.end())
+        return hv::hcError;
+    CapGrant &g = git->second;
+    if (g.holder != vcpu.vm())
+        return hv::hcError;
+
+    if (g.expiresNs != 0 && vcpu.clock().now() >= g.expiresNs) {
+        teardownGrant(g.id, CapTeardown::Expire, &vcpu);
+        return hv::hcError;
+    }
+
+    if (g.attachment != 0) {
+        // Idempotent replay (duplicated hypercall, retry after a lost
+        // reply): report the attachment already built.
+        auto at = attachments.find(g.attachment);
+        panic_if(at == attachments.end(),
+                 "grant %llu redeemed by a vanished attachment",
+                 (unsigned long long)g.id);
+        WireAttachResult wire;
+        wire.state =
+            static_cast<std::uint32_t>(RequestState::Approved);
+        wire.info = at->second->info();
+        cpu::GuestView view(vcpu);
+        view.write(args.arg1, wire);
+        return 0;
+    }
+
+    auto exp_it = exports.find(g.exportId);
+    panic_if(exp_it == exports.end(),
+             "grant %llu outlived export %u",
+             (unsigned long long)g.id, g.exportId);
+    Export &exp = *exp_it->second;
+
+    hv::Vm &guest = hyper.vm(vcpu.vm());
+    const auto vcpu_index = static_cast<std::uint32_t>(args.arg2);
+    if (vcpu_index >= guest.vcpuCount() ||
+        guest.vcpu(vcpu_index).eptpList().validCount() + 2 >
+            ept::eptpListSize) {
+        return hv::hcError;
+    }
+
+    // Same construction-failure injection point as a manager-approved
+    // attach: the redeemer observes an error, never a hang.
+    if (sim::FaultPlan *plan = hyper.faultPlan()) {
+        const auto fault = plan->onAttachBuild(vcpu.vm());
+        if (fault.action != sim::FaultAction::None) {
+            hyper.stats().inc(attachBuildFaultsId);
+            return hv::hcError;
+        }
+    }
+
+    const unsigned slot = slotCounters[guest.id()]++;
+    const AttachmentId aid = nextAttachmentId++;
+    auto attach = std::make_unique<Attachment>(
+        hyper, aid, exp, guest, vcpu_index, slot, g.perms, g.offset,
+        g.bytes);
+    attach->bindGrant(g.id, g.expiresNs);
+
+    // The redeemer pays for the context construction it asked for —
+    // the same bill a manager foots on Approve.
+    const auto &cost = hyper.cost();
+    const std::uint64_t mapped_pages =
+        attach->gateEpt().mappedPages() + attach->subEpt().mappedPages();
+    vcpu.clock().advance(2 * cost.subContextCreateNs +
+                         mapped_pages * cost.eptMapPageNs);
+
+    g.attachment = aid;
+    attachmentGrant[aid] = g.id;
+
+    WireAttachResult wire;
+    wire.state = static_cast<std::uint32_t>(RequestState::Approved);
+    wire.info = attach->info();
+    cpu::GuestView view(vcpu);
+    view.write(args.arg1, wire);
+
+    hyper.stats().inc(redeemsId);
+    ELISA_TRACE(Elisa, "redeem grant %llu: attachment %u on VM %u",
+                (unsigned long long)g.id, aid, vcpu.vm());
+    if (sim::Tracer *tr = hyper.tracer()) {
+        tr->asyncInstant(sim::SpanCat::Negotiation,
+                         capRedeemedName.get(*tr), g.id, vcpu.id(),
+                         vcpu.clock().now(), aid);
+    }
+    attachments.emplace(aid, std::move(attach));
+    return 0;
+}
+
+std::uint64_t
+ElisaService::hcCapRevoke(cpu::Vcpu &vcpu,
+                          const cpu::HypercallArgs &args)
+{
+    const auto id = static_cast<CapId>(args.arg0);
+    auto git = grants.find(id);
+    if (git == grants.end()) {
+        // Idempotent replay of a revoke a party to this grant already
+        // completed.
+        auto retired = retiredGrants.find(id);
+        if (retired != retiredGrants.end() &&
+            (retired->second.first == vcpu.vm() ||
+             retired->second.second == vcpu.vm())) {
+            hyper.stats().inc(idempotentRevokesId);
+            return 0;
+        }
+        return hv::hcError;
+    }
+    CapGrant &g = git->second;
+
+    // Revocation authority: the grant's holder, its issuer, the holder
+    // of any ancestor grant (revoking a node tears down its subtree,
+    // so an ancestor holder is entitled to reach down), or the
+    // export's manager.
+    bool authorized =
+        g.holder == vcpu.vm() || g.issuer == vcpu.vm();
+    for (CapId up = g.parent; !authorized && up != invalidCapId;) {
+        auto it = grants.find(up);
+        if (it == grants.end())
+            break;
+        authorized = it->second.holder == vcpu.vm();
+        up = it->second.parent;
+    }
+    if (!authorized) {
+        auto exp_it = exports.find(g.exportId);
+        authorized = exp_it != exports.end() &&
+                     exp_it->second->managerVm() == vcpu.vm();
+    }
+    if (!authorized)
+        return hv::hcError;
+
+    vcpu.clock().advance(hyper.cost().negotiationHopNs);
+    ELISA_TRACE(Elisa, "revoke grant %llu by VM %u",
+                (unsigned long long)id, vcpu.vm());
+    teardownGrant(id, CapTeardown::Revoke, &vcpu);
+    return 0;
 }
 
 } // namespace elisa::core

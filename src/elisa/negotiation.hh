@@ -38,20 +38,6 @@
 namespace elisa::core
 {
 
-/** ELISA hypercall numbers (within hv::Hc::ElisaBase's range). */
-enum class ElisaHc : std::uint64_t
-{
-    RegisterManager = 0x100,
-    Export = 0x101,
-    NextRequest = 0x102,
-    Approve = 0x103,
-    Deny = 0x104,
-    AttachRequest = 0x105,
-    Query = 0x106,
-    Detach = 0x107,
-    Revoke = 0x108,
-};
-
 /** Attach request states, as returned by Query. */
 enum class RequestState : std::uint32_t
 {
@@ -107,15 +93,55 @@ class ElisaService
     Attachment *attachment(AttachmentId id);
 
     /**
-     * Force-revoke one export: destroys all of its attachments (their
-     * EPTP-list entries vanish; in-flight guests fault on their next
-     * VMFUNC) and then the export itself.
+     * Force-revoke one export: destroys all of its grants and
+     * attachments (their EPTP-list entries vanish; in-flight guests
+     * fault on their next VMFUNC) and then the export itself.
      * @return false if the name is unknown.
      */
     bool revokeExport(const std::string &name);
 
+    /**
+     * Why a grant subtree is being torn down. Every revocation path in
+     * the service funnels into the same routine; the reason only picks
+     * the robustness counter and trace annotation.
+     */
+    enum class CapTeardown : std::uint32_t
+    {
+        Revoke,       ///< explicit CapRevoke hypercall
+        Detach,       ///< Detach hypercall / Gate RAII
+        VmDeath,      ///< holder or manager VM destroyed
+        Expire,       ///< lapsed grant observed lazily
+        ExportGone,   ///< export revoked or service shutdown
+    };
+
+    /**
+     * THE teardown routine: transitively destroy the grant subtree
+     * rooted at @p id — children before parents, each node's
+     * attachment torn down (EPTP-list entries cleared and TLBs flushed
+     * before any bookkeeping or frame is released) — in the
+     * deterministic order the hypervisor grant table dictates.
+     * Idempotent: tearing down an already-retired grant returns true
+     * with no side effects.
+     *
+     * @param actor the vCPU observing/initiating the teardown, for
+     *        trace timestamps; nullptr on VM-death paths (those spans
+     *        stay open in the trace, the honest rendering).
+     * @return false when @p id was never a grant.
+     */
+    bool teardownGrant(CapId id, CapTeardown reason,
+                       cpu::Vcpu *actor = nullptr);
+
+    /**
+     * Lazy-expiry entry point for the gate fast path: called when a
+     * gate entry observes its grant's lapse instant has passed.
+     */
+    bool expireCapability(CapId id, cpu::Vcpu &actor);
+
     /** Number of live attachments (tests). */
     std::size_t attachmentCount() const { return attachments.size(); }
+
+    /** Number of live grants (tests). */
+    std::size_t grantCount() const { return grants.size(); }
 
     /** Number of live exports (tests). */
     std::size_t exportCount() const { return exports.size(); }
@@ -144,6 +170,32 @@ class ElisaService
     std::string dumpState() const;
 
   private:
+    /**
+     * Service-side payload of one grant-table node: the narrowed
+     * window, permissions, expiry, and (once redeemed) the attachment.
+     * The hypervisor's GrantTable owns the tree shape; this struct is
+     * everything ELISA layers on top, keyed by the same CapId.
+     */
+    struct CapGrant
+    {
+        CapId id = invalidCapId;
+        CapId parent = invalidCapId;
+        ExportId exportId = 0;
+        /** The VM that issued (delegated) this grant. */
+        VmId issuer = invalidVmId;
+        /** The VM entitled to redeem and use it. */
+        VmId holder = invalidVmId;
+        /** Absolute byte offset of the window into the export. */
+        std::uint64_t offset = 0;
+        /** Window size in bytes. */
+        std::uint64_t bytes = 0;
+        ept::Perms perms = ept::Perms::None;
+        /** Absolute lapse instant (0 = never), checked lazily. */
+        SimNs expiresNs = 0;
+        /** The attachment redeeming this grant (0 = unredeemed). */
+        AttachmentId attachment = 0;
+    };
+
     struct Request
     {
         RequestId id = 0;
@@ -179,6 +231,18 @@ class ElisaService
     /** Remember a destroyed export for idempotent Revoke replays. */
     void retireExport(ExportId id, VmId owner);
 
+    /**
+     * Mint a grant node (hypervisor table + service payload). Roots
+     * pass parent = invalidCapId and the export's full window.
+     */
+    CapId mintGrant(CapId parent, ExportId export_id, VmId issuer,
+                    VmId holder, std::uint64_t offset,
+                    std::uint64_t bytes, ept::Perms perms,
+                    SimNs expires_ns);
+
+    /** Tear down every root grant of export @p id (ExportGone). */
+    void teardownExportGrants(ExportId id, cpu::Vcpu *actor);
+
     // Individual handler bodies (dispatched from lambdas).
     std::uint64_t hcRegisterManager(cpu::Vcpu &vcpu);
     std::uint64_t hcExport(cpu::Vcpu &vcpu,
@@ -196,6 +260,12 @@ class ElisaService
                            const cpu::HypercallArgs &args);
     std::uint64_t hcRevoke(cpu::Vcpu &vcpu,
                            const cpu::HypercallArgs &args);
+    std::uint64_t hcDelegate(cpu::Vcpu &vcpu,
+                             const cpu::HypercallArgs &args);
+    std::uint64_t hcRedeem(cpu::Vcpu &vcpu,
+                           const cpu::HypercallArgs &args);
+    std::uint64_t hcCapRevoke(cpu::Vcpu &vcpu,
+                              const cpu::HypercallArgs &args);
 
     hv::Hypervisor &hyper;
 
@@ -227,6 +297,20 @@ class ElisaService
     std::map<ExportId, VmId> retiredExports;
     static constexpr std::size_t retiredCap = 4096;
 
+    /** Service payload per grant-table node. */
+    std::map<CapId, CapGrant> grants;
+
+    /** Reverse index: which grant an attachment redeems. */
+    std::map<AttachmentId, CapId> attachmentGrant;
+
+    /**
+     * Recently torn-down grants: (holder, issuer) keyed by id, for
+     * idempotent CapRevoke replays and a defined "gone, not never
+     * existed" answer on redeem-after-revoke. Bounded like the other
+     * retired maps.
+     */
+    std::map<CapId, std::pair<VmId, VmId>> retiredGrants;
+
     /** Per-manager bound on queued-but-unserved requests. */
     std::size_t maxQueuedPerManager = 64;
 
@@ -238,6 +322,13 @@ class ElisaService
     sim::StatId idempotentRevokesId = 0;
     sim::StatId autoRevokesId = 0;
     sim::StatId attachBuildFaultsId = 0;
+    sim::StatId delegationsId = 0;
+    sim::StatId redeemsId = 0;
+    sim::StatId capRevokesId = 0;
+    sim::StatId capExpiriesId = 0;
+    sim::StatId grantTeardownsId = 0;
+    sim::StatId widenRefusedId = 0;
+    sim::StatId grantExhaustedId = 0;
 
     ExportId nextExportId = 1;
     RequestId nextRequestId = 1;

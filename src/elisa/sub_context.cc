@@ -46,12 +46,21 @@ Export::dropAttachment()
 
 Attachment::Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp_,
                        hv::Vm &guest_vm, unsigned vcpu_index,
-                       unsigned slot, ept::Perms granted_perms)
+                       unsigned slot, ept::Perms granted_perms,
+                       std::uint64_t window_offset,
+                       std::uint64_t window_bytes)
     : hyper(hv), attachId(id), exp(exp_), guestVmId(guest_vm.id()),
       vcpu(vcpu_index), granted(granted_perms)
 {
     panic_if(!ept::permits(exp.objectPerms(), granted),
              "granted permissions exceed the export's");
+    if (window_bytes == 0)
+        window_bytes = exp.objectBytes() - window_offset;
+    panic_if(!isPageAligned(window_offset) ||
+                 !isPageAligned(window_bytes) || window_bytes == 0 ||
+                 window_offset + window_bytes > exp.objectBytes(),
+             "attachment window outside export '%s'",
+             exp.name().c_str());
     auto &allocator = hv.allocator();
 
     auto stack = allocator.alloc(stackBytes / pageSize);
@@ -84,9 +93,12 @@ Attachment::Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp_,
                                     ept::Perms::RW);
     // The object window uses 2 MiB pages wherever alignment allows;
     // objectGpa is large-aligned by construction, so a large-aligned
-    // object HPA maps entirely with large pages.
-    ok = ok && subContext->mapRangeAuto(objectGpa, exp.objectHpa(),
-                                        exp.objectBytes(), granted);
+    // full-object window maps entirely with large pages. A narrowed
+    // (delegated) window maps only its own frames — the frames beyond
+    // it simply do not exist in this sub context.
+    ok = ok && subContext->mapWindow(objectGpa, exp.objectHpa(),
+                                     exp.objectBytes(), window_offset,
+                                     window_bytes, granted);
     panic_if(!ok, "sub context construction collided");
 
     // Install both contexts on the guest vCPU.
@@ -108,7 +120,9 @@ Attachment::Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp_,
     attachInfo.subIndex = *sub_idx;
     attachInfo.exchangeGuestGpa = exch_guest;
     attachInfo.exchangeBytes = exchBytes;
-    attachInfo.objectBytes = exp.objectBytes();
+    attachInfo.objectBytes = window_bytes;
+    attachInfo.objectOffset = window_offset;
+    attachInfo.perms = static_cast<std::uint32_t>(granted);
 
     exp.addAttachment();
     hv.stats().inc("elisa_attachments");

@@ -106,10 +106,17 @@ class Attachment
      * @param granted permissions of this client's object window; must
      *        not exceed the export's permissions (the negotiation
      *        validates this before construction).
+     * @param window_offset byte offset of the object window into the
+     *        export (page aligned; 0 for a full manager-approved
+     *        attach).
+     * @param window_bytes window size (0 = the rest of the object).
+     *        A delegated grant narrows the window: only these frames
+     *        of the object are mapped into the sub context.
      */
     Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp,
                hv::Vm &guest_vm, unsigned vcpu_index, unsigned slot,
-               ept::Perms granted);
+               ept::Perms granted, std::uint64_t window_offset = 0,
+               std::uint64_t window_bytes = 0);
 
     /** Permissions this client's object window was granted. */
     ept::Perms grantedPerms() const { return granted; }
@@ -127,6 +134,21 @@ class Attachment
 
     /** The descriptor returned to the guest by the negotiation. */
     const AttachInfo &info() const { return attachInfo; }
+
+    /**
+     * Record the grant this attachment redeems (set by the service
+     * right after minting the grant; the descriptor carries it to the
+     * guest so gates can evaluate expiry lazily).
+     */
+    void
+    bindGrant(CapId capability, SimNs expires_ns)
+    {
+        attachInfo.capability = capability;
+        attachInfo.expiresNs = expires_ns;
+    }
+
+    /** The grant this attachment redeems. */
+    CapId grant() const { return attachInfo.capability; }
 
     /** The two private contexts (tests inspect their mappings). */
     ept::Ept &gateEpt() { return *gateContext; }

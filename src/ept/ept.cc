@@ -276,6 +276,22 @@ Ept::mapRangeAuto(Gpa gpa, Hpa hpa, std::uint64_t len, Perms perms)
 }
 
 bool
+Ept::mapWindow(Gpa gpa, Hpa obj_hpa, std::uint64_t obj_bytes,
+               std::uint64_t window_offset, std::uint64_t len,
+               Perms perms)
+{
+    if (!isPageAligned(window_offset) || !isPageAligned(len) ||
+        len == 0) {
+        return false;
+    }
+    // Overflow-safe containment check: the window must end inside the
+    // object.
+    if (window_offset > obj_bytes || len > obj_bytes - window_offset)
+        return false;
+    return mapRangeAuto(gpa, obj_hpa + window_offset, len, perms);
+}
+
+bool
 Ept::unmap(Gpa gpa)
 {
     auto slot = walkToLeaf(gpa);

@@ -125,6 +125,20 @@ class Ept
     bool mapRangeAuto(Gpa gpa, Hpa hpa, std::uint64_t len, Perms perms);
 
     /**
+     * Map a narrowed window of a larger object: the @p len bytes at
+     * byte @p window_offset into the object based at @p obj_hpa appear
+     * at @p gpa. Validates that the window is page-aligned and lies
+     * entirely inside the @p obj_bytes-byte object — a delegated grant
+     * must never map frames beyond what its parent could reach — then
+     * maps with mapRangeAuto() (2 MiB pages wherever alignment still
+     * allows).
+     * @return false on a malformed window or a mapping collision.
+     */
+    bool mapWindow(Gpa gpa, Hpa obj_hpa, std::uint64_t obj_bytes,
+                   std::uint64_t window_offset, std::uint64_t len,
+                   Perms perms);
+
+    /**
      * Map a multi-page range (both addresses page aligned, @p len a
      * multiple of the page size). Panics mid-way mappings never occur:
      * the whole range is validated as unmapped first.

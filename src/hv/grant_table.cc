@@ -1,0 +1,90 @@
+#include "hv/grant_table.hh"
+
+#include "base/logging.hh"
+
+namespace elisa::hv
+{
+
+CapId
+GrantTable::create(CapId parent, VmId holder)
+{
+    std::uint32_t depth = 0;
+    if (parent != invalidCapId) {
+        auto it = nodes.find(parent);
+        panic_if(it == nodes.end(),
+                 "grant created under unknown parent %llu",
+                 (unsigned long long)parent);
+        depth = it->second.depth + 1;
+    }
+    const CapId id = nextId++;
+    GrantNode node;
+    node.id = id;
+    node.parent = parent;
+    node.holder = holder;
+    node.depth = depth;
+    nodes.emplace(id, std::move(node));
+    if (parent != invalidCapId)
+        nodes[parent].children.push_back(id);
+    return id;
+}
+
+const GrantNode *
+GrantTable::find(CapId id) const
+{
+    auto it = nodes.find(id);
+    return it == nodes.end() ? nullptr : &it->second;
+}
+
+void
+GrantTable::collect(CapId id, std::vector<CapId> &out) const
+{
+    auto it = nodes.find(id);
+    if (it == nodes.end())
+        return;
+    for (const CapId child : it->second.children)
+        collect(child, out);
+    out.push_back(id);
+}
+
+std::vector<CapId>
+GrantTable::subtree(CapId id) const
+{
+    std::vector<CapId> out;
+    collect(id, out);
+    return out;
+}
+
+bool
+GrantTable::erase(CapId id)
+{
+    auto it = nodes.find(id);
+    if (it == nodes.end())
+        return false;
+    panic_if(!it->second.children.empty(),
+             "grant %llu erased with %zu live children",
+             (unsigned long long)id, it->second.children.size());
+    const CapId parent = it->second.parent;
+    nodes.erase(it);
+    if (parent != invalidCapId) {
+        auto pit = nodes.find(parent);
+        if (pit != nodes.end()) {
+            auto &kids = pit->second.children;
+            for (auto k = kids.begin(); k != kids.end(); ++k) {
+                if (*k == id) {
+                    kids.erase(k);
+                    break;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+GrantTable::depthOf(CapId id) const
+{
+    const GrantNode *node = find(id);
+    return node ? node->depth : 0;
+}
+
+} // namespace elisa::hv

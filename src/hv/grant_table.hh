@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The hypervisor's capability grant table.
+ *
+ * Every shared-memory grant — the root grant a manager approves and
+ * every narrowed delegation derived from it — is registered here as a
+ * node of a tree rooted at the original export. The table records only
+ * the *shape* of the grant graph (parent, holder, depth, children);
+ * the ELISA service layers its own payload (window, permissions,
+ * expiry, attachment) on top, keyed by the same CapId. Keeping the
+ * tree in the hypervisor makes it the single revocation authority:
+ * teardown walks the table, not service-specific maps, so the subtree
+ * order is identical no matter which path (detach, revoke, VM death,
+ * expiry) initiated it.
+ *
+ * Determinism: children are kept in creation order and subtree() walks
+ * them depth-first, children before their parent, so the teardown
+ * order of a grant subtree is a pure function of the creation order.
+ */
+
+#ifndef ELISA_HV_GRANT_TABLE_HH
+#define ELISA_HV_GRANT_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace elisa::hv
+{
+
+/** One node of the grant tree. */
+struct GrantNode
+{
+    CapId id = invalidCapId;
+
+    /** Parent grant, or invalidCapId for a root (manager-approved). */
+    CapId parent = invalidCapId;
+
+    /** The VM holding (allowed to redeem/use) this grant. */
+    VmId holder = invalidVmId;
+
+    /** Root = 0; each delegation hop adds one. */
+    std::uint32_t depth = 0;
+
+    /** Child grants, in creation order. */
+    std::vector<CapId> children;
+};
+
+/**
+ * Registry of every live grant, owned by the Hypervisor.
+ */
+class GrantTable
+{
+  public:
+    /**
+     * Mint a new grant held by @p holder. With @p parent set, the new
+     * node becomes its child (depth parent+1); the parent must exist.
+     * Ids increase monotonically and are never reused.
+     */
+    CapId create(CapId parent, VmId holder);
+
+    /** Look up a node (nullptr when unknown or already erased). */
+    const GrantNode *find(CapId id) const;
+
+    /** True when @p id is a live grant. */
+    bool contains(CapId id) const { return nodes.contains(id); }
+
+    /**
+     * Every grant of the subtree rooted at @p id, deepest first
+     * (children before their parent, recursively), ending with @p id
+     * itself — the teardown order. Empty when @p id is unknown.
+     */
+    std::vector<CapId> subtree(CapId id) const;
+
+    /**
+     * Erase one node, unlinking it from its parent. The node must be
+     * childless — teardown consumes subtree() leaves-first, so a
+     * populated child list here is a bookkeeping bug.
+     * @return false when @p id is unknown (idempotent erase).
+     */
+    bool erase(CapId id);
+
+    /** Number of live grants. */
+    std::size_t size() const { return nodes.size(); }
+
+    /** Delegation depth of @p id (0 for roots/unknown). */
+    std::uint32_t depthOf(CapId id) const;
+
+  private:
+    void collect(CapId id, std::vector<CapId> &out) const;
+
+    std::map<CapId, GrantNode> nodes;
+    CapId nextId = 1;
+};
+
+} // namespace elisa::hv
+
+#endif // ELISA_HV_GRANT_TABLE_HH

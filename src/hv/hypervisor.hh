@@ -17,6 +17,7 @@
 #include "base/types.hh"
 #include "cpu/exit.hh"
 #include "cpu/vcpu.hh"
+#include "hv/grant_table.hh"
 #include "hv/hypercall.hh"
 #include "hv/vm.hh"
 #include "mem/frame_allocator.hh"
@@ -102,6 +103,16 @@ class Hypervisor : public cpu::HypercallSink
 
     /** Number of live VMs. */
     std::size_t vmCount() const { return vms.size(); }
+
+    // ---- capability grants -----------------------------------------
+    /**
+     * The machine-wide grant table: the tree shape of every live
+     * capability grant. Sharing services (ELISA) mint nodes here and
+     * key their own payload by the returned CapId; teardown order is
+     * always derived from this table (see grant_table.hh).
+     */
+    GrantTable &grants() { return grantTable; }
+    const GrantTable &grants() const { return grantTable; }
 
     // ---- fault injection -------------------------------------------
     /**
@@ -254,6 +265,7 @@ class Hypervisor : public cpu::HypercallSink
     mem::HostMemory physMem;
     mem::FrameAllocator frames;
     sim::StatSet statSet;
+    GrantTable grantTable;
     std::map<VmId, std::unique_ptr<Vm>> vms;
     ShardId machineShard = 0;
     VmId nextVmId = 0;

@@ -191,7 +191,7 @@ ElisaKvsTable::ElisaKvsTable(hv::Hypervisor &hv,
     const std::uint64_t bytes =
         pageAlignUp(ShmKvs::regionBytesFor(bucket_count));
     auto exported =
-        manager.exportObject(exportName, bytes, std::move(fns));
+        manager.exportObject(core::ExportKey(exportName), bytes, std::move(fns));
     fatal_if(!exported, "exporting KVS table '%s' failed",
              exportName.c_str());
 
@@ -205,7 +205,7 @@ ElisaKvsClient::ElisaKvsClient(ElisaKvsTable &table,
                                core::ElisaGuest &guest)
     : guestRt(guest)
 {
-    core::AttachResult attached = guest.tryAttach(table.name(), manager);
+    core::AttachResult attached = guest.tryAttach(core::ExportKey(table.name()), manager);
     fatal_if(!attached, "attach to KVS table '%s' failed: %s",
              table.name().c_str(), attached.reason().c_str());
     gate = attached.take();

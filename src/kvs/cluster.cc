@@ -211,13 +211,13 @@ KvsCluster::ServerMachine::ServerMachine(const ClusterConfig &config,
             const std::string name =
                 "log" + std::to_string(index) + "-" + std::to_string(n);
             auto exported = node.manager->exportObject(
-                name, storeBytes, makeLogStoreFns(hv.cost()));
+                core::ExportKey(name), storeBytes, makeLogStoreFns(hv.cost()));
             fatal_if(!exported, "exporting store '%s' failed",
                      name.c_str());
             node.host = std::make_unique<net::HostRegionIo>(
                 hv.memory(), vm.ramGpaToHpa(exported->objectGpa));
             LogKvs::format(*node.host, buckets, logSlots);
-            auto attach = guest->tryAttach(name, *node.manager);
+            auto attach = guest->tryAttach(core::ExportKey(name), *node.manager);
             fatal_if(!attach, "attach to store '%s' failed: %s",
                      name.c_str(), attach.reason().c_str());
             node.gate = attach.take();

@@ -189,7 +189,7 @@ ElisaPath::ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
         return packSeqLen(pkt->seq, pkt->len);
     });
 
-    auto exported = manager.exportObject(export_name,
+    auto exported = manager.exportObject(core::ExportKey(export_name),
                                          2 * ringRegionPaged,
                                          std::move(fns));
     fatal_if(!exported, "exporting NIC rings '%s' failed",
@@ -203,7 +203,7 @@ ElisaPath::ElisaPath(hv::Hypervisor &hv, core::ElisaManager &manager,
     DescRing::init(*hostRxIo);
     DescRing::init(*hostTxIo);
 
-    core::AttachResult attached = guest.tryAttach(export_name, manager);
+    core::AttachResult attached = guest.tryAttach(core::ExportKey(export_name), manager);
     fatal_if(!attached, "attach to NIC rings '%s' failed: %s",
              export_name.c_str(), attached.reason().c_str());
     gate = attached.take();

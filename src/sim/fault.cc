@@ -27,6 +27,8 @@ faultActionToString(FaultAction action)
         return "shm_exhaust";
       case FaultAction::ShmCorrupt:
         return "shm_corrupt";
+      case FaultAction::GrantExhaust:
+        return "grant_exhaust";
     }
     return "?";
 }
@@ -46,6 +48,8 @@ siteToString(FaultSite site)
         return "shm_alloc";
       case FaultSite::AttachBuild:
         return "attach_build";
+      case FaultSite::Capability:
+        return "capability";
     }
     return "?";
 }
@@ -70,6 +74,8 @@ siteAccepts(FaultSite site, FaultAction action)
                site == FaultSite::AttachBuild;
       case FaultAction::ShmCorrupt:
         return site == FaultSite::ShmAlloc;
+      case FaultAction::GrantExhaust:
+        return site == FaultSite::Capability;
       case FaultAction::None:
         break;
     }
@@ -96,6 +102,16 @@ FaultPlan::killVmAt(std::uint64_t hc_nr, std::uint64_t victim,
     rule.occurrence = occurrence;
     rule.action = FaultAction::KillVm;
     rule.param = victim;
+    addRule(rule);
+}
+
+void
+FaultPlan::failCapabilityAt(std::uint64_t vm, std::uint64_t occurrence)
+{
+    FaultRule rule;
+    rule.vm = vm;
+    rule.occurrence = occurrence;
+    rule.action = FaultAction::GrantExhaust;
     addRule(rule);
 }
 
@@ -172,6 +188,13 @@ FaultDecision
 FaultPlan::onAttachBuild(std::uint64_t vm)
 {
     return decide(FaultSite::AttachBuild, vm, faultAny,
+                  /*allow_chance=*/false);
+}
+
+FaultDecision
+FaultPlan::onCapability(std::uint64_t vm)
+{
+    return decide(FaultSite::Capability, vm, faultAny,
                   /*allow_chance=*/false);
 }
 

@@ -60,6 +60,8 @@ enum class FaultAction : std::uint8_t
     ShmExhaust,
     /** The shared region's header is corrupted before the operation. */
     ShmCorrupt,
+    /** A capability registration finds the grant table exhausted. */
+    GrantExhaust,
 };
 
 /** Render a fault action (event log / debugging). */
@@ -77,6 +79,8 @@ enum class FaultSite : std::uint8_t
     Gate,
     ShmAlloc,
     AttachBuild,
+    /** Grant-table registration inside a Delegate/Redeem step. */
+    Capability,
 };
 
 /** Wildcard for FaultRule match fields. */
@@ -130,6 +134,14 @@ class FaultPlan
     void killVmAt(std::uint64_t hc_nr, std::uint64_t victim,
                   std::uint64_t occurrence = 1);
 
+    /**
+     * Convenience: fail the Nth capability registration attempted by
+     * @p vm (grant-table exhaustion at a Delegate/Redeem step; the
+     * caller observes an error return, never a partial grant).
+     */
+    void failCapabilityAt(std::uint64_t vm,
+                          std::uint64_t occurrence = 1);
+
     // ---- chaos knobs (all default off) ----------------------------
     /** Probability that any hypercall is dropped. */
     void setDropChance(double p) { dropChance = p; }
@@ -157,6 +169,9 @@ class FaultPlan
 
     /** The negotiation is about to build an attachment for @p vm. */
     FaultDecision onAttachBuild(std::uint64_t vm);
+
+    /** VM @p vm is registering a capability grant (delegate/redeem). */
+    FaultDecision onCapability(std::uint64_t vm);
 
     // ---- observability --------------------------------------------
     /** Every injected fault, one line each, in injection order. */

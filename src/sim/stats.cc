@@ -1,7 +1,6 @@
 #include "sim/stats.hh"
 
 #include <cmath>
-#include <sstream>
 
 namespace elisa::sim
 {
@@ -82,20 +81,6 @@ StatSet::clear()
     for (auto &v : values)
         v = 0;
 }
-
-// Defining a [[deprecated]] member triggers the warning too; the
-// definition itself is of course intentional.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::string
-StatSet::dump() const
-{
-    std::ostringstream out;
-    for (const auto &[name, sid] : index)
-        out << name << " = " << values[sid] << '\n';
-    return out.str();
-}
-#pragma GCC diagnostic pop
 
 std::map<std::string, std::uint64_t>
 StatSet::all() const

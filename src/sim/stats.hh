@@ -113,16 +113,6 @@ class StatSet
     /** Number of registered counters. */
     std::size_t size() const { return values.size(); }
 
-    /**
-     * Render all counters, sorted by name, one per line.
-     * @deprecated Attach the set to a sim::Metrics registry and use
-     * report()/prometheus(): labeled, machine-wide, and the exporters
-     * are byte-deterministic. Kept one release for out-of-tree users.
-     */
-    [[deprecated("attach to a sim::Metrics registry; use "
-                 "Metrics::report()/prometheus()")]]
-    std::string dump() const;
-
     /** Materialize all counters, name-keyed (iteration in tests). */
     std::map<std::string, std::uint64_t> all() const;
 

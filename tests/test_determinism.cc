@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -28,6 +29,7 @@
 #include "kvs/cluster.hh"
 #include "kvs/workload.hh"
 #include "net/paths.hh"
+#include "sim/engine.hh"
 #include "sim/fault.hh"
 #include "sim/histogram.hh"
 #include "sim/metrics.hh"
@@ -307,6 +309,188 @@ TEST(Determinism, ClusterWithKillIsIdenticalAcrossThreadCounts)
 }
 
 /**
+ * One self-contained delegation machine pinned to an engine shard: a
+ * manager exporting one object, a delegator guest holding the root
+ * capability, and a delegatee guest. Each step() runs one full
+ * capability round — delegate a narrowed window, redeem it, exercise
+ * the gate, then end the grant through a different teardown path
+ * (revoke, RAII detach, or lazy expiry) — so the fingerprint covers
+ * the whole grant lifecycle, including the teardown-order guarantees.
+ */
+struct DelegationMachine : sim::Actor
+{
+    hv::Hypervisor hv{96 * MiB};
+    core::ElisaService svc{hv};
+    hv::Vm &manager_vm;
+    hv::Vm &a_vm;
+    hv::Vm &b_vm;
+    core::ElisaManager manager;
+    core::ElisaGuest a;
+    core::ElisaGuest b;
+    core::Gate rootGate;
+    core::Capability rootCap;
+    unsigned round = 0;
+    unsigned rounds;
+    unsigned completed = 0;
+
+    DelegationMachine(unsigned shard, unsigned round_count)
+        : manager_vm(hv.createVm("manager", 16 * MiB)),
+          a_vm(hv.createVm("delegator", 16 * MiB)),
+          b_vm(hv.createVm("delegatee", 16 * MiB)),
+          manager(manager_vm, svc), a(a_vm, svc), b(b_vm, svc),
+          rounds(round_count)
+    {
+        hv.setShard(shard);
+        core::SharedFnTable fns;
+        fns.push_back([](core::SubCallCtx &ctx) {
+            return ctx.view.read<std::uint64_t>(ctx.obj + ctx.arg0);
+        });
+        fns.push_back([](core::SubCallCtx &ctx) {
+            ctx.view.write<std::uint64_t>(ctx.obj + ctx.arg0,
+                                          ctx.arg1);
+            return std::uint64_t{0};
+        });
+        auto exp = manager.exportObject(core::ExportKey("deleg"),
+                                        16 * KiB, std::move(fns));
+        EXPECT_TRUE(exp);
+        core::AttachResult attached =
+            a.tryAttach(core::ExportKey("deleg"), manager);
+        EXPECT_TRUE(attached.ok());
+        rootCap = attached.capability();
+        rootGate = attached.take();
+    }
+
+    SimNs actorNow() const override
+    {
+        return a_vm.vcpu(0).clock().now();
+    }
+
+    bool step() override
+    {
+        const unsigned r = round++;
+
+        // Narrow a rotating page window; every third round read-only,
+        // every fourth round with an expiry bound.
+        core::Capability::DelegateSpec spec;
+        spec.offset = (r % 4) * 4 * KiB;
+        spec.bytes = 4 * KiB;
+        if (r % 3 == 1)
+            spec.perms = ept::Perms::Read;
+        const bool expiring = r % 4 == 2;
+        if (expiring) {
+            spec.expiresNs =
+                std::max(a_vm.vcpu(0).clock().now(),
+                         b_vm.vcpu(0).clock().now()) +
+                1'000'000;
+        }
+        auto child = rootCap.delegate(b_vm.id(), spec);
+        EXPECT_TRUE(child);
+        if (!child)
+            return false;
+
+        core::AttachResult redeemed = b.redeem(*child);
+        EXPECT_TRUE(redeemed.ok());
+        if (!redeemed.ok())
+            return false;
+        core::Gate gate = redeemed.take();
+        for (unsigned i = 0; i <= r % 3; ++i)
+            gate.call(0, 8 * i);
+        if (ept::permits(redeemed.capability().perms(),
+                         ept::Perms::RW)) {
+            gate.call(1, 0, r);
+        }
+
+        if (expiring) {
+            // Lazy expiry: the next entry past the lapse faults.
+            b_vm.vcpu(0).clock().advance(2'000'000);
+            auto result = b_vm.run(0, [&] { gate.call(0, 0); });
+            EXPECT_FALSE(result.ok);
+        } else if (r % 2 == 0) {
+            EXPECT_TRUE(redeemed.capability().revoke());
+        }
+        // Otherwise the gate's RAII detach ends the grant here.
+        ++completed;
+        return round < rounds;
+    }
+};
+
+/**
+ * Three delegation machines spread over three engine shards, rendered
+ * into one string: per-machine clocks, the service dump (grant tree
+ * included), and every counter through the Prometheus exposition. The
+ * engine picks its host-thread count up from ELISA_SIM_THREADS.
+ */
+std::string
+runDelegationScenario(unsigned threads)
+{
+    setQuiet(true);
+    ::setenv("ELISA_SIM_THREADS", std::to_string(threads).c_str(), 1);
+
+    std::vector<std::unique_ptr<DelegationMachine>> machines;
+    sim::Engine engine;
+    for (unsigned m = 0; m < 3; ++m) {
+        machines.push_back(
+            std::make_unique<DelegationMachine>(m, 24 + 4 * m));
+        engine.setLookahead(machines.back()
+                                ->hv.cost()
+                                .minCrossShardLatencyNs());
+        engine.add(machines.back().get(), m);
+    }
+    engine.run();
+    ::unsetenv("ELISA_SIM_THREADS");
+
+    std::ostringstream out;
+    out << std::setprecision(17);
+    for (unsigned m = 0; m < machines.size(); ++m) {
+        DelegationMachine &machine = *machines[m];
+        out << "machine" << m << "_rounds=" << machine.completed
+            << '\n'
+            << "machine" << m << "_a_clock="
+            << machine.a_vm.vcpu(0).clock().now() << '\n'
+            << "machine" << m << "_b_clock="
+            << machine.b_vm.vcpu(0).clock().now() << '\n'
+            << "machine" << m << "_grants=" << machine.svc.grantCount()
+            << '\n'
+            << "machine" << m << "_delegations="
+            << machine.hv.stats().get("elisa_delegations") << '\n'
+            << "machine" << m << "_expiries="
+            << machine.hv.stats().get("elisa_cap_expiries") << '\n'
+            << "machine" << m << "_revokes="
+            << machine.hv.stats().get("elisa_cap_revokes") << '\n'
+            << "machine" << m << "_dump:\n"
+            << machine.svc.dumpState();
+        sim::Metrics metrics;
+        machine.hv.attachMetrics(metrics);
+        out << "machine" << m << "_prometheus:\n"
+            << metrics.prometheus();
+    }
+    return out.str();
+}
+
+TEST(Determinism, DelegationLifecycleIdenticalAcrossThreadCounts)
+{
+    // The capability layer joins the determinism gate: the full grant
+    // lifecycle — delegation, redemption, gate traffic, revocation,
+    // RAII detach, lazy expiry — must fingerprint identically whether
+    // the three machines share one host thread or race on four.
+    const std::string serial = runDelegationScenario(1);
+    const std::string parallel2 = runDelegationScenario(2);
+    const std::string parallel4 = runDelegationScenario(4);
+    EXPECT_EQ(serial, parallel2);
+    EXPECT_EQ(serial, parallel4);
+
+    // Sanity: all machines finished every round, every teardown path
+    // ran, and only the root grants survive.
+    EXPECT_NE(serial.find("machine0_rounds=24"), std::string::npos);
+    EXPECT_NE(serial.find("machine2_rounds=32"), std::string::npos);
+    EXPECT_NE(serial.find("machine0_delegations=24"),
+              std::string::npos);
+    EXPECT_NE(serial.find("machine0_expiries=6"), std::string::npos);
+    EXPECT_NE(serial.find("machine0_grants=1"), std::string::npos);
+    EXPECT_EQ(serial.find("_revokes=0"), std::string::npos);
+}
+
+/**
  * A faulty negotiation workload under a seeded FaultPlan, rendered
  * into one string: the plan's event log (every injected fault, in
  * order) plus clocks and counters.
@@ -331,7 +515,7 @@ runFaultScenario(std::uint64_t seed)
 
     core::SharedFnTable fns;
     fns.push_back([](core::SubCallCtx &) { return std::uint64_t{7}; });
-    auto exp = manager.exportObject("chaos", 4 * KiB, std::move(fns));
+    auto exp = manager.exportObject(core::ExportKey("chaos"), 4 * KiB, std::move(fns));
     EXPECT_TRUE(exp);
 
     // Repeated attach/call/detach cycles; every hypercall rolls the
@@ -340,7 +524,7 @@ runFaultScenario(std::uint64_t seed)
     unsigned attached = 0;
     for (unsigned round = 0; round < 40; ++round) {
         auto result = guest.attachWithRetry(
-            "chaos", [&] { manager.pollRequests(); });
+            core::ExportKey("chaos"), [&] { manager.pollRequests(); });
         if (!result)
             continue;
         ++attached;

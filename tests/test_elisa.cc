@@ -67,7 +67,7 @@ class ElisaTest : public ::testing::Test
 
 TEST_F(ElisaTest, ExportSucceeds)
 {
-    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    auto exp = manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
     EXPECT_EQ(exp->bytes, 64 * KiB);
     EXPECT_EQ(svc.exportCount(), 1u);
@@ -77,11 +77,11 @@ TEST_F(ElisaTest, ExportSucceeds)
 
 TEST_F(ElisaTest, ExportRejectsDuplicatesAndBadNames)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    EXPECT_FALSE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    EXPECT_FALSE(manager.exportObject("", 4 * KiB, basicFns()));
-    EXPECT_FALSE(manager.exportObject(std::string(80, 'x'), 4 * KiB,
-                                      basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject(ExportKey(""), 4 * KiB, basicFns()));
+    EXPECT_FALSE(manager.exportObject(ExportKey(std::string(80, 'x')),
+                                      4 * KiB, basicFns()));
 }
 
 TEST_F(ElisaTest, NonManagerCannotExport)
@@ -103,9 +103,9 @@ TEST_F(ElisaTest, NonManagerCannotExport)
 
 TEST_F(ElisaTest, AttachNegotiationFullFlow)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 64 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns()));
 
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     // Before the manager polls, the request is pending — the status
     // travels in the AttachResult, not a side channel.
@@ -128,15 +128,15 @@ TEST_F(ElisaTest, AttachNegotiationFullFlow)
 
 TEST_F(ElisaTest, AttachUnknownExportFails)
 {
-    EXPECT_FALSE(guest.requestAttach("missing"));
+    EXPECT_FALSE(guest.requestAttach(ExportKey("missing")));
 }
 
 TEST_F(ElisaTest, ApproverPolicyDenies)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
     manager.setApprover(
         [](VmId, const std::string &) { return false; });
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     manager.pollRequests();
     AttachResult denied = guest.pollAttach(*req);
@@ -147,14 +147,14 @@ TEST_F(ElisaTest, ApproverPolicyDenies)
 
 TEST_F(ElisaTest, GateCallReadsAndWritesObject)
 {
-    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    auto exp = manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
 
     // Manager initializes the object through its own default context.
     auto mview = manager.view();
     mview.write<std::uint64_t>(exp->objectGpa + 0x80, 0x1111beef);
 
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Guest reads the value the manager wrote: shared access works.
@@ -168,8 +168,8 @@ TEST_F(ElisaTest, GateCallReadsAndWritesObject)
 
 TEST_F(ElisaTest, GateCallRestoresDefaultContext)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(guest.vcpu().activeIndex(), 0u);
     gate->call(3);
@@ -179,8 +179,8 @@ TEST_F(ElisaTest, GateCallRestoresDefaultContext)
 
 TEST_F(ElisaTest, GateCallCostsExactly196ns)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // fn 3 touches no memory: the pure context round trip.
@@ -193,9 +193,9 @@ TEST_F(ElisaTest, GateCallCostsExactly196ns)
 
 TEST_F(ElisaTest, ExchangeBufferCarriesBulkData)
 {
-    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    auto exp = manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     const char payload[] = "bulk payload through exchange";
@@ -211,8 +211,8 @@ TEST_F(ElisaTest, ExchangeBufferCarriesBulkData)
 
 TEST_F(ElisaTest, BadFunctionIdFaults)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     auto result = guestVm.run(0, [&] { gate->call(99); });
@@ -223,8 +223,8 @@ TEST_F(ElisaTest, BadFunctionIdFaults)
 
 TEST_F(ElisaTest, DetachRevokesEptpEntries)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachInfo info = gate->info();
 
@@ -241,10 +241,10 @@ TEST_F(ElisaTest, DetachRevokesEptpEntries)
 
 TEST_F(ElisaTest, MultipleAttachmentsPerGuest)
 {
-    ASSERT_TRUE(manager.exportObject("a", 4 * KiB, basicFns()));
-    ASSERT_TRUE(manager.exportObject("b", 4 * KiB, basicFns()));
-    auto ga = guest.tryAttach("a", manager).intoOptional();
-    auto gb = guest.tryAttach("b", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("a"), 4 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("b"), 4 * KiB, basicFns()));
+    auto ga = guest.tryAttach(ExportKey("a"), manager).intoOptional();
+    auto gb = guest.tryAttach(ExportKey("b"), manager).intoOptional();
     ASSERT_TRUE(ga && gb);
     EXPECT_NE(ga->info().exchangeGuestGpa, gb->info().exchangeGuestGpa);
     EXPECT_EQ(svc.attachmentCount(), 2u);
@@ -261,9 +261,9 @@ TEST_F(ElisaTest, TwoGuestsShareOneObject)
     hv::Vm &guest2Vm = hv.createVm("guest2", 16 * MiB);
     ElisaGuest guest2(guest2Vm, svc);
 
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto g1 = guest.tryAttach("kv", manager).intoOptional();
-    auto g2 = guest2.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto g1 = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
+    auto g2 = guest2.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(g1 && g2);
 
     g1->call(1, 0x10, 777);
@@ -272,8 +272,8 @@ TEST_F(ElisaTest, TwoGuestsShareOneObject)
 
 TEST_F(ElisaTest, RevokeExportInvalidatesLiveGates)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     EXPECT_TRUE(svc.revokeExport("kv"));
@@ -289,12 +289,12 @@ TEST_F(ElisaTest, RevokeExportInvalidatesLiveGates)
 TEST_F(ElisaTest, SetupCostsChargedOnSlowPath)
 {
     const SimNs m0 = manager.vcpu().clock().now();
-    ASSERT_TRUE(manager.exportObject("kv", 64 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns()));
     EXPECT_GT(manager.vcpu().clock().now() - m0,
               hv.cost().vmcallRttNs()); // export > bare hypercall
 
     const SimNs g0 = guest.vcpu().clock().now();
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     // Attach needs at least request+query hypercalls and hops.
     EXPECT_GT(guest.vcpu().clock().now() - g0,
@@ -303,9 +303,9 @@ TEST_F(ElisaTest, SetupCostsChargedOnSlowPath)
 
 TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
 {
-    auto exp = manager.exportObject("kv", 4 * KiB, basicFns());
+    auto exp = manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // A non-owner cannot revoke it (the guest is no manager at all).
@@ -330,8 +330,8 @@ TEST_F(ElisaTest, ManagerRevokesItsOwnExport)
 
 TEST_F(ElisaTest, DumpStateReflectsLifecycle)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     const std::string dump = svc.dumpState();
@@ -349,10 +349,10 @@ TEST_F(ElisaTest, MultiVcpuGuestAttachesPerVcpu)
     hv::Vm &smp = hv.createVm("smp", 16 * MiB, /*vcpus=*/2);
     ElisaGuest g0(smp, svc, 0);
     ElisaGuest g1(smp, svc, 1);
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
 
-    auto gate0 = g0.tryAttach("kv", manager).intoOptional();
-    auto gate1 = g1.tryAttach("kv", manager).intoOptional();
+    auto gate0 = g0.tryAttach(ExportKey("kv"), manager).intoOptional();
+    auto gate1 = g1.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate0 && gate1);
 
     // EPTP lists are per-vCPU: vCPU 1's indices mean nothing on
@@ -371,9 +371,9 @@ TEST_F(ElisaTest, MultiVcpuGuestAttachesPerVcpu)
 
 TEST_F(ElisaTest, BatchedCallAmortizesTransition)
 {
-    auto exp = manager.exportObject("kv", 64 * KiB, basicFns());
+    auto exp = manager.exportObject(ExportKey("kv"), 64 * KiB, basicFns());
     ASSERT_TRUE(exp);
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Batch: write 0x10, read it back, constant.
@@ -399,8 +399,8 @@ TEST_F(ElisaTest, BatchedCallAmortizesTransition)
 
 TEST_F(ElisaTest, BatchedCallBadFnFaultsWholeBatch)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     std::vector<core::Gate::BatchEntry> batch(2);
     batch[0] = {3, 0, 0, 0, 0};
@@ -412,11 +412,11 @@ TEST_F(ElisaTest, BatchedCallBadFnFaultsWholeBatch)
 
 TEST_F(ElisaTest, DestroyingGuestVmReapsItsAttachments)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, basicFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
     hv::Vm &doomed = hv.createVm("doomed", 16 * MiB);
     {
         ElisaGuest dguest(doomed, svc);
-        auto gate = dguest.tryAttach("kv", manager).intoOptional();
+        auto gate = dguest.tryAttach(ExportKey("kv"), manager).intoOptional();
         ASSERT_TRUE(gate);
         EXPECT_EQ(svc.attachmentCount(), 1u);
     }
@@ -430,9 +430,9 @@ TEST_F(ElisaTest, DestroyingManagerVmRevokesItsExports)
     hv::Vm &mgr2_vm = hv.createVm("manager2", 16 * MiB);
     {
         ElisaManager mgr2(mgr2_vm, svc);
-        ASSERT_TRUE(mgr2.exportObject("ephemeral", 4 * KiB,
+        ASSERT_TRUE(mgr2.exportObject(ExportKey("ephemeral"), 4 * KiB,
                                       basicFns()));
-        auto gate = guest.tryAttach("ephemeral", mgr2).intoOptional();
+        auto gate = guest.tryAttach(ExportKey("ephemeral"), mgr2).intoOptional();
         ASSERT_TRUE(gate);
         ASSERT_EQ(svc.attachmentCount(), 1u);
 
@@ -447,6 +447,230 @@ TEST_F(ElisaTest, DestroyingManagerVmRevokesItsExports)
     }
 }
 
+// ---- Capability handles: delegation, redemption, revocation -----------
+
+TEST_F(ElisaTest, AttachCarriesRootCapability)
+{
+    auto exp = manager.exportObject(ExportKey("kv"), 16 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+
+    // The root grant covers the whole export, never expires, and is
+    // registered in the hypervisor grant table at depth 0.
+    const Capability cap = attached.capability();
+    EXPECT_TRUE(cap.valid());
+    EXPECT_EQ(cap.windowBytes(), 16 * KiB);
+    EXPECT_EQ(cap.windowOffset(), 0u);
+    EXPECT_EQ(cap.expiresNs(), 0u);
+    EXPECT_EQ(svc.grantCount(), 1u);
+    EXPECT_EQ(hv.grants().depthOf(cap.id()), 0u);
+
+    // Gate RAII detach retires the grant with the attachment.
+    { Gate gate = attached.take(); }
+    EXPECT_EQ(svc.grantCount(), 0u);
+    EXPECT_FALSE(hv.grants().contains(cap.id()));
+}
+
+TEST_F(ElisaTest, DelegateRedeemRoundTrip)
+{
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    hv::Vm &peer_vm = hv.createVm("peer", 16 * MiB);
+    ElisaGuest peer(peer_vm, svc);
+
+    // Delegation is one hypercall by the holder — no manager involved.
+    auto child = attached.capability().delegate(peer_vm.id());
+    ASSERT_TRUE(child);
+    EXPECT_EQ(svc.grantCount(), 2u);
+    EXPECT_EQ(hv.grants().depthOf(child->id()), 1u);
+    EXPECT_EQ(hv.stats().get("elisa_delegations"), 1u);
+
+    // The receiver redeems by id and gets an ordinary working gate.
+    AttachResult redeemed = peer.redeem(*child);
+    ASSERT_TRUE(redeemed.ok()) << redeemed.reason();
+    EXPECT_EQ(hv.stats().get("elisa_redeems"), 1u);
+    Gate peer_gate = redeemed.take();
+    EXPECT_EQ(peer_gate.call(3), 42u);
+
+    // Both gates address the same object: the delegator's write is
+    // the delegatee's read.
+    gate.call(1, 8, 0x5151);
+    EXPECT_EQ(peer_gate.call(0, 8), 0x5151u);
+
+    // Redeem is idempotent under replay: the same attachment answers.
+    AttachResult again = peer.redeem(*child);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.gate().info().attachment,
+              peer_gate.info().attachment);
+    EXPECT_EQ(svc.attachmentCount(), 2u);
+}
+
+TEST_F(ElisaTest, DelegationNarrowsTheWindow)
+{
+    auto exp = manager.exportObject(ExportKey("kv"), 16 * KiB, basicFns());
+    ASSERT_TRUE(exp);
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    hv::Vm &peer_vm = hv.createVm("peer", 16 * MiB);
+    ElisaGuest peer(peer_vm, svc);
+
+    // Grant only the third page of the object, read-only.
+    Capability::DelegateSpec spec;
+    spec.offset = 8 * KiB;
+    spec.bytes = 4 * KiB;
+    spec.perms = ept::Perms::Read;
+    auto child = attached.capability().delegate(peer_vm.id(), spec);
+    ASSERT_TRUE(child);
+    EXPECT_EQ(child->windowOffset(), 8 * KiB);
+    EXPECT_EQ(child->windowBytes(), 4 * KiB);
+    EXPECT_EQ(child->perms(), ept::Perms::Read);
+
+    AttachResult redeemed = peer.redeem(*child);
+    ASSERT_TRUE(redeemed.ok()) << redeemed.reason();
+    EXPECT_EQ(redeemed.gate().info().objectOffset, 8 * KiB);
+    EXPECT_EQ(redeemed.gate().info().objectBytes, 4 * KiB);
+
+    // The windows alias: delegatee offset 0 is delegator offset 8 KiB.
+    gate.call(1, 8 * KiB + 16, 0xfeed);
+    Gate peer_gate = redeemed.take();
+    EXPECT_EQ(peer_gate.call(0, 16), 0xfeedu);
+}
+
+TEST_F(ElisaTest, TransitiveRevokeTearsDownTheSubtree)
+{
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    AttachResult root = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(root.ok());
+    Gate root_gate = root.take();
+
+    // A depth-3 chain: guest -> peer1 -> peer2 -> peer3, each hop
+    // redeemed into a live gate.
+    hv::Vm *peer_vm[3];
+    std::vector<std::unique_ptr<ElisaGuest>> peers;
+    std::vector<Capability> caps{root.capability()};
+    std::vector<Gate> gates;
+    for (int i = 0; i < 3; ++i) {
+        peer_vm[i] = &hv.createVm("peer" + std::to_string(i), 16 * MiB);
+        peers.push_back(std::make_unique<ElisaGuest>(*peer_vm[i], svc));
+        auto child = caps.back().delegate(peer_vm[i]->id());
+        ASSERT_TRUE(child);
+        // Hand the handle over: the receiver redeems it and keeps a
+        // handle bound to its own vCPU for further delegation.
+        AttachResult redeemed = peers.back()->redeem(*child);
+        ASSERT_TRUE(redeemed.ok()) << redeemed.reason();
+        caps.push_back(redeemed.capability());
+        gates.push_back(redeemed.take());
+        EXPECT_EQ(gates.back().call(3), 42u);
+    }
+    ASSERT_EQ(svc.grantCount(), 4u);
+    ASSERT_EQ(svc.attachmentCount(), 4u);
+    EXPECT_EQ(hv.grants().depthOf(caps.back().id()), 3u);
+
+    // Revoking the first delegation tears down all three hops but
+    // leaves the root attachment untouched.
+    std::vector<AttachInfo> infos;
+    for (const Gate &g : gates)
+        infos.push_back(g.info());
+    EXPECT_TRUE(caps[1].revoke());
+    EXPECT_EQ(svc.grantCount(), 1u);
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+    EXPECT_EQ(hv.stats().get("elisa_cap_revokes"), 1u);
+    EXPECT_EQ(hv.stats().get("elisa_grant_teardowns"), 3u);
+
+    // Zero reachable EPTP-list entries anywhere in the subtree; every
+    // torn-down gate faults instead of reaching the object.
+    for (int i = 0; i < 3; ++i) {
+        auto &list = peer_vm[i]->vcpu(0).eptpList();
+        EXPECT_FALSE(list.lookup(infos[i].gateIndex));
+        EXPECT_FALSE(list.lookup(infos[i].subIndex));
+        auto result = peer_vm[i]->run(0, [&] { gates[i].call(3); });
+        EXPECT_FALSE(result.ok);
+        EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+    }
+    EXPECT_EQ(root_gate.call(3), 42u);
+
+    // Revoke replay by the issuer is idempotent, not an error.
+    EXPECT_TRUE(caps[1].revoke());
+    EXPECT_GE(hv.stats().get("elisa_idempotent_revokes"), 1u);
+}
+
+TEST_F(ElisaTest, ExpiredDelegationFaultsOnNextCall)
+{
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    hv::Vm &peer_vm = hv.createVm("peer", 16 * MiB);
+    ElisaGuest peer(peer_vm, svc);
+
+    // Expiry bounds are absolute simulated time; leave room for the
+    // redeem's own setup charge on the peer's clock.
+    Capability::DelegateSpec spec;
+    spec.expiresNs = std::max(guest.vcpu().clock().now(),
+                              peer_vm.vcpu(0).clock().now()) +
+                     1'000'000;
+    auto child = attached.capability().delegate(peer_vm.id(), spec);
+    ASSERT_TRUE(child);
+
+    AttachResult redeemed = peer.redeem(*child);
+    ASSERT_TRUE(redeemed.ok()) << redeemed.reason();
+    Gate peer_gate = redeemed.take();
+    EXPECT_EQ(peer_gate.call(3), 42u);
+
+    // Lazy expiry: the first gate entry at or past the lapse instant
+    // finds the grant (and its EPTP-list entries) gone and faults.
+    peer_vm.vcpu(0).clock().advance(2'000'000);
+    auto result = peer_vm.run(0, [&] { peer_gate.call(3); });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exit.reason, cpu::ExitReason::VmfuncFail);
+    EXPECT_EQ(hv.stats().get("elisa_cap_expiries"), 1u);
+    EXPECT_EQ(svc.grantCount(), 1u);
+    EXPECT_EQ(svc.attachmentCount(), 1u);
+
+    // The never-expiring root is untouched by its child's lapse.
+    EXPECT_EQ(gate.call(3), 42u);
+}
+
+TEST_F(ElisaTest, DelegatedGateCostsExactlyWhatADirectGateCosts)
+{
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, basicFns()));
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate direct = attached.take();
+
+    hv::Vm &peer_vm = hv.createVm("peer", 16 * MiB);
+    ElisaGuest peer(peer_vm, svc);
+    auto child = attached.capability().delegate(peer_vm.id());
+    ASSERT_TRUE(child);
+    Gate delegated = peer.redeem(*child).take();
+
+    // The redeemed gate takes the identical exit-less VMFUNC path: the
+    // per-call cost is the same 196 ns, never-expiring grants pay no
+    // expiry-check time, and no VM exit is charged.
+    direct.call(3);    // warm
+    delegated.call(3); // warm
+    const SimNs d0 = guest.vcpu().clock().now();
+    EXPECT_EQ(direct.call(3), 42u);
+    const SimNs direct_ns = guest.vcpu().clock().now() - d0;
+
+    const std::uint64_t vmcalls0 =
+        peer_vm.vcpu(0).stats().get("vmcall");
+    const SimNs t0 = peer_vm.vcpu(0).clock().now();
+    EXPECT_EQ(delegated.call(3), 42u);
+    const SimNs delegated_ns = peer_vm.vcpu(0).clock().now() - t0;
+
+    EXPECT_EQ(direct_ns, hv.cost().elisaRttNs());
+    EXPECT_EQ(delegated_ns, direct_ns);
+    EXPECT_EQ(peer_vm.vcpu(0).stats().get("vmcall"), vmcalls0);
+}
+
 // ---- ShmAllocator -----------------------------------------------------
 
 class ShmAllocTest : public ElisaTest
@@ -455,7 +679,7 @@ class ShmAllocTest : public ElisaTest
     void
     SetUp() override
     {
-        exp = manager.exportObject("heap", 256 * KiB, basicFns());
+        exp = manager.exportObject(ExportKey("heap"), 256 * KiB, basicFns());
         ASSERT_TRUE(exp);
         mview = std::make_unique<cpu::GuestView>(manager.vcpu());
         heap = std::make_unique<ShmAllocator>(*mview,
@@ -509,7 +733,7 @@ TEST_F(ShmAllocTest, AllocationsVisibleThroughGate)
     ASSERT_TRUE(off);
     mview->write<std::uint64_t>(exp->objectGpa + *off, 0xfeed);
 
-    auto gate = guest.tryAttach("heap", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("heap"), manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0, *off), 0xfeedu);
 }

@@ -286,10 +286,10 @@ TEST(ElisaLargePages, BigExportsUseLargeMappings)
         return std::uint64_t{0};
     });
     auto exported =
-        manager.exportObject("big", 8 * MiB, std::move(fns));
+        manager.exportObject(core::ExportKey("big"), 8 * MiB, std::move(fns));
     ASSERT_TRUE(exported);
 
-    auto gate = guest.tryAttach("big", manager).intoOptional();
+    auto gate = guest.tryAttach(core::ExportKey("big"), manager).intoOptional();
     ASSERT_TRUE(gate);
     core::Attachment *attach = svc.attachment(gate->info().attachment);
     ASSERT_NE(attach, nullptr);

@@ -250,6 +250,190 @@ TEST(FaultKillMatrix, EveryStepSurvivesEitherPartyDying)
 }
 
 // ===================================================================
+// The delegation kill matrix.
+//
+// A delegator holding a root capability hands a grant to a delegatee,
+// which redeems it; the delegator then revokes. A scripted FaultPlan
+// kills one of the three parties (delegator, delegatee, manager) at
+// one of the three capability hypercalls (Delegate, Redeem,
+// CapRevoke). Afterwards the world must have converged through the
+// one unified teardown path: the delegated grant never survives, the
+// grant table and the service agree, EPTP-list reachability matches
+// grant liveness exactly, and the ExitLedger's double-entry
+// conservation holds across the whole episode.
+// ===================================================================
+
+TEST(CapabilityKillMatrix, DelegationStepsSurviveAnyPartyDying)
+{
+    const ElisaHc steps[] = {ElisaHc::Delegate, ElisaHc::Redeem,
+                             ElisaHc::CapRevoke};
+    enum class Victim
+    {
+        Delegator,
+        Delegatee,
+        Manager
+    };
+    const Victim victims[] = {Victim::Delegator, Victim::Delegatee,
+                              Victim::Manager};
+    const char *victimNames[] = {"delegator", "delegatee", "manager"};
+
+    for (const ElisaHc killStep : steps) {
+        for (const Victim victim : victims) {
+            SCOPED_TRACE(
+                std::string("kill ") +
+                victimNames[static_cast<int>(victim)] + " at hc 0x" +
+                std::to_string(nr(killStep)));
+
+            hv::Hypervisor hv(256 * MiB);
+            sim::ExitLedger ledger;
+            hv.setLedger(&ledger);
+            ElisaService svc(hv);
+            const std::uint64_t baseline = hv.allocator().allocated();
+
+            hv::Vm &mgr_vm = hv.createVm("manager", 16 * MiB);
+            hv::Vm &a_vm = hv.createVm("delegator", 16 * MiB);
+            hv::Vm &b_vm = hv.createVm("delegatee", 16 * MiB);
+            const VmId mgrId = mgr_vm.id();
+            const VmId aId = a_vm.id();
+            const VmId bId = b_vm.id();
+            ElisaManager manager(mgr_vm, svc);
+            ElisaGuest a(a_vm, svc);
+
+            ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB,
+                                             constFns()));
+            AttachResult root = a.tryAttach(ExportKey("kv"), manager);
+            ASSERT_TRUE(root.ok());
+            Gate root_gate = root.take();
+            const Capability cap = root.capability();
+            EXPECT_EQ(root_gate.call(0), 42u); // GateLeg ledger rows
+            const Gpa b_scratch = *b_vm.allocGuestMem(pageSize);
+
+            sim::FaultPlan plan;
+            const VmId victimId = victim == Victim::Delegator ? aId
+                                  : victim == Victim::Delegatee
+                                      ? bId
+                                      : mgrId;
+            plan.killVmAt(nr(killStep), victimId);
+            hv.setFaultPlan(&plan);
+
+            // One hypercall from @p actor, absorbing a deferred death
+            // of the caller like a hardware VM exit.
+            auto step = [&](VmId actor, cpu::HypercallArgs args) {
+                std::uint64_t rc = hv::hcError;
+                if (hv.hasVm(actor)) {
+                    hv::Vm &vm = hv.vm(actor);
+                    vm.run(0, [&] { rc = vm.vcpu(0).vmcall(args); });
+                }
+                hv.reapKilledVms();
+                return rc;
+            };
+
+            // Step 1: the delegator hands the full window to B.
+            CapId child = invalidCapId;
+            cpu::HypercallArgs args;
+            args.nr = nr(ElisaHc::Delegate);
+            args.arg0 = cap.id();
+            args.arg1 = bId;
+            const std::uint64_t drc = step(aId, args);
+            if (drc != hv::hcError && drc != hv::hcBusy)
+                child = static_cast<CapId>(drc);
+
+            // Step 2: the delegatee redeems and exercises the gate.
+            std::optional<AttachInfo> b_info;
+            std::optional<Gate> b_gate;
+            if (child != invalidCapId && hv.hasVm(bId)) {
+                args = {};
+                args.nr = nr(ElisaHc::Redeem);
+                args.arg0 = child;
+                args.arg1 = b_scratch;
+                if (step(bId, args) == 0 && hv.hasVm(bId)) {
+                    cpu::GuestView bv(b_vm.vcpu(0));
+                    const auto wire =
+                        bv.read<WireAttachResult>(b_scratch);
+                    b_info = wire.info;
+                    b_gate.emplace(b_vm.vcpu(0), svc, wire.info);
+                    b_vm.run(0, [&] { b_gate->call(0); });
+                    hv.reapKilledVms();
+                }
+            }
+
+            // Step 3: the delegator revokes the delegation.
+            if (child != invalidCapId && hv.hasVm(aId)) {
+                args = {};
+                args.nr = nr(ElisaHc::CapRevoke);
+                args.arg0 = child;
+                step(aId, args);
+            }
+            hv.setFaultPlan(nullptr);
+
+            // The kill rule fired exactly once and the victim is gone.
+            EXPECT_EQ(plan.injectedCount(), 1u);
+            EXPECT_FALSE(hv.hasVm(victimId));
+
+            // The delegated grant never survives the matrix: torn by
+            // the revoke, by its holder's/issuer's death, or by the
+            // manager's auto-revoke — or never minted at all.
+            if (child != invalidCapId) {
+                EXPECT_FALSE(hv.grants().contains(child));
+            }
+
+            // Grant table and service bookkeeping agree.
+            EXPECT_EQ(svc.grantCount(), hv.grants().size());
+
+            // EPTP reachability matches grant liveness exactly: a
+            // live grant's entries resolve, a dead grant's dangle
+            // nowhere.
+            if (hv.hasVm(aId)) {
+                auto &list = a_vm.vcpu(0).eptpList();
+                const bool live = hv.grants().contains(cap.id());
+                EXPECT_EQ(
+                    static_cast<bool>(
+                        list.lookup(root_gate.info().gateIndex)),
+                    live);
+                EXPECT_EQ(static_cast<bool>(
+                              list.lookup(root_gate.info().subIndex)),
+                          live);
+                auto result = a_vm.run(0, [&] { root_gate.call(0); });
+                EXPECT_EQ(result.ok, live);
+            }
+            if (b_info && hv.hasVm(bId)) {
+                auto &list = b_vm.vcpu(0).eptpList();
+                EXPECT_FALSE(list.lookup(b_info->gateIndex));
+                EXPECT_FALSE(list.lookup(b_info->subIndex));
+                auto result = b_vm.run(0, [&] { b_gate->call(0); });
+                EXPECT_FALSE(result.ok);
+                EXPECT_EQ(result.exit.reason,
+                          cpu::ExitReason::VmfuncFail);
+            }
+
+            // Ledger conservation across the whole episode: the cost
+            // kinds partition the grand total, so do the VMs, and the
+            // raw rows agree with both.
+            SimNs kinds = 0;
+            kinds += ledger.kindNs(sim::CostKind::Exit);
+            kinds += ledger.kindNs(sim::CostKind::Hypercall);
+            kinds += ledger.kindNs(sim::CostKind::GateLeg);
+            EXPECT_EQ(kinds, ledger.totalNs());
+            const SimNs vms = ledger.vmNs(mgrId) + ledger.vmNs(aId) +
+                              ledger.vmNs(bId);
+            EXPECT_EQ(vms, ledger.totalNs());
+            SimNs row_ns = 0;
+            for (const sim::ExitLedger::Row &row : ledger.rows())
+                row_ns += row.ns;
+            EXPECT_EQ(row_ns, ledger.totalNs());
+
+            // No leaked frames or grants once the survivors are gone.
+            for (const VmId id : {mgrId, aId, bId}) {
+                if (hv.hasVm(id))
+                    hv.destroyVm(id);
+            }
+            EXPECT_EQ(hv.allocator().allocated(), baseline);
+            EXPECT_EQ(hv.grants().size(), 0u);
+        }
+    }
+}
+
+// ===================================================================
 // Individual fault actions.
 // ===================================================================
 
@@ -353,8 +537,8 @@ TEST_F(FaultTest, DuplicateRunsTheHandlerTwice)
 
 TEST_F(FaultTest, DuplicatedDetachIsIdempotent)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     sim::FaultRule rule;
@@ -372,7 +556,7 @@ TEST_F(FaultTest, DuplicatedDetachIsIdempotent)
 
 TEST_F(FaultTest, KillThirdPartyIsImmediate)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
     const VmId victim = managerVm.id();
     plan.killVmAt(static_cast<std::uint64_t>(hv::Hc::Nop), victim);
     hv.setFaultPlan(&plan);
@@ -407,10 +591,36 @@ TEST_F(FaultTest, KillCallerIsDeferredPastItsOwnFrames)
     EXPECT_FALSE(hv.hasVm(victim));
 }
 
+TEST_F(FaultTest, GrantExhaustFailsDelegationCleanly)
+{
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+    hv::Vm &peer_vm = hv.createVm("peer", 16 * MiB);
+
+    sim::FaultRule rule;
+    rule.action = sim::FaultAction::GrantExhaust;
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    // Injected grant-table exhaustion: the delegation is refused with
+    // a defined error, no child grant is minted, the parent grant and
+    // its gate survive untouched.
+    EXPECT_FALSE(attached.capability().delegate(peer_vm.id()));
+    EXPECT_EQ(hv.stats().get("elisa_grant_exhausted"), 1u);
+    EXPECT_EQ(svc.grantCount(), 1u);
+    EXPECT_EQ(gate.call(0), 42u);
+
+    // Transient: with the rule spent, the same delegation succeeds.
+    EXPECT_TRUE(attached.capability().delegate(peer_vm.id()));
+    EXPECT_EQ(svc.grantCount(), 2u);
+}
+
 TEST_F(FaultTest, GateStaleFaultsLikeARevokedAttachment)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     sim::FaultRule rule;
@@ -445,11 +655,11 @@ TEST_F(FaultTest, LedgerConservationHoldsUnderChaos)
     chaos.setDuplicateChance(0.1);
     hv.setFaultPlan(&chaos);
 
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
 
     for (int cycle = 0; cycle < 12; ++cycle) {
         auto result = guest.attachWithRetry(
-            "kv", [&] { manager.pollRequests(); });
+            ExportKey("kv"), [&] { manager.pollRequests(); });
         if (!result.ok())
             continue; // chaos won this round; accounting still must
         Gate gate = result.take();
@@ -504,8 +714,8 @@ TEST_F(FaultTest, LedgerConservationHoldsUnderChaos)
 
 TEST_F(FaultTest, ShmExhaustAndCorrupt)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 16 * KiB, constFns()));
-    auto obj = manager.exportObject("region", 16 * KiB, constFns());
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 16 * KiB, constFns()));
+    auto obj = manager.exportObject(ExportKey("region"), 16 * KiB, constFns());
     ASSERT_TRUE(obj);
 
     cpu::GuestView view = manager.view();
@@ -560,8 +770,8 @@ TEST_F(FaultTest, ZeroFaultPlanIsInvisible)
 {
     hv.setFaultPlan(&plan); // no rules, no chances
 
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0), 42u);
     EXPECT_TRUE(guest.detach(*gate));
@@ -577,8 +787,8 @@ TEST_F(FaultTest, ZeroFaultPlanIsInvisible)
 
 TEST_F(FaultTest, PendingRequestTimesOutInsteadOfHanging)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto req = guest.requestAttach("kv");
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
 
     // The manager never polls; past the bound the guest's Query
@@ -594,14 +804,14 @@ TEST_F(FaultTest, PendingRequestTimesOutInsteadOfHanging)
 
 TEST_F(FaultTest, ManagerDeathDeniesWaitersAndRevokesExports)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
-    auto held = guest.tryAttach("kv", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
+    auto held = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(held);
     const EptpIndex gateIdx = held->info().gateIndex;
     const EptpIndex subIdx = held->info().subIndex;
 
     // A second request is still pending when the manager dies.
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     hv.destroyVm(managerVm.id());
 
@@ -625,7 +835,7 @@ TEST_F(FaultTest, ManagerDeathDeniesWaitersAndRevokesExports)
 
 TEST_F(FaultTest, AttachWithRetrySurvivesDroppedHypercalls)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
 
     // Drop the first AttachRequest and the first Query; the bounded
     // retry loop re-requests and succeeds.
@@ -638,7 +848,7 @@ TEST_F(FaultTest, AttachWithRetrySurvivesDroppedHypercalls)
     hv.setFaultPlan(&plan);
 
     AttachResult attached = guest.attachWithRetry(
-        "kv", [&] { manager.pollRequests(); });
+        ExportKey("kv"), [&] { manager.pollRequests(); });
     ASSERT_TRUE(attached.ok());
     Gate gate = attached.take();
     EXPECT_EQ(gate.call(0), 42u);
@@ -648,14 +858,14 @@ TEST_F(FaultTest, AttachWithRetrySurvivesDroppedHypercalls)
 
 TEST_F(FaultTest, AttachWithRetryGivesUpOnDeadManager)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
     plan.killVmAt(nr(ElisaHc::AttachRequest), managerVm.id());
     hv.setFaultPlan(&plan);
 
     // The manager dies while the request hypercall is in flight: the
     // export is auto-revoked and the request denied, so the retry
     // loop terminates with a definitive failure instead of spinning.
-    AttachResult failed = guest.attachWithRetry("kv");
+    AttachResult failed = guest.attachWithRetry(ExportKey("kv"));
     EXPECT_FALSE(failed.ok());
     // The export was auto-revoked with its manager, so the bounded
     // loop ends on a non-Attached status with the reason filled in.
@@ -666,21 +876,21 @@ TEST_F(FaultTest, AttachWithRetryGivesUpOnDeadManager)
 
 TEST_F(FaultTest, AttachBuildFaultDeniesCleanly)
 {
-    ASSERT_TRUE(manager.exportObject("kv", 4 * KiB, constFns()));
+    ASSERT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB, constFns()));
 
     sim::FaultRule rule;
     rule.action = sim::FaultAction::ShmExhaust; // build-resource fault
     plan.addRule(rule);
     hv.setFaultPlan(&plan);
 
-    AttachResult faulted = guest.tryAttach("kv", manager);
+    AttachResult faulted = guest.tryAttach(ExportKey("kv"), manager);
     EXPECT_EQ(faulted.status(), AttachStatus::Denied);
     EXPECT_FALSE(faulted.reason().empty());
     EXPECT_EQ(svc.attachmentCount(), 0u);
     EXPECT_EQ(hv.stats().get("elisa_attach_build_faults"), 1u);
 
     // Transient: with the rule spent, the same attach succeeds.
-    AttachResult retry = guest.tryAttach("kv", manager);
+    AttachResult retry = guest.tryAttach(ExportKey("kv"), manager);
     ASSERT_TRUE(retry.ok());
     EXPECT_EQ(retry.gate().call(0), 42u);
 }

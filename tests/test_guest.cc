@@ -185,9 +185,9 @@ TEST_F(GuestPagingTest, GuestAppCanDriveElisaThroughVirtualMemory)
         return std::uint64_t{0};
     });
     auto exported =
-        manager.exportObject("app-obj", pageSize, std::move(fns));
+        manager.exportObject(core::ExportKey("app-obj"), pageSize, std::move(fns));
     ASSERT_TRUE(exported);
-    auto gate = guest.tryAttach("app-obj", manager).intoOptional();
+    auto gate = guest.tryAttach(core::ExportKey("app-obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // The app's buffer lives at a GVA; it reads it through its own

@@ -88,9 +88,9 @@ TEST_F(IsolationTest, DirectMappingIsNotIsolated)
 
 TEST_F(IsolationTest, GuestCannotTouchManagerObjectFromDefaultContext)
 {
-    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    auto exp = manager.exportObject(ExportKey("obj"), 4 * KiB, fns());
     ASSERT_TRUE(exp);
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     cpu::GuestView v(victimVm.vcpu(0));
@@ -104,8 +104,8 @@ TEST_F(IsolationTest, GuestCannotTouchManagerObjectFromDefaultContext)
 
 TEST_F(IsolationTest, UnattachedGuestCannotVmfuncAnywhere)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // The attacker guesses the victim's indices: its own EPTP list
@@ -119,8 +119,8 @@ TEST_F(IsolationTest, UnattachedGuestCannotVmfuncAnywhere)
 
 TEST_F(IsolationTest, DirectVmfuncToSubContextStrandsTheGuest)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // A malicious guest skips the gate and VMFUNCs straight into the
@@ -142,8 +142,8 @@ TEST_F(IsolationTest, DirectVmfuncToSubContextStrandsTheGuest)
 
 TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Even *trusted* shared code cannot read the caller's RAM: GPA
@@ -154,9 +154,9 @@ TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
         return ctx.view.read<std::uint64_t>(0x1000);
     });
     // Splice the leaky table in via a second export.
-    ASSERT_TRUE(manager.exportObject("leaky", 4 * KiB,
+    ASSERT_TRUE(manager.exportObject(ExportKey("leaky"), 4 * KiB,
                                      std::move(leak)));
-    auto leaky_gate = victim.tryAttach("leaky", manager).intoOptional();
+    auto leaky_gate = victim.tryAttach(ExportKey("leaky"), manager).intoOptional();
     ASSERT_TRUE(leaky_gate);
 
     auto result = victimVm.run(0, [&] { leaky_gate->call(0); });
@@ -166,9 +166,9 @@ TEST_F(IsolationTest, SubContextCodeCannotReachGuestRam)
 
 TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto g_victim = victim.tryAttach("obj", manager).intoOptional();
-    auto g_attacker = attacker.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto g_victim = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
+    auto g_attacker = attacker.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(g_victim && g_attacker);
 
     const char secret[] = "victim secret";
@@ -189,7 +189,7 @@ TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
     EXPECT_STRNE(probe2, secret);
 
     // Within one VM, distinct attachments get distinct window GPAs.
-    auto g_second = victim.tryAttach("obj", manager).intoOptional();
+    auto g_second = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(g_second);
     EXPECT_NE(g_second->info().exchangeGuestGpa,
               g_victim->info().exchangeGuestGpa);
@@ -197,12 +197,12 @@ TEST_F(IsolationTest, ExchangeBuffersArePrivatePerAttachment)
 
 TEST_F(IsolationTest, ReadOnlyExportRejectsWrites)
 {
-    auto exp = manager.exportObject("ro", 4 * KiB, fns(),
+    auto exp = manager.exportObject(ExportKey("ro"), 4 * KiB, fns(),
                                     ept::Perms::Read);
     ASSERT_TRUE(exp);
     manager.view().write<std::uint64_t>(exp->objectGpa, 0x1234);
 
-    auto gate = victim.tryAttach("ro", manager).intoOptional();
+    auto gate = victim.tryAttach(ExportKey("ro"), manager).intoOptional();
     ASSERT_TRUE(gate);
     EXPECT_EQ(gate->call(0, 0), 0x1234u); // reads fine
 
@@ -218,7 +218,7 @@ TEST_F(IsolationTest, ReadOnlyExportRejectsWrites)
 TEST_F(IsolationTest, PerClientPermissionGrants)
 {
     // One RW export; the victim gets RW, the attacker only R.
-    auto exp = manager.exportObject("shared", 4 * KiB, fns());
+    auto exp = manager.exportObject(ExportKey("shared"), 4 * KiB, fns());
     ASSERT_TRUE(exp);
     manager.setPermsPolicy(
         [&](VmId vm, const std::string &)
@@ -227,8 +227,8 @@ TEST_F(IsolationTest, PerClientPermissionGrants)
                                        : ept::Perms::Read;
         });
 
-    auto g_rw = victim.tryAttach("shared", manager).intoOptional();
-    auto g_ro = attacker.tryAttach("shared", manager).intoOptional();
+    auto g_rw = victim.tryAttach(ExportKey("shared"), manager).intoOptional();
+    auto g_ro = attacker.tryAttach(ExportKey("shared"), manager).intoOptional();
     ASSERT_TRUE(g_rw && g_ro);
 
     // Writer writes; reader reads — shared state, asymmetric rights.
@@ -246,13 +246,13 @@ TEST_F(IsolationTest, PerClientPermissionGrants)
 TEST_F(IsolationTest, PermissionEscalationRefused)
 {
     // A read-only export cannot be granted RW, even by its manager.
-    ASSERT_TRUE(manager.exportObject("ro-only", 4 * KiB, fns(),
+    ASSERT_TRUE(manager.exportObject(ExportKey("ro-only"), 4 * KiB, fns(),
                                      ept::Perms::Read));
     manager.setPermsPolicy(
         [](VmId, const std::string &) -> std::optional<ept::Perms> {
             return ept::Perms::RW; // illegal escalation attempt
         });
-    auto req = victim.requestAttach("ro-only");
+    auto req = victim.requestAttach(ExportKey("ro-only"));
     ASSERT_TRUE(req);
     manager.pollRequests();
     // The Approve hypercall is refused; the request stays pending.
@@ -262,8 +262,8 @@ TEST_F(IsolationTest, PermissionEscalationRefused)
 
 TEST_F(IsolationTest, DetachedIndexCannotBeReplayed)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
     const EptpIndex stale = gate->info().subIndex;
     ASSERT_TRUE(victim.detach(*gate));
@@ -277,9 +277,9 @@ TEST_F(IsolationTest, DetachedIndexCannotBeReplayed)
 
 TEST_F(IsolationTest, TlbDoesNotLeakAcrossRevocation)
 {
-    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    auto exp = manager.exportObject(ExportKey("obj"), 4 * KiB, fns());
     ASSERT_TRUE(exp);
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     // Warm the victim's TLB with sub-context translations.
@@ -297,8 +297,8 @@ TEST_F(IsolationTest, TlbDoesNotLeakAcrossRevocation)
 
 TEST_F(IsolationTest, GuestCannotDetachForeignAttachment)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto gate = victim.tryAttach("obj", manager).intoOptional();
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto gate = victim.tryAttach(ExportKey("obj"), manager).intoOptional();
     ASSERT_TRUE(gate);
 
     cpu::HypercallArgs args;
@@ -313,8 +313,8 @@ TEST_F(IsolationTest, GuestCannotDetachForeignAttachment)
 
 TEST_F(IsolationTest, GuestCannotApproveItsOwnRequest)
 {
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, fns()));
-    auto req = attacker.requestAttach("obj");
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, fns()));
+    auto req = attacker.requestAttach(ExportKey("obj"));
     ASSERT_TRUE(req);
 
     cpu::HypercallArgs args;
@@ -328,7 +328,7 @@ TEST_F(IsolationTest, HostInterpositionIsIsolatedButCostly)
 {
     // Baseline sanity for Table 1: a VMCALL-mediated access is checked
     // by the host (isolated) but costs the full exit round trip.
-    auto exp = manager.exportObject("obj", 4 * KiB, fns());
+    auto exp = manager.exportObject(ExportKey("obj"), 4 * KiB, fns());
     ASSERT_TRUE(exp);
     const Hpa obj_hpa = managerVm.ramGpaToHpa(exp->objectGpa);
 

@@ -407,10 +407,10 @@ TEST(MetricsOverhead, DisabledLedgerWithinBudget)
 
     SharedFnTable fns;
     fns.push_back([](SubCallCtx &) { return std::uint64_t{42}; });
-    ASSERT_TRUE(manager.exportObject("obj", 4 * KiB, std::move(fns)));
+    ASSERT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB, std::move(fns)));
 
     // Ledger OFF — the shipped default (setLedger was never called).
-    Gate gate = guest.tryAttach("obj", manager).take();
+    Gate gate = guest.tryAttach(ExportKey("obj"), manager).take();
     gate.call(0); // warm
 
     using clock = std::chrono::steady_clock;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "base/units.hh"
@@ -48,7 +49,7 @@ class AdversarialTest : public ::testing::Test
           manager(managerVm, svc), guest(guestVm, svc),
           other(otherVm, svc)
     {
-        exported = manager.exportObject("kv", 4 * KiB, constFns());
+        exported = manager.exportObject(ExportKey("kv"), 4 * KiB, constFns());
     }
 
     /** Snapshot the externally visible service state. */
@@ -103,7 +104,7 @@ TEST_F(AdversarialTest, BogusRequestIdsAreRejected)
 
 TEST_F(AdversarialTest, DoubleApproveFailsWithoutSecondAttachment)
 {
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     ASSERT_EQ(manager.pollRequests(), 1u);
     ASSERT_EQ(svc.attachmentCount(), 1u);
@@ -116,7 +117,7 @@ TEST_F(AdversarialTest, DoubleApproveFailsWithoutSecondAttachment)
 
 TEST_F(AdversarialTest, ApproveAfterDenyFails)
 {
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     EXPECT_EQ(raw(managerVm, ElisaHc::Deny, *req), 0u);
     // The die is cast: the manager cannot change its mind.
@@ -128,7 +129,7 @@ TEST_F(AdversarialTest, ApproveAfterDenyFails)
 
 TEST_F(AdversarialTest, GuestCannotDetachAnothersAttachment)
 {
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachmentId aid = gate->info().attachment;
 
@@ -146,7 +147,7 @@ TEST_F(AdversarialTest, GuestCannotDetachAnothersAttachment)
 
 TEST_F(AdversarialTest, GuestCannotQueryAnothersRequest)
 {
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
 
     // Another guest probing the request id learns nothing and does
@@ -160,7 +161,7 @@ TEST_F(AdversarialTest, GuestCannotQueryAnothersRequest)
 
 TEST_F(AdversarialTest, QuerySpamIsHarmless)
 {
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
 
     // Spamming Query on a Pending request changes nothing.
@@ -245,20 +246,20 @@ TEST_F(AdversarialTest, RequestQueueCapReturnsBusy)
     // Fill the manager's queue to the cap...
     std::optional<RequestId> last;
     for (unsigned i = 0; i < 8; ++i) {
-        last = guest.requestAttach("kv");
+        last = guest.requestAttach(ExportKey("kv"));
         ASSERT_TRUE(last);
     }
     const std::size_t queued = svc.requestCount();
 
     // ...the next request is refused with Busy (the elisa_busy
     // counter, distinct from error) and creates no host-side state.
-    EXPECT_FALSE(guest.requestAttach("kv"));
+    EXPECT_FALSE(guest.requestAttach(ExportKey("kv")));
     EXPECT_EQ(svc.requestCount(), queued);
     EXPECT_EQ(hv.stats().get("elisa_busy"), 1u);
 
     // Draining the queue frees capacity again.
     EXPECT_EQ(manager.pollRequests(), 8u);
-    auto req = guest.requestAttach("kv");
+    auto req = guest.requestAttach(ExportKey("kv"));
     ASSERT_TRUE(req);
     EXPECT_EQ(hv.stats().get("elisa_busy"), 1u);
 }
@@ -266,12 +267,12 @@ TEST_F(AdversarialTest, RequestQueueCapReturnsBusy)
 TEST_F(AdversarialTest, BusyGuestRetriesThroughBackoff)
 {
     svc.setQueueCap(1);
-    ASSERT_TRUE(guest.requestAttach("kv")); // occupies the only slot
+    ASSERT_TRUE(guest.requestAttach(ExportKey("kv"))); // occupies the only slot
 
     // The second guest's robust attach backs off, pumps the manager
     // (which drains the queue), and then succeeds.
     AttachResult attached = other.attachWithRetry(
-        "kv", [&] { manager.pollRequests(); });
+        ExportKey("kv"), [&] { manager.pollRequests(); });
     ASSERT_TRUE(attached.ok());
     EXPECT_EQ(attached.gate().call(0), 42u);
     EXPECT_GE(hv.stats().get("elisa_busy"), 1u);
@@ -279,7 +280,7 @@ TEST_F(AdversarialTest, BusyGuestRetriesThroughBackoff)
 
 TEST_F(AdversarialTest, DetachReplayIsIdempotentForOwnerOnly)
 {
-    auto gate = guest.tryAttach("kv", manager).intoOptional();
+    auto gate = guest.tryAttach(ExportKey("kv"), manager).intoOptional();
     ASSERT_TRUE(gate);
     const AttachmentId aid = gate->info().attachment;
 
@@ -299,6 +300,107 @@ TEST_F(AdversarialTest, RevokeReplayIsIdempotentForOwnerOnly)
     EXPECT_EQ(raw(managerVm, ElisaHc::Revoke, exported->id), 0u);
     EXPECT_GE(hv.stats().get("elisa_idempotent_revokes"), 1u);
     EXPECT_EQ(svc.exportCount(), 0u);
+}
+
+// ===================================================================
+// Capability handles under hostile inputs.
+// ===================================================================
+
+TEST_F(AdversarialTest, DelegationCannotWidenPermissions)
+{
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    // The root grant carries RW; hand the other guest read-only.
+    Capability::DelegateSpec ro;
+    ro.perms = ept::Perms::Read;
+    auto child = attached.capability().delegate(otherVm.id(), ro);
+    ASSERT_TRUE(child);
+    const std::size_t grants0 = svc.grantCount();
+    const std::string before = snapshot();
+
+    // The delegatee re-delegating cannot win back the write bit its
+    // own grant lost — the narrowing check runs host-side at every
+    // hop, whatever a forged spec claims.
+    EXPECT_EQ(
+        raw(otherVm, ElisaHc::Delegate, child->id(),
+            guestVm.id() |
+                (static_cast<std::uint64_t>(ept::Perms::RW) << 32)),
+        hv::hcError);
+    EXPECT_EQ(hv.stats().get("elisa_cap_widen_refused"), 1u);
+    EXPECT_EQ(svc.grantCount(), grants0);
+    EXPECT_EQ(snapshot(), before);
+
+    // Equal-or-narrower is still allowed from the same grant.
+    EXPECT_NE(
+        raw(otherVm, ElisaHc::Delegate, child->id(),
+            guestVm.id() |
+                (static_cast<std::uint64_t>(ept::Perms::Read) << 32)),
+        hv::hcError);
+}
+
+TEST_F(AdversarialTest, ExpiredHandleReplayIsRefused)
+{
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    Capability::DelegateSpec spec;
+    spec.expiresNs = std::max(guestVm.vcpu(0).clock().now(),
+                              otherVm.vcpu(0).clock().now()) +
+                     1'000'000;
+    auto child = attached.capability().delegate(otherVm.id(), spec);
+    ASSERT_TRUE(child);
+    ASSERT_EQ(svc.grantCount(), 2u);
+
+    // Past the lapse instant, redeeming the handle is refused and the
+    // grant (with any subtree) is reaped on that very hypercall.
+    otherVm.vcpu(0).clock().advance(2'000'000);
+    EXPECT_EQ(raw(otherVm, ElisaHc::Redeem, child->id(), 0x1000, 0),
+              hv::hcError);
+    EXPECT_EQ(hv.stats().get("elisa_cap_expiries"), 1u);
+    EXPECT_EQ(svc.grantCount(), 1u);
+
+    // Replaying the dead handle stays refused — and counts no second
+    // expiry; so does trying to delegate from it.
+    EXPECT_EQ(raw(otherVm, ElisaHc::Redeem, child->id(), 0x1000, 0),
+              hv::hcError);
+    EXPECT_EQ(raw(otherVm, ElisaHc::Delegate, child->id(),
+                  guestVm.id()),
+              hv::hcError);
+    EXPECT_EQ(hv.stats().get("elisa_cap_expiries"), 1u);
+
+    // A party to the lapsed grant replaying its revoke gets the
+    // idempotent acknowledgement; a stranger gets an error.
+    EXPECT_EQ(raw(otherVm, ElisaHc::CapRevoke, child->id()), 0u);
+    hv::Vm &rogueVm = hv.createVm("rogue", 16 * MiB);
+    EXPECT_EQ(raw(rogueVm, ElisaHc::CapRevoke, child->id()),
+              hv::hcError);
+}
+
+TEST_F(AdversarialTest, DelegationDepthIsBounded)
+{
+    AttachResult attached = guest.tryAttach(ExportKey("kv"), manager);
+    ASSERT_TRUE(attached.ok());
+    Gate gate = attached.take();
+
+    // Self-delegation builds an ever-deeper chain without extra VMs;
+    // the depth bound cuts it off at maxDelegationDepth grants.
+    Capability cur = attached.capability();
+    for (unsigned depth = 1; depth < maxDelegationDepth; ++depth) {
+        auto next = cur.delegate(guestVm.id());
+        ASSERT_TRUE(next) << "depth " << depth;
+        cur = *next;
+    }
+    EXPECT_EQ(svc.grantCount(), maxDelegationDepth);
+
+    const std::string before = snapshot();
+    EXPECT_FALSE(cur.delegate(guestVm.id()));
+    EXPECT_EQ(raw(guestVm, ElisaHc::Delegate, cur.id(), otherVm.id()),
+              hv::hcError);
+    EXPECT_EQ(svc.grantCount(), maxDelegationDepth);
+    EXPECT_EQ(snapshot(), before);
 }
 
 } // anonymous namespace

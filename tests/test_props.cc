@@ -243,7 +243,7 @@ TEST_P(NegotiationFuzz, AdversarialHypercallsNeverCorruptTheService)
     fns.push_back([](core::SubCallCtx &ctx) {
         return ctx.view.read<std::uint64_t>(ctx.obj);
     });
-    ASSERT_TRUE(manager.exportObject("target", 4 * KiB,
+    ASSERT_TRUE(manager.exportObject(core::ExportKey("target"), 4 * KiB,
                                      std::move(fns)));
 
     sim::Rng rng(GetParam());
@@ -254,7 +254,7 @@ TEST_P(NegotiationFuzz, AdversarialHypercallsNeverCorruptTheService)
         switch (action) {
           case 0: { // legitimate attach
             if (gates.size() < 40) {
-                auto g = guest.tryAttach("target", manager);
+                auto g = guest.tryAttach(core::ExportKey("target"), manager);
                 if (g)
                     gates.push_back(g.take());
             }

@@ -171,7 +171,7 @@ class TraceTest : public ::testing::Test
         hv.setTracer(&tracer);
         SharedFnTable fns;
         fns.push_back([](SubCallCtx &) { return std::uint64_t{42}; });
-        EXPECT_TRUE(manager.exportObject("obj", 4 * KiB,
+        EXPECT_TRUE(manager.exportObject(ExportKey("obj"), 4 * KiB,
                                          std::move(fns)));
     }
 
@@ -198,7 +198,7 @@ class TraceTest : public ::testing::Test
 
 TEST_F(TraceTest, GateCallDecomposesIntoThePaperSpans)
 {
-    AttachResult attached = guest.tryAttach("obj", manager);
+    AttachResult attached = guest.tryAttach(ExportKey("obj"), manager);
     ASSERT_TRUE(attached.ok());
     Gate gate = attached.take();
 
@@ -247,7 +247,7 @@ TEST_F(TraceTest, GateCallDecomposesIntoThePaperSpans)
 
 TEST_F(TraceTest, NegotiationLifecycleIsOneAsyncSpan)
 {
-    AttachResult attached = guest.tryAttach("obj", manager);
+    AttachResult attached = guest.tryAttach(ExportKey("obj"), manager);
     ASSERT_TRUE(attached.ok());
     ASSERT_TRUE(attached.request().has_value());
     const std::uint64_t rid = *attached.request();
@@ -271,7 +271,7 @@ TEST_F(TraceTest, DeniedNegotiationEndsTheSpanWithDenied)
     manager.setApprover([](VmId, const std::string &) {
         return false;
     });
-    AttachResult denied = guest.tryAttach("obj", manager);
+    AttachResult denied = guest.tryAttach(ExportKey("obj"), manager);
     EXPECT_EQ(denied.status(), AttachStatus::Denied);
 
     const auto reqs = eventsNamed(SpanCat::Negotiation,
@@ -343,8 +343,8 @@ TEST_F(TraceTest, SameWorkloadSameBytes)
         ElisaGuest gst(gst_vm, service);
         SharedFnTable fns;
         fns.push_back([](SubCallCtx &) { return std::uint64_t{1}; });
-        EXPECT_TRUE(mgr.exportObject("d", 4 * KiB, std::move(fns)));
-        Gate gate = gst.tryAttach("d", mgr).take();
+        EXPECT_TRUE(mgr.exportObject(ExportKey("d"), 4 * KiB, std::move(fns)));
+        Gate gate = gst.tryAttach(ExportKey("d"), mgr).take();
         for (int i = 0; i < 100; ++i)
             gate.call(0);
         gate.detach();
@@ -367,7 +367,7 @@ TEST_F(TraceTest, SameWorkloadSameBytes)
 TEST_F(TraceTest, DisabledTracerOverheadWithinBudget)
 {
     hv.setTracer(nullptr); // tracing OFF — the shipped default
-    Gate gate = guest.tryAttach("obj", manager).take();
+    Gate gate = guest.tryAttach(ExportKey("obj"), manager).take();
     gate.call(0); // warm
 
     using clock = std::chrono::steady_clock;
@@ -454,7 +454,7 @@ TEST_F(TraceTest, AttachResultCarriesEveryStatus)
     EXPECT_NE(busy.reason().find("re-request"), std::string::npos);
 
     // Pending, then Attached, through the request it tracks.
-    auto req = guest.requestAttach("obj");
+    auto req = guest.requestAttach(ExportKey("obj"));
     ASSERT_TRUE(req);
     AttachResult pending = guest.pollAttach(*req);
     EXPECT_EQ(pending.status(), AttachStatus::Pending);
@@ -467,12 +467,12 @@ TEST_F(TraceTest, AttachResultCarriesEveryStatus)
               "attached");
 
     // Denied: unknown export name.
-    AttachResult denied = guest.tryAttach("no-such", manager);
+    AttachResult denied = guest.tryAttach(ExportKey("no-such"), manager);
     EXPECT_EQ(denied.status(), AttachStatus::Denied);
     EXPECT_NE(denied.reason().find("no-such"), std::string::npos);
 
     // TimedOut: a request the manager never answers.
-    auto stale = guest.requestAttach("obj");
+    auto stale = guest.requestAttach(ExportKey("obj"));
     ASSERT_TRUE(stale);
     guest.vcpu().clock().advance(hv.cost().negotiationTimeoutNs + 1);
     AttachResult late = guest.pollAttach(*stale);
@@ -482,7 +482,7 @@ TEST_F(TraceTest, AttachResultCarriesEveryStatus)
 TEST_F(TraceTest, GateAutoDetachesOnScopeExit)
 {
     {
-        AttachResult attached = guest.tryAttach("obj", manager);
+        AttachResult attached = guest.tryAttach(ExportKey("obj"), manager);
         ASSERT_TRUE(attached.ok());
         EXPECT_EQ(svc.attachmentCount(), 1u);
         Gate gate = attached.take();
@@ -496,7 +496,7 @@ TEST_F(TraceTest, GateAutoDetachesOnScopeExit)
 
 TEST_F(TraceTest, ExplicitDetachThenDestructionIsIdempotent)
 {
-    Gate gate = guest.tryAttach("obj", manager).take();
+    Gate gate = guest.tryAttach(ExportKey("obj"), manager).take();
     EXPECT_TRUE(gate.valid());
     EXPECT_TRUE(gate.detach());
     EXPECT_FALSE(gate.valid());
@@ -510,7 +510,7 @@ TEST_F(TraceTest, ExplicitDetachThenDestructionIsIdempotent)
 
 TEST_F(TraceTest, MoveTransfersOwnershipExactlyOnce)
 {
-    Gate a = guest.tryAttach("obj", manager).take();
+    Gate a = guest.tryAttach(ExportKey("obj"), manager).take();
     const AttachInfo info = a.info();
 
     Gate b = std::move(a);
@@ -520,7 +520,7 @@ TEST_F(TraceTest, MoveTransfersOwnershipExactlyOnce)
     EXPECT_EQ(b.call(0), 42u);
 
     // Move-assign over a live gate detaches the overwritten one.
-    Gate c = guest.tryAttach("obj", manager).take();
+    Gate c = guest.tryAttach(ExportKey("obj"), manager).take();
     EXPECT_EQ(svc.attachmentCount(), 2u);
     c = std::move(b);
     EXPECT_EQ(svc.attachmentCount(), 1u);
@@ -533,7 +533,7 @@ TEST_F(TraceTest, GateDestructionAfterVmDeathIsSafe)
     hv::Vm &doomed = hv.createVm("doomed", 16 * MiB);
     {
         ElisaGuest dguest(doomed, svc);
-        Gate gate = dguest.tryAttach("obj", manager).take();
+        Gate gate = dguest.tryAttach(ExportKey("obj"), manager).take();
         EXPECT_EQ(svc.attachmentCount(), 1u);
         hv.destroyVm(doomed.id());
         // The VM (and its vCPUs) are gone; the Gate's destructor must

@@ -71,10 +71,10 @@ ledgerGateSection()
     core::ElisaGuest guest(vm, bed.svc);
     core::SharedFnTable fns;
     fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
-    auto exported = bed.manager.exportObject("noop", pageSize,
+    auto exported = bed.manager.exportObject(core::ExportKey("noop"), pageSize,
                                              std::move(fns));
     fatal_if(!exported, "export failed");
-    core::Gate gate = mustAttach(guest, "noop", bed.manager);
+    core::Gate gate = mustAttach(guest, core::ExportKey("noop"), bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     const std::uint64_t iterations = scaledCount(100000);
@@ -163,10 +163,10 @@ prometheusSection()
     core::ElisaGuest guest(vm, bed.svc);
     core::SharedFnTable fns;
     fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
-    auto exported = bed.manager.exportObject("noop", pageSize,
+    auto exported = bed.manager.exportObject(core::ExportKey("noop"), pageSize,
                                              std::move(fns));
     fatal_if(!exported, "export failed");
-    core::Gate gate = mustAttach(guest, "noop", bed.manager);
+    core::Gate gate = mustAttach(guest, core::ExportKey("noop"), bed.manager);
     cpu::Vcpu &cpu = guest.vcpu();
 
     const std::uint64_t iterations = scaledCount(10000);
