@@ -96,25 +96,58 @@ GuestView::translateChunk(Gpa gpa, std::uint64_t len, ept::Access access)
     // Charge the access itself (per 8-byte beat).
     chargeAccess(len);
 
-    if (!cached || !ept::permits(cached->perms, need)) {
-        ept::EptViolation violation;
-        violation.gpa = gpa;
-        violation.access = access;
-        violation.present =
-            cached ? cached->perms : ept::Perms::None;
-        violation.notMapped = !cached.has_value();
-        cpu.stats().inc(cpu.statIds().eptViolation);
-        // The faulting access was charged (walk + beats), exactly as
-        // before batching: settle the clock before unwinding.
-        flushTime();
-        throw VmExitEvent(violation);
-    }
+    if (!cached || !ept::permits(cached->perms, need))
+        cached = faultChunk(gpa, len, access, need, cached);
 
     line.eptp = eptp;
     line.epoch = tlb.epoch();
     line.gpaPage = page;
     line.hpaPage = pageAlignDown(cached->hpa);
     return cached->hpa;
+}
+
+ept::Translation
+GuestView::faultChunk(Gpa gpa, std::uint64_t len, ept::Access access,
+                      ept::Perms need,
+                      std::optional<ept::Translation> cached)
+{
+    const std::uint64_t eptp = cpu.activeEptp();
+    const auto &cost = cpu.costModel();
+    const bool is_write = access == ept::Access::Write;
+    ept::Tlb &tlb = cpu.tlb();
+
+    ept::EptViolation violation;
+    violation.gpa = gpa;
+    violation.access = access;
+    violation.present = cached ? cached->perms : ept::Perms::None;
+    violation.notMapped = !cached.has_value();
+    cpu.stats().inc(cpu.statIds().eptViolation);
+    // The faulting access was charged (walk + beats), exactly as
+    // before batching: settle the clock before unwinding.
+    flushTime();
+    EptFaultSink *sink = cpu.faultSink();
+    if (sink && sink->resolveEptViolation(cpu, violation)) {
+        // Resolved (demand paging): VMRESUME re-executes the access —
+        // a fresh walk (the pager flushed the TLB) and fresh beats,
+        // charged like any first touch.
+        cached = ept::hardwareWalkAd(cpu.memory(), eptp, gpa, is_write);
+        if (charging)
+            pendingNs += cost.eptWalkNs;
+        cpu.stats().inc(cpu.statIds().eptWalk);
+        if (cached)
+            tlb.fill(eptp, gpa, *cached, is_write);
+        chargeAccess(len);
+    }
+    if (!cached || !ept::permits(cached->perms, need)) {
+        // Unresolved, or resolved into a mapping whose restored
+        // permissions still refuse this access: exit with the
+        // post-resolution qualification.
+        violation.present = cached ? cached->perms : ept::Perms::None;
+        violation.notMapped = !cached.has_value();
+        flushTime();
+        throw VmExitEvent(violation);
+    }
+    return *cached;
 }
 
 Hpa

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <type_traits>
 
@@ -147,6 +148,17 @@ class GuestView
 
     /** Translate one page-bounded chunk and charge access time. */
     Hpa translateChunk(Gpa gpa, std::uint64_t len, ept::Access access);
+
+    /**
+     * Cold continuation of translateChunk: the access violated.
+     * Consults the vCPU's EptFaultSink (demand paging) and either
+     * returns the post-resolution translation or throws the
+     * guest-visible VmExitEvent. Out of line and noinline so the
+     * fault machinery adds nothing to the hot translation body.
+     */
+    [[gnu::noinline]] ept::Translation
+    faultChunk(Gpa gpa, std::uint64_t len, ept::Access access,
+               ept::Perms need, std::optional<ept::Translation> cached);
 
     /** Accumulate the per-beat cost of one chunk access. */
     void

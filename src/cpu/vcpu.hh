@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "base/types.hh"
+#include "ept/ept.hh"
 #include "ept/eptp_list.hh"
 #include "ept/tlb.hh"
 #include "mem/frame_allocator.hh"
@@ -79,6 +80,30 @@ class HypercallSink
      */
     virtual std::uint64_t handleHypercall(Vcpu &vcpu,
                                           const HypercallArgs &args) = 0;
+};
+
+/**
+ * Interface the hypervisor implements to resolve EPT violations
+ * before they become guest-visible exits (the demand-paging path).
+ */
+class EptFaultSink
+{
+  public:
+    virtual ~EptFaultSink() = default;
+
+    /**
+     * Try to resolve the EPT violation @p violation raised by @p vcpu
+     * under its active EPTP. Runs in "host context": the handler
+     * charges the vcpu clock for the exit, the fault service (swap
+     * I/O, zero fill, any eviction) and the re-entry. On true the CPU
+     * re-executes the faulting access (VMRESUME semantics: the walk
+     * runs again and must now succeed or fault afresh); on false the
+     * violation propagates as a VmExitEvent. May throw VmExitEvent
+     * itself (e.g. the faulting VM is killed mid-page-in).
+     */
+    virtual bool resolveEptViolation(Vcpu &vcpu,
+                                     const ept::EptViolation &violation)
+        = 0;
 };
 
 /**
@@ -198,6 +223,18 @@ class Vcpu
     sim::ExitLedger *ledger() const { return ledgerPtr; }
 
     /**
+     * Install (or with nullptr remove) the machine's EPT-fault
+     * resolver (the hypervisor's pager entry point). Non-owning, set
+     * by hv::Vm at vCPU creation; consulted only on the translation
+     * violation path, so an absent sink costs nothing on the hot path
+     * and one pointer test per violation.
+     */
+    void setFaultSink(EptFaultSink *sink) { faultSinkPtr = sink; }
+
+    /** The installed fault resolver, or nullptr. */
+    EptFaultSink *faultSink() const { return faultSinkPtr; }
+
+    /**
      * Charge @p ns to this vcpu's {Hypercall, @p nr} ledger row
      * (requires an installed ledger). Out of line: per-nr slot lookup
      * stays off the no-ledger hot path.
@@ -235,6 +272,9 @@ class Vcpu
     // Interned event names, resolved once at setTracer().
     sim::TraceNameId vmfuncName = 0;
     sim::TraceNameId vmcallName = 0;
+
+    /** EPT-fault resolver (nullptr = no paging). */
+    EptFaultSink *faultSinkPtr = nullptr;
 
     /** Machine exit ledger (nullptr = accounting off). */
     sim::ExitLedger *ledgerPtr = nullptr;

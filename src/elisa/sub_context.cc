@@ -96,10 +96,28 @@ Attachment::Attachment(hv::Hypervisor &hv, AttachmentId id, Export &exp_,
     // full-object window maps entirely with large pages. A narrowed
     // (delegated) window maps only its own frames — the frames beyond
     // it simply do not exist in this sub context.
-    ok = ok && subContext->mapWindow(objectGpa, exp.objectHpa(),
-                                     exp.objectBytes(), window_offset,
-                                     window_bytes, granted);
+    //
+    // Under demand paging the window must stay 4 KiB-granular instead
+    // (only 4 KiB leaves demote to Swapped/Ballooned), and every
+    // window page is registered with the pager so an object page
+    // faulting mid-gate-call is paged in transparently — billed to
+    // the faulting guest, not the object's owner.
+    hv::Pager *pager = hv.pager();
+    if (pager) {
+        ok = ok && subContext->mapRange(objectGpa,
+                                        exp.objectHpa() + window_offset,
+                                        window_bytes, granted);
+    } else {
+        ok = ok && subContext->mapWindow(objectGpa, exp.objectHpa(),
+                                         exp.objectBytes(),
+                                         window_offset, window_bytes,
+                                         granted);
+    }
     panic_if(!ok, "sub context construction collided");
+    if (pager) {
+        pager->addMirror(*subContext, objectGpa,
+                         exp.objectHpa() + window_offset, window_bytes);
+    }
 
     // Install both contexts on the guest vCPU.
     cpu::Vcpu &guest_cpu = guest_vm.vcpu(vcpu_index);
@@ -134,6 +152,8 @@ Attachment::~Attachment()
     // cached translations, then unmap the guest-side exchange window.
     hv::Vm &guest = hyper.vm(guestVmId);
     cpu::Vcpu &guest_cpu = guest.vcpu(vcpu);
+    if (hv::Pager *pager = hyper.pager())
+        pager->dropContext(subContext->eptp());
     hyper.removeEptp(guest_cpu, attachInfo.gateIndex);
     hyper.removeEptp(guest_cpu, attachInfo.subIndex);
     guest.defaultEpt().unmapRange(attachInfo.exchangeGuestGpa, exchBytes);

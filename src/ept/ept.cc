@@ -199,8 +199,8 @@ Ept::map(Gpa gpa, Hpa hpa, Perms perms)
     if (slot->level == 1)
         return false; // covered by a large page already
     EptEntry existing(mem.read64(slot->slot));
-    if (existing.present())
-        return false;
+    if (existing.raw() != 0)
+        return false; // present, or a swapped/ballooned leaf
     mem.write64(slot->slot, EptEntry::make(hpa, perms).raw());
     ++mappedCount;
     coveredBytes += pageSize;
@@ -220,7 +220,7 @@ Ept::mapLarge(Gpa gpa, Hpa hpa, Perms perms)
     auto slot = walkToLeaf(gpa, true, /*stop_level=*/1);
     fatal_if(!slot, "out of physical memory for EPT tables");
     EptEntry existing(mem.read64(slot->slot));
-    if (existing.present())
+    if (existing.raw() != 0)
         return false; // PT already hanging there, or another leaf
     mem.write64(slot->slot, EptEntry::makeLarge(hpa, perms).raw());
     ++mappedCount;
@@ -236,7 +236,7 @@ Ept::mapRange(Gpa gpa, Hpa hpa, std::uint64_t len, Perms perms)
              (unsigned long long)len);
     // Validate first so a conflict cannot leave a partial mapping.
     for (std::uint64_t off = 0; off < len; off += pageSize) {
-        if (translate(gpa + off))
+        if (occupied(gpa + off))
             return false;
     }
     for (std::uint64_t off = 0; off < len; off += pageSize) {
@@ -253,7 +253,7 @@ Ept::mapRangeAuto(Gpa gpa, Hpa hpa, std::uint64_t len, Perms perms)
              "EPT mapRangeAuto length %llx not page-sized",
              (unsigned long long)len);
     for (std::uint64_t off = 0; off < len; off += pageSize) {
-        if (translate(gpa + off))
+        if (occupied(gpa + off))
             return false;
     }
     std::uint64_t off = 0;
@@ -298,7 +298,10 @@ Ept::unmap(Gpa gpa)
     if (!slot)
         return false;
     EptEntry entry(mem.read64(slot->slot));
-    if (!entry.present())
+    // Swapped/Ballooned leaves still own their slot and are unmapped
+    // like present ones; freeing their backing-store slot is the
+    // pager's job, not the page table's.
+    if (entry.raw() == 0)
         return false;
     mem.write64(slot->slot, 0);
     --mappedCount;
@@ -333,6 +336,98 @@ Ept::protect(Gpa gpa, Perms perms)
     mem.write64(slot->slot, entry.raw());
     ++gen;
     return true;
+}
+
+bool
+Ept::occupied(Gpa gpa) const
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot)
+        return false;
+    return mem.read64(slot->slot) != 0;
+}
+
+bool
+Ept::markSwapped(Gpa gpa, std::uint64_t slot_id)
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot || slot->level != 0)
+        return false;
+    EptEntry entry(mem.read64(slot->slot));
+    if (!entry.present())
+        return false;
+    mem.write64(slot->slot,
+                EptEntry::makeSwapped(slot_id, entry.perms()).raw());
+    ++gen;
+    return true;
+}
+
+bool
+Ept::markBallooned(Gpa gpa)
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot || slot->level != 0)
+        return false;
+    EptEntry entry(mem.read64(slot->slot));
+    if (!entry.present())
+        return false;
+    mem.write64(slot->slot,
+                EptEntry::makeBallooned(entry.perms()).raw());
+    ++gen;
+    return true;
+}
+
+bool
+Ept::markPresent(Gpa gpa, Hpa hpa)
+{
+    panic_if(!isPageAligned(hpa), "markPresent of unaligned HPA %llx",
+             (unsigned long long)hpa);
+    auto slot = walkToLeaf(gpa);
+    if (!slot || slot->level != 0)
+        return false;
+    EptEntry entry(mem.read64(slot->slot));
+    if (entry.presState() == PresState::Normal)
+        return false;
+    // The fresh mapping starts with clear A/D flags; the faulting
+    // access re-walks and sets them like any first touch.
+    mem.write64(slot->slot,
+                EptEntry::make(hpa, entry.savedPerms()).raw());
+    return true;
+}
+
+PresState
+Ept::entryState(Gpa gpa) const
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot)
+        return PresState::Normal;
+    return EptEntry(mem.read64(slot->slot)).presState();
+}
+
+std::optional<EptEntry>
+Ept::leafEntry(Gpa gpa) const
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot)
+        return std::nullopt;
+    return EptEntry(mem.read64(slot->slot));
+}
+
+bool
+Ept::accessedAndClear(Gpa gpa)
+{
+    auto slot = walkToLeaf(gpa);
+    if (!slot)
+        return false;
+    EptEntry entry(mem.read64(slot->slot));
+    if (!entry.present())
+        return false;
+    const bool was = entry.accessed();
+    if (was) {
+        entry.setAccessed(false);
+        mem.write64(slot->slot, entry.raw());
+    }
+    return was;
 }
 
 std::optional<Translation>

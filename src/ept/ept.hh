@@ -162,6 +162,42 @@ class Ept
     bool protect(Gpa gpa, Perms perms);
 
     /**
+     * Demote the present 4 KiB leaf at @p gpa to a non-present Swapped
+     * leaf recording backing-store slot @p slot_id; the current leaf
+     * permissions are saved aside for markPresent(). Large-page leaves
+     * are never swapped (the pager maps managed ranges 4 KiB-granular).
+     * The caller must INVEPT afterwards.
+     * @return false if @p gpa has no present 4 KiB leaf.
+     */
+    bool markSwapped(Gpa gpa, std::uint64_t slot_id);
+
+    /**
+     * Demote the present 4 KiB leaf at @p gpa to a Ballooned
+     * (demand-zero) leaf. Same contract as markSwapped().
+     */
+    bool markBallooned(Gpa gpa);
+
+    /**
+     * Promote a Swapped/Ballooned leaf back to a present mapping of
+     * @p hpa, restoring the saved permissions.
+     * @return false if the leaf is not in a non-present paged state.
+     */
+    bool markPresent(Gpa gpa, Hpa hpa);
+
+    /** Presence state of the leaf at @p gpa (Normal when unmapped). */
+    PresState entryState(Gpa gpa) const;
+
+    /** Raw leaf entry at @p gpa, if the walk reaches one. */
+    std::optional<EptEntry> leafEntry(Gpa gpa) const;
+
+    /**
+     * Read and clear the accessed flag of the present leaf at @p gpa
+     * (the clock reclaimer's second-chance test).
+     * @return the previous accessed flag; false when not present.
+     */
+    bool accessedAndClear(Gpa gpa);
+
+    /**
      * Walk the hierarchy for @p gpa (no permission check).
      * @return the translation, or the violation that a @p access
      *         attempt would raise.
@@ -221,6 +257,13 @@ class Ept
 
     /** Const walk (never allocates). */
     std::optional<LeafSlot> walkToLeaf(Gpa gpa) const;
+
+    /**
+     * True when the leaf slot for @p gpa holds any entry at all —
+     * including non-present Swapped/Ballooned leaves, which still own
+     * their GPA slot and must not be silently overwritten by map().
+     */
+    bool occupied(Gpa gpa) const;
 
     /** Recursively free table pages below @p table at @p level. */
     void freeTables(Hpa table, unsigned level);

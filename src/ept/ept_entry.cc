@@ -36,4 +36,39 @@ EptEntry::makeLarge(Hpa hpa, Perms perms)
                     static_cast<std::uint64_t>(perms));
 }
 
+EptEntry
+EptEntry::makeSwapped(std::uint64_t slot, Perms saved_perms)
+{
+    const std::uint64_t slot_addr = slot << pageShift;
+    panic_if((slot_addr & ~0x000ffffffffff000ull) != 0,
+             "swap slot %llu does not fit the EPT address field",
+             (unsigned long long)slot);
+    return EptEntry(
+        slot_addr |
+        (static_cast<std::uint64_t>(PresState::Swapped) << 57) |
+        (static_cast<std::uint64_t>(saved_perms) << 59));
+}
+
+EptEntry
+EptEntry::makeBallooned(Perms saved_perms)
+{
+    return EptEntry(
+        (static_cast<std::uint64_t>(PresState::Ballooned) << 57) |
+        (static_cast<std::uint64_t>(saved_perms) << 59));
+}
+
+const char *
+presStateToString(PresState state)
+{
+    switch (state) {
+      case PresState::Normal:
+        return "normal";
+      case PresState::Swapped:
+        return "swapped";
+      case PresState::Ballooned:
+        return "ballooned";
+    }
+    return "?";
+}
+
 } // namespace elisa::ept

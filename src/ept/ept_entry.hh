@@ -13,6 +13,14 @@
  *              at the leaf level, of the mapped page
  *
  * 4 KiB and 2 MiB pages are modelled; 1 GiB pages are not.
+ *
+ * Software state (ignored by hardware, bits 52+ are free per the SDM):
+ *   bits 58:57 presence state — Normal / Swapped / Ballooned
+ *   bits 61:59 saved leaf permissions of a non-present entry
+ *
+ * A Swapped or Ballooned leaf has all permission bits clear, so the
+ * hardware walker faults on it exactly like an empty slot; the address
+ * field of a Swapped leaf is reused to hold the backing-store slot id.
  */
 
 #ifndef ELISA_EPT_EPT_ENTRY_HH
@@ -64,6 +72,26 @@ permits(Perms have, Perms need)
 /** Render permissions as "r-x" style string. */
 std::string permsToString(Perms perms);
 
+/**
+ * Presence state of a leaf entry (software bits 58:57).
+ *
+ * Normal    — ordinary SDM semantics: present iff any perm bit is set.
+ * Swapped   — page contents live in the backing store; the address
+ *             field holds the swap slot id, perms are saved aside.
+ * Ballooned — page has been reclaimed with no backing copy (demand
+ *             zero): the next touch faults and gets a zero-filled
+ *             frame.
+ */
+enum class PresState : std::uint8_t
+{
+    Normal = 0,
+    Swapped = 1,
+    Ballooned = 2,
+};
+
+/** Render a presence state. */
+const char *presStateToString(PresState state);
+
 /** Successful translation result (GPA -> HPA plus leaf permissions). */
 struct Translation
 {
@@ -90,6 +118,17 @@ class EptEntry
 
     /** Build a 2 MiB large-page leaf entry (bit 7 set). */
     static EptEntry makeLarge(Hpa hpa, Perms perms);
+
+    /**
+     * Build a non-present Swapped leaf: the page content lives in
+     * backing-store slot @p slot; @p saved_perms are restored when the
+     * page is faulted back in. Keeps the large-page bit of the entry
+     * shape it replaces out — swapping is 4 KiB-granular.
+     */
+    static EptEntry makeSwapped(std::uint64_t slot, Perms saved_perms);
+
+    /** Build a non-present Ballooned (demand-zero) leaf. */
+    static EptEntry makeBallooned(Perms saved_perms);
 
     /** Raw 64-bit representation. */
     std::uint64_t raw() const { return value; }
@@ -145,7 +184,27 @@ class EptEntry
         value = on ? value | (1ull << 9) : value & ~(1ull << 9);
     }
 
+    /** Presence state (software bits 58:57). */
+    PresState
+    presState() const
+    {
+        return static_cast<PresState>((value >> presStateShift) & 0x3);
+    }
+
+    /** Saved permissions of a Swapped/Ballooned leaf (bits 61:59). */
+    Perms
+    savedPerms() const
+    {
+        return static_cast<Perms>((value >> savedPermsShift) & 0x7);
+    }
+
+    /** Backing-store slot of a Swapped leaf (stored in the address). */
+    std::uint64_t swapSlot() const { return addr() >> pageShift; }
+
   private:
+    static constexpr unsigned presStateShift = 57;
+    static constexpr unsigned savedPermsShift = 59;
+
     std::uint64_t value = 0;
 };
 

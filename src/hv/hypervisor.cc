@@ -38,6 +38,9 @@ Hypervisor::createVm(const std::string &name, std::uint64_t ram_bytes,
                      unsigned vcpu_count)
 {
     const VmId id = nextVmId++;
+    // Occupancy book entry (reservation size); gauges only exist when
+    // a scenario attaches them (FrameAllocator::attachGauges).
+    frames.noteOwner(id, name, ram_bytes / pageSize);
     auto vm = std::make_unique<Vm>(*this, id, name, ram_bytes, vcpu_count);
     Vm &ref = *vm;
     ref.setShard(machineShard);
@@ -73,6 +76,7 @@ Hypervisor::destroyVm(VmId id)
     for (auto &hook : destroyHooks)
         hook(id);
     vms.erase(it);
+    frames.dropOwner(id);
     statSet.inc("vm_destroyed");
     ELISA_TRACE(Hv, "destroyed VM %u", id);
 }
@@ -123,6 +127,18 @@ Hypervisor::setLedger(sim::ExitLedger *ledger)
             ledgerPtr->setCodeName(sim::CostKind::Hypercall,
                                    static_cast<std::uint32_t>(nr), name);
         }
+        ledgerPtr->setCodeName(
+            sim::CostKind::Page,
+            static_cast<std::uint32_t>(sim::PageCost::PageIn),
+            "page_in");
+        ledgerPtr->setCodeName(
+            sim::CostKind::Page,
+            static_cast<std::uint32_t>(sim::PageCost::PageOut),
+            "page_out");
+        ledgerPtr->setCodeName(
+            sim::CostKind::Page,
+            static_cast<std::uint32_t>(sim::PageCost::ZeroFill),
+            "zero_fill");
     }
     for (auto &[id, vm] : vms) {
         for (unsigned i = 0; i < vm->vcpuCount(); ++i)
@@ -171,6 +187,23 @@ Hypervisor::hcSpanName(std::uint64_t nr)
                   detail::format("hc_0x%llx", (unsigned long long)nr));
     hcNameIds.emplace(nr, id);
     return id;
+}
+
+Pager &
+Hypervisor::enablePaging(const PagingConfig &config)
+{
+    panic_if(pagerPtr != nullptr, "paging already enabled");
+    pagerPtr = std::make_unique<Pager>(*this, config);
+    addVmDestroyHook([this](VmId id) { pagerPtr->onVmDestroy(id); });
+    statSet.inc("paging_enabled");
+    return *pagerPtr;
+}
+
+bool
+Hypervisor::resolveEptViolation(cpu::Vcpu &vcpu,
+                                const ept::EptViolation &violation)
+{
+    return pagerPtr != nullptr && pagerPtr->resolve(vcpu, violation);
 }
 
 unsigned

@@ -19,6 +19,7 @@
 #include "cpu/vcpu.hh"
 #include "hv/grant_table.hh"
 #include "hv/hypercall.hh"
+#include "hv/paging.hh"
 #include "hv/vm.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/host_memory.hh"
@@ -39,7 +40,7 @@ using ChannelId = std::uint32_t;
  * The machine + hypervisor. Owns physical memory, the frame allocator,
  * the cost model, and every VM.
  */
-class Hypervisor : public cpu::HypercallSink
+class Hypervisor : public cpu::HypercallSink, public cpu::EptFaultSink
 {
   public:
     /**
@@ -103,6 +104,25 @@ class Hypervisor : public cpu::HypercallSink
 
     /** Number of live VMs. */
     std::size_t vmCount() const { return vms.size(); }
+
+    // ---- demand paging ---------------------------------------------
+    /**
+     * Turn on demand paging: creates the machine Pager and registers
+     * its VM-teardown hook. Call once, before putting any memory under
+     * management and before building attachments whose windows should
+     * fault (pre-existing attachments are not retro-managed). With
+     * paging never enabled every translation behaves exactly as
+     * before — the only added work is one pointer test on the
+     * EPT-violation path.
+     */
+    Pager &enablePaging(const PagingConfig &config = {});
+
+    /** The machine pager, or nullptr when paging is not enabled. */
+    Pager *pager() { return pagerPtr.get(); }
+
+    /** cpu::EptFaultSink: forward an EPT violation to the pager. */
+    bool resolveEptViolation(
+        cpu::Vcpu &vcpu, const ept::EptViolation &violation) override;
 
     // ---- capability grants -----------------------------------------
     /**
@@ -303,6 +323,9 @@ class Hypervisor : public cpu::HypercallSink
     /** VMs killed mid-own-hypercall, awaiting a safe teardown point. */
     std::vector<VmId> doomedVms;
 
+    /** The demand pager (nullptr = paging off). */
+    std::unique_ptr<Pager> pagerPtr;
+
     // Interned hot/fault-path counter ids (resolved at construction).
     sim::StatId hypercallsId = 0;
     sim::StatId hypercallUnknownId = 0;
@@ -314,7 +337,8 @@ class Hypervisor : public cpu::HypercallSink
     sim::StatId faultVmKillsId = 0;
     sim::StatId exitIds[cpu::exitReasonCount] = {};
 
-    friend class Vm; // Vm construction pulls frames/vcpu ids.
+    friend class Vm;    // Vm construction pulls frames/vcpu ids.
+    friend class Pager; // the pager is the hypervisor's paging half.
 };
 
 } // namespace elisa::hv

@@ -32,6 +32,11 @@ IvshmemRegion::attach(Vm &vm, Gpa gpa, ept::Perms perms)
 {
     if (!vm.defaultEpt().mapRange(gpa, hpaBase, bytes, perms))
         return false;
+    // Under demand paging the region's frames may be managed (a
+    // scenario put them under manageRange); register this mapping so
+    // its leaves stay in lock-step with the frame states.
+    if (Pager *pager = hyper.pager())
+        pager->addMirror(vm.defaultEpt(), gpa, hpaBase, bytes);
     ++attachments;
     hyper.stats().inc("ivshmem_attach");
     return true;
@@ -40,6 +45,8 @@ IvshmemRegion::attach(Vm &vm, Gpa gpa, ept::Perms perms)
 void
 IvshmemRegion::detach(Vm &vm, Gpa gpa)
 {
+    if (Pager *pager = hyper.pager())
+        pager->dropMirror(vm.defaultEpt().eptp(), gpa);
     const std::uint64_t removed = vm.defaultEpt().unmapRange(gpa, bytes);
     panic_if(removed != bytes / pageSize,
              "ivshmem detach did not match an attach");

@@ -40,6 +40,10 @@ Vm::Vm(Hypervisor &hv, VmId id, std::string name, std::uint64_t ram_bytes,
         vcpu->activateEptp(0);
         vcpu->setTracer(hv.tracerPtr);
         vcpu->setLedger(hv.ledgerPtr);
+        // The hypervisor resolves EPT violations (demand paging); with
+        // paging off it declines in one virtual call, and the sink is
+        // only consulted on the violation path anyway.
+        vcpu->setFaultSink(&hv);
         vcpus.push_back(std::move(vcpu));
     }
 }

@@ -5,16 +5,25 @@
  * A bitmap allocator over 4 KiB frames with first-fit contiguous
  * allocation. The hypervisor uses it for guest memory, EPT tables,
  * EPTP-list pages, NIC rings, and shared regions.
+ *
+ * The allocator additionally keeps the machine's memory-occupancy
+ * book for demand paging: per-owner (per-VM) resident/swapped frame
+ * counts and balloon targets, updated by the hv::Pager and exported
+ * as labeled sim::Metrics gauges (attachGauges + sampleGauges, wired
+ * to the engine's periodic sampler by paging scenarios).
  */
 
 #ifndef ELISA_MEM_FRAME_ALLOCATOR_HH
 #define ELISA_MEM_FRAME_ALLOCATOR_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/metrics.hh"
 
 namespace elisa::mem
 {
@@ -63,7 +72,79 @@ class FrameAllocator
     /** True if the frame containing @p hpa is allocated. */
     bool isAllocated(Hpa hpa) const;
 
+    // ---- per-owner occupancy book (demand paging) -------------------
+
+    /** Occupancy of one owner (a VM) under demand paging. */
+    struct OwnerUsage
+    {
+        /** Frames of the owner's contiguous RAM reservation. */
+        std::uint64_t reservedFrames = 0;
+
+        /** Pager-managed frames currently resident in RAM. */
+        std::uint64_t residentFrames = 0;
+
+        /** Pager-managed frames swapped out to the backing store. */
+        std::uint64_t swappedFrames = 0;
+
+        /** Balloon target: max resident frames (0 = unconstrained). */
+        std::uint64_t balloonTargetFrames = 0;
+    };
+
+    /**
+     * Register owner @p owner (a VM id) with a display @p name and its
+     * RAM reservation size. Idempotent; re-registering updates the
+     * reservation.
+     */
+    void noteOwner(std::uint32_t owner, const std::string &name,
+                   std::uint64_t reserved_frames);
+
+    /** Forget owner @p owner (VM destroyed). */
+    void dropOwner(std::uint32_t owner);
+
+    /** Adjust the resident-frame count of @p owner. */
+    void addResident(std::uint32_t owner, std::int64_t delta);
+
+    /** Adjust the swapped-frame count of @p owner. */
+    void addSwapped(std::uint32_t owner, std::int64_t delta);
+
+    /** Set the balloon target of @p owner (0 = unconstrained). */
+    void setBalloonTarget(std::uint32_t owner, std::uint64_t frames);
+
+    /** Occupancy of @p owner, or nullptr when unknown. */
+    const OwnerUsage *ownerUsage(std::uint32_t owner) const;
+
+    /**
+     * Export the occupancy book as gauges on @p metrics:
+     * machine-level frames_free/frames_allocated plus per-owner
+     * vm_resident_frames/vm_swapped_frames/vm_balloon_target_frames
+     * labeled vm="<name>". Owners registered later are picked up on
+     * their noteOwner(). Call sampleGauges() to publish values (pair
+     * with Engine::setSampler for periodic simulated-time sampling).
+     */
+    void attachGauges(sim::Metrics &metrics);
+
+    /** Publish current occupancy into the attached gauges. */
+    void sampleGauges();
+
   private:
+    struct OwnerEntry
+    {
+        std::string name;
+        OwnerUsage usage;
+        sim::MetricId residentGauge = 0;
+        sim::MetricId swappedGauge = 0;
+        sim::MetricId targetGauge = 0;
+        bool gaugesRegistered = false;
+    };
+
+    /** Register one owner's gauges (when metrics are attached). */
+    void registerOwnerGauges(std::uint32_t owner, OwnerEntry &entry);
+
+    sim::Metrics *metricsPtr = nullptr;
+    sim::MetricId freeGauge = 0;
+    sim::MetricId allocatedGauge = 0;
+    std::map<std::uint32_t, OwnerEntry> owners;
+
     std::uint64_t totalFrames;
     std::uint64_t allocatedFrames = 0;
     /** Next frame index to start searching from (rotating first fit). */

@@ -41,6 +41,10 @@ CostModel::fromEnv()
     envNs("ELISA_COST_KVS_PUT_NS", cost.kvsPutCoreNs);
     envNs("ELISA_COST_NET_PKT_NS", cost.netPerPacketNs);
     envNs("ELISA_COST_VSWITCH_NS", cost.vswitchNs);
+    envNs("ELISA_COST_PF_HANDLE_NS", cost.pageFaultHandleNs);
+    envNs("ELISA_COST_SWAP_IN_NS", cost.swapInNs);
+    envNs("ELISA_COST_SWAP_OUT_NS", cost.swapOutNs);
+    envNs("ELISA_COST_ZERO_FILL_NS", cost.zeroFillNs);
     if (const char *gbps = std::getenv("ELISA_COST_NIC_GBPS")) {
         char *end = nullptr;
         const double parsed = std::strtod(gbps, &end);

@@ -57,6 +57,19 @@ struct CostModel
     /** One EPT page walk on a TLB miss (4 levels). */
     SimNs eptWalkNs = 22;
 
+    // ---- Demand paging / swap ---------------------------------------
+    /** Hypervisor software cost to resolve one EPT-violation fault. */
+    SimNs pageFaultHandleNs = 650;
+
+    /** Swap-device read of one 4 KiB page (NVMe-class page-in). */
+    SimNs swapInNs = 6000;
+
+    /** Swap-device write of one 4 KiB page (page-out on eviction). */
+    SimNs swapOutNs = 6000;
+
+    /** Zero-filling one 4 KiB frame (demand-zero / balloon return). */
+    SimNs zeroFillNs = 250;
+
     // ---- ELISA slow path (negotiation / setup) ---------------------
     /** Manager-side bookkeeping to create one sub EPT context. */
     SimNs subContextCreateNs = 2200;
@@ -194,7 +207,9 @@ struct CostModel
      *   ELISA_COST_VMEXIT_NS, ELISA_COST_VMENTRY_NS,
      *   ELISA_COST_DISPATCH_NS, ELISA_COST_KVS_GET_NS,
      *   ELISA_COST_KVS_PUT_NS, ELISA_COST_NET_PKT_NS,
-     *   ELISA_COST_VSWITCH_NS, ELISA_COST_NIC_GBPS
+     *   ELISA_COST_VSWITCH_NS, ELISA_COST_NIC_GBPS,
+     *   ELISA_COST_PF_HANDLE_NS, ELISA_COST_SWAP_IN_NS,
+     *   ELISA_COST_SWAP_OUT_NS, ELISA_COST_ZERO_FILL_NS
      */
     static CostModel fromEnv();
 };

@@ -19,6 +19,8 @@ costKindToString(CostKind kind)
         return "hypercall";
       case CostKind::GateLeg:
         return "gate-leg";
+      case CostKind::Page:
+        return "page";
     }
     return "?";
 }

@@ -43,10 +43,19 @@ enum class CostKind : std::uint8_t
     Exit,      ///< faulting VM exit (code = cpu::ExitReason)
     Hypercall, ///< synchronous VMCALL (code = hypercall number)
     GateLeg,   ///< one leg of an ELISA gate call (code = leg index)
+    Page,      ///< demand-paging work (code = PageCost value)
 };
 
 /** Number of CostKind values (per-kind totals tables). */
-inline constexpr unsigned costKindCount = 3;
+inline constexpr unsigned costKindCount = 4;
+
+/** Codes of CostKind::Page rows. */
+enum class PageCost : std::uint32_t
+{
+    PageIn = 0,   ///< fault handler + swap-device read
+    PageOut = 1,  ///< eviction: swap-device write of a victim page
+    ZeroFill = 2, ///< fault handler + zero-fill of a demand-zero page
+};
 
 /** Render a cost kind. */
 const char *costKindToString(CostKind kind);

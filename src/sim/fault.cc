@@ -50,6 +50,8 @@ siteToString(FaultSite site)
         return "attach_build";
       case FaultSite::Capability:
         return "capability";
+      case FaultSite::PageIn:
+        return "page_in";
     }
     return "?";
 }
@@ -60,13 +62,16 @@ siteAccepts(FaultSite site, FaultAction action)
 {
     switch (action) {
       case FaultAction::Drop:
-      case FaultAction::Delay:
       case FaultAction::Duplicate:
-      case FaultAction::KillVm:
         return site == FaultSite::Hypercall;
+      case FaultAction::Delay:
+      case FaultAction::KillVm:
+        return site == FaultSite::Hypercall ||
+               site == FaultSite::PageIn;
       case FaultAction::Error:
         return site == FaultSite::Hypercall ||
-               site == FaultSite::AttachBuild;
+               site == FaultSite::AttachBuild ||
+               site == FaultSite::PageIn;
       case FaultAction::GateStale:
         return site == FaultSite::Gate;
       case FaultAction::ShmExhaust:
@@ -115,6 +120,30 @@ FaultPlan::failCapabilityAt(std::uint64_t vm, std::uint64_t occurrence)
     addRule(rule);
 }
 
+void
+FaultPlan::failPageInAt(std::uint64_t vm, std::uint64_t occurrence)
+{
+    FaultRule rule;
+    rule.site = static_cast<std::uint64_t>(FaultSite::PageIn);
+    rule.vm = vm;
+    rule.occurrence = occurrence;
+    rule.action = FaultAction::Error;
+    addRule(rule);
+}
+
+void
+FaultPlan::killDuringPageIn(std::uint64_t victim,
+                            std::uint64_t occurrence)
+{
+    FaultRule rule;
+    rule.site = static_cast<std::uint64_t>(FaultSite::PageIn);
+    rule.vm = victim;
+    rule.occurrence = occurrence;
+    rule.action = FaultAction::KillVm;
+    rule.param = victim;
+    addRule(rule);
+}
+
 FaultDecision
 FaultPlan::decide(FaultSite site, std::uint64_t vm, std::uint64_t nr,
                   bool allow_chance)
@@ -123,6 +152,10 @@ FaultPlan::decide(FaultSite site, std::uint64_t vm, std::uint64_t nr,
         const FaultRule &rule = counted.rule;
         if (counted.spent)
             continue;
+        if (rule.site != faultAny &&
+            rule.site != static_cast<std::uint64_t>(site)) {
+            continue;
+        }
         if (!siteAccepts(site, rule.action))
             continue;
         if (rule.hcNr != faultAny && rule.hcNr != nr)
@@ -196,6 +229,30 @@ FaultPlan::onCapability(std::uint64_t vm)
 {
     return decide(FaultSite::Capability, vm, faultAny,
                   /*allow_chance=*/false);
+}
+
+FaultDecision
+FaultPlan::onPageIn(std::uint64_t vm)
+{
+    // The hypercall chaos knobs do not apply here; the swap device has
+    // its own error/latency distribution.
+    FaultDecision decision =
+        decide(FaultSite::PageIn, vm, faultAny, /*allow_chance=*/false);
+    if (decision.action != FaultAction::None)
+        return decision;
+    if (pageInErrorChance > 0.0 && rng.chance(pageInErrorChance)) {
+        decision = FaultDecision{FaultAction::Error, 0};
+        record(FaultSite::PageIn, vm, faultAny, decision);
+        return decision;
+    }
+    if (pageInDelayChance > 0.0 && rng.chance(pageInDelayChance)) {
+        const auto ns = static_cast<std::uint64_t>(rng.exponential(
+            static_cast<double>(pageInDelayMeanNs)));
+        decision = FaultDecision{FaultAction::Delay, ns};
+        record(FaultSite::PageIn, vm, faultAny, decision);
+        return decision;
+    }
+    return FaultDecision{};
 }
 
 void

@@ -81,6 +81,8 @@ enum class FaultSite : std::uint8_t
     AttachBuild,
     /** Grant-table registration inside a Delegate/Redeem step. */
     Capability,
+    /** The pager is about to read a page from the swap device. */
+    PageIn,
 };
 
 /** Wildcard for FaultRule match fields. */
@@ -92,6 +94,14 @@ inline constexpr std::uint64_t faultAny = ~std::uint64_t{0};
  */
 struct FaultRule
 {
+    /**
+     * Match: restrict to one hook site (a FaultSite value), or
+     * faultAny to let siteAccepts() alone decide where the action is
+     * meaningful. Actions meaningful at several sites (Error, Delay,
+     * KillVm span Hypercall and PageIn) should pin the site.
+     */
+    std::uint64_t site = faultAny;
+
     /** Match: hypercall number (hypercall hook), or faultAny. */
     std::uint64_t hcNr = faultAny;
 
@@ -142,6 +152,18 @@ class FaultPlan
     void failCapabilityAt(std::uint64_t vm,
                           std::uint64_t occurrence = 1);
 
+    /**
+     * Convenience: the Nth page-in for @p vm fails with a swap-device
+     * I/O error — the fault stays unresolved and the guest observes
+     * the EPT-violation exit. The page is not lost; a later fault
+     * (without a matching rule) pages it in normally.
+     */
+    void failPageInAt(std::uint64_t vm, std::uint64_t occurrence = 1);
+
+    /** Convenience: @p victim dies during its Nth page-in. */
+    void killDuringPageIn(std::uint64_t victim,
+                          std::uint64_t occurrence = 1);
+
     // ---- chaos knobs (all default off) ----------------------------
     /** Probability that any hypercall is dropped. */
     void setDropChance(double p) { dropChance = p; }
@@ -156,6 +178,17 @@ class FaultPlan
 
     /** Probability that any hypercall is duplicated (replayed). */
     void setDuplicateChance(double p) { duplicateChance = p; }
+
+    /** Probability (and mean ns) of a slow swap-device page-in. */
+    void
+    setPageInDelayChance(double p, SimNs mean_ns)
+    {
+        pageInDelayChance = p;
+        pageInDelayMeanNs = mean_ns;
+    }
+
+    /** Probability that any page-in fails with an I/O error. */
+    void setPageInErrorChance(double p) { pageInErrorChance = p; }
 
     // ---- hook sites (called by the instrumented subsystems) --------
     /** A VM issued hypercall @p nr. */
@@ -172,6 +205,9 @@ class FaultPlan
 
     /** VM @p vm is registering a capability grant (delegate/redeem). */
     FaultDecision onCapability(std::uint64_t vm);
+
+    /** The pager is about to page in a frame faulted by VM @p vm. */
+    FaultDecision onPageIn(std::uint64_t vm);
 
     // ---- observability --------------------------------------------
     /** Every injected fault, one line each, in injection order. */
@@ -205,6 +241,9 @@ class FaultPlan
     double delayChance = 0.0;
     SimNs delayMeanNs = 0;
     double duplicateChance = 0.0;
+    double pageInDelayChance = 0.0;
+    SimNs pageInDelayMeanNs = 0;
+    double pageInErrorChance = 0.0;
     std::uint64_t injected = 0;
     std::string log;
 };

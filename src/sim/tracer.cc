@@ -28,6 +28,8 @@ spanCatToString(SpanCat cat)
         return "fault";
       case SpanCat::Cpu:
         return "cpu";
+      case SpanCat::Page:
+        return "page";
     }
     return "?";
 }

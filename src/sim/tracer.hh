@@ -55,10 +55,11 @@ enum class SpanCat : std::uint8_t
     Kvs,         ///< per-operation KVS events
     Fault,       ///< injected-fault annotations
     Cpu,         ///< raw instruction events (vmfunc, vmcall framing)
+    Page,        ///< demand-paging events (page-in/out, reclaim)
 };
 
 /** Number of categories (array sizing). */
-inline constexpr unsigned spanCatCount = 7;
+inline constexpr unsigned spanCatCount = 8;
 
 /** Render a category (exporters / debugging). */
 const char *spanCatToString(SpanCat cat);

@@ -21,10 +21,13 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "cpu/guest_view.hh"
+#include "elisa/gate.hh"
 #include "elisa/guest_api.hh"
 #include "elisa/manager.hh"
 #include "elisa/negotiation.hh"
 #include "hv/hypervisor.hh"
+#include "hv/paging.hh"
 #include "kvs/clients.hh"
 #include "kvs/cluster.hh"
 #include "kvs/workload.hh"
@@ -555,6 +558,170 @@ TEST(Determinism, FaultSeedReplaysBitIdentically)
     // different fault trajectory.
     EXPECT_EQ(first.find("injected=0\n"), std::string::npos);
     EXPECT_NE(first, runFaultScenario(0x5eed));
+}
+
+// ---------------------------------------------------------------------
+// Demand paging under the parallel engine: three overcommitted
+// machines thrash their swap devices; the fingerprint — clocks, pager
+// counters, occupancy-gauge series — must not depend on host threads.
+// ---------------------------------------------------------------------
+
+/** One machine whose shared object is paged under a resident budget. */
+struct PagedMachine
+{
+    static constexpr std::uint64_t objectBytes = 64 * KiB;
+    static constexpr std::uint64_t objectPages = objectBytes / pageSize;
+
+    hv::Hypervisor hv{128 * MiB};
+    hv::Pager &pager;
+    core::ElisaService svc{hv};
+    hv::Vm &manager_vm;
+    hv::Vm &client_vm;
+    core::ElisaManager manager;
+    core::ElisaGuest guest;
+    std::optional<core::Gate> gate;
+    unsigned index;
+
+    PagedMachine(unsigned shard)
+        : pager(hv.enablePaging({4, 256})),
+          manager_vm(hv.createVm("manager", 16 * MiB)),
+          client_vm(hv.createVm("client", 16 * MiB)),
+          manager(manager_vm, svc), guest(client_vm, svc), index(shard)
+    {
+        hv.setShard(shard);
+        core::SharedFnTable fns;
+        fns.push_back([](core::SubCallCtx &ctx) { // 0: read64
+            return ctx.view.read<std::uint64_t>(ctx.obj + ctx.arg0);
+        });
+        fns.push_back([](core::SubCallCtx &ctx) { // 1: write64
+            ctx.view.write<std::uint64_t>(ctx.obj + ctx.arg0,
+                                          ctx.arg1);
+            return std::uint64_t{0};
+        });
+        auto exp = manager.exportObject(core::ExportKey("obj"),
+                                        objectBytes, std::move(fns));
+        panic_if(!exp, "paged-machine export failed");
+        pager.manageObject(manager_vm,
+                           manager_vm.ramGpaToHpa(exp->objectGpa),
+                           objectBytes, true);
+        gate = guest
+                   .tryAttach(core::ExportKey("obj"), manager)
+                   .intoOptional();
+        panic_if(!gate, "paged-machine attach failed");
+    }
+};
+
+/** Client actor: gate calls striding over the overcommitted object. */
+struct PagedClientActor : sim::Actor
+{
+    PagedClientActor(PagedMachine &machine_, unsigned total_ops)
+        : machine(machine_), total(total_ops)
+    {
+    }
+
+    SimNs
+    actorNow() const override
+    {
+        return machine.client_vm.vcpu(0).clock().now();
+    }
+
+    bool
+    step() override
+    {
+        // A stride walk that revisits pages: with 16 pages against a
+        // 4-frame budget every lap swaps, and writes interleave reads.
+        const std::uint64_t page =
+            (ops * 7 + machine.index) % PagedMachine::objectPages;
+        const std::uint64_t off = page * pageSize;
+        if (ops % 3 == 1) {
+            machine.gate->call(1, off, ops);
+        } else {
+            (void)machine.gate->call(0, off);
+        }
+        return ++ops < total;
+    }
+
+    PagedMachine &machine;
+    unsigned ops = 0;
+    unsigned total;
+};
+
+std::string
+runPagedScenario(unsigned threads)
+{
+    setQuiet(true);
+
+    std::vector<std::unique_ptr<PagedMachine>> machines;
+    std::vector<std::unique_ptr<PagedClientActor>> actors;
+    sim::Engine engine;
+    engine.setThreads(threads);
+    std::vector<std::unique_ptr<sim::Metrics>> metrics;
+    for (unsigned m = 0; m < 3; ++m) {
+        machines.push_back(std::make_unique<PagedMachine>(m));
+        actors.push_back(std::make_unique<PagedClientActor>(
+            *machines.back(), 400));
+        engine.add(actors.back().get(), m);
+        // Occupancy gauges, sampled periodically below.
+        metrics.push_back(std::make_unique<sim::Metrics>());
+        machines.back()->hv.allocator().attachGauges(*metrics.back());
+    }
+
+    std::ostringstream series;
+    engine.setSampler(100'000, [&](SimNs t) {
+        series << t << ':';
+        for (unsigned m = 0; m < 3; ++m) {
+            sim::Metrics &mm = *metrics[m];
+            machines[m]->hv.allocator().sampleGauges();
+            series << mm.gaugeValue(mm.gauge("vm_resident_frames",
+                                             {{"vm", "manager"}}))
+                   << '/'
+                   << mm.gaugeValue(mm.gauge("vm_swapped_frames",
+                                             {{"vm", "manager"}}))
+                   << ' ';
+        }
+        series << '\n';
+    });
+    engine.run();
+
+    std::ostringstream out;
+    out << "samples:\n" << series.str();
+    for (unsigned m = 0; m < 3; ++m) {
+        PagedMachine &machine = *machines[m];
+        out << "machine" << m << "_clock="
+            << machine.client_vm.vcpu(0).clock().now() << '\n'
+            << "machine" << m << "_faults="
+            << machine.hv.stats().get("pager_faults") << '\n'
+            << "machine" << m << "_in="
+            << machine.hv.stats().get("pager_pages_swapped_in") << '\n'
+            << "machine" << m << "_out="
+            << machine.hv.stats().get("pager_pages_swapped_out")
+            << '\n'
+            << "machine" << m << "_resident="
+            << machine.pager.residentFrames() << '\n'
+            << "machine" << m << "_exits="
+            << machine.hv.stats().get("exit_ept-violation") << '\n';
+    }
+    return out.str();
+}
+
+TEST(Determinism, PagedMachinesFingerprintIdenticalAcrossThreadCounts)
+{
+    const std::string serial = runPagedScenario(1);
+    const std::string parallel2 = runPagedScenario(2);
+    const std::string parallel4 = runPagedScenario(4);
+    EXPECT_EQ(serial, parallel2);
+    EXPECT_EQ(serial, parallel4);
+
+    // Sanity: the overcommit actually thrashed on every machine, and
+    // the sampler observed the occupancy moving.
+    for (unsigned m = 0; m < 3; ++m) {
+        const std::string key =
+            "machine" + std::to_string(m) + "_out=";
+        const auto at = serial.find(key);
+        ASSERT_NE(at, std::string::npos);
+        EXPECT_NE(serial.substr(at + key.size(), 2), "0\n");
+    }
+    EXPECT_NE(serial.find(':'), std::string::npos);
 }
 
 } // namespace

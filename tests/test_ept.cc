@@ -413,4 +413,104 @@ TEST(Tlb, EpochBumpsOnFillFlushAndExplicitBump)
     EXPECT_GT(tlb.epoch(), e3);
 }
 
+// ---------------------------------------------------------------------
+// Presence states: the demand-paging encoding in software bits 61:57.
+// ---------------------------------------------------------------------
+
+TEST(EptEntry, SwappedEncodingRoundTrips)
+{
+    EptEntry e = EptEntry::makeSwapped(0x123, Perms::RW);
+    EXPECT_FALSE(e.present()); // no permission bits: hardware faults
+    EXPECT_EQ(e.presState(), PresState::Swapped);
+    EXPECT_EQ(e.swapSlot(), 0x123u);
+    EXPECT_EQ(e.savedPerms(), Perms::RW);
+    EXPECT_FALSE(e.isLarge());
+}
+
+TEST(EptEntry, BalloonedEncodingRoundTrips)
+{
+    EptEntry e = EptEntry::makeBallooned(Perms::RWX);
+    EXPECT_FALSE(e.present());
+    EXPECT_EQ(e.presState(), PresState::Ballooned);
+    EXPECT_EQ(e.savedPerms(), Perms::RWX);
+    EXPECT_EQ(EptEntry::make(0x1000, Perms::RW).presState(),
+              PresState::Normal);
+}
+
+TEST_F(EptTest, MarkSwappedAndPresentRoundTrip)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame);
+    ASSERT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+
+    // Demote: translation disappears, state and slot are recorded.
+    ASSERT_TRUE(ept.markSwapped(0x5000, 77));
+    EXPECT_EQ(ept.entryState(0x5000), PresState::Swapped);
+    EXPECT_FALSE(ept.translate(0x5000).has_value());
+    auto leaf = ept.leafEntry(0x5000);
+    ASSERT_TRUE(leaf);
+    EXPECT_EQ(leaf->swapSlot(), 77u);
+
+    // Promote: the saved permissions come back, A/D start clear.
+    ASSERT_TRUE(ept.markPresent(0x5000, *frame));
+    EXPECT_EQ(ept.entryState(0x5000), PresState::Normal);
+    auto xlat = ept.translate(0x5000);
+    ASSERT_TRUE(xlat);
+    EXPECT_EQ(xlat->hpa, *frame);
+    EXPECT_EQ(xlat->perms, Perms::RW);
+    leaf = ept.leafEntry(0x5000);
+    ASSERT_TRUE(leaf);
+    EXPECT_FALSE(leaf->accessed());
+    alloc.free(*frame);
+}
+
+TEST_F(EptTest, MarkSwappedBumpsGenerationAndNeedsPresentLeaf)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame);
+    ASSERT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+
+    EXPECT_FALSE(ept.markSwapped(0x6000, 1)); // unmapped GPA
+    const std::uint64_t gen = ept.generation();
+    ASSERT_TRUE(ept.markBallooned(0x5000));
+    EXPECT_GT(ept.generation(), gen); // revocation: cached walks must die
+    EXPECT_FALSE(ept.markSwapped(0x5000, 1)); // already non-present
+    alloc.free(*frame);
+}
+
+TEST_F(EptTest, MapRejectsSwappedSlotAndUnmapClearsIt)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame);
+    ASSERT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+    ASSERT_TRUE(ept.markSwapped(0x5000, 3));
+
+    // The slot is occupied even though non-present: a new map must
+    // not silently overwrite the record of the swapped page.
+    EXPECT_FALSE(ept.map(0x5000, *frame, Perms::RW));
+    EXPECT_TRUE(ept.unmap(0x5000));
+    EXPECT_EQ(ept.entryState(0x5000), PresState::Normal);
+    EXPECT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+    alloc.free(*frame);
+}
+
+TEST_F(EptTest, AccessedAndClearDrivesTheClockHand)
+{
+    Ept ept(memory, alloc);
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame);
+    ASSERT_TRUE(ept.map(0x5000, *frame, Perms::RW));
+
+    // Fresh mapping: not accessed.
+    EXPECT_FALSE(ept.accessedAndClear(0x5000));
+    ASSERT_TRUE(
+        hardwareWalkAd(memory, ept.eptp(), 0x5000, false).has_value());
+    EXPECT_TRUE(ept.accessedAndClear(0x5000)); // walk set it, now cleared
+    EXPECT_FALSE(ept.accessedAndClear(0x5000));
+    alloc.free(*frame);
+}
+
 } // namespace

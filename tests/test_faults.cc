@@ -18,7 +18,9 @@
 #include "elisa/manager.hh"
 #include "elisa/negotiation.hh"
 #include "elisa/shm_allocator.hh"
+#include "cpu/guest_view.hh"
 #include "hv/hypervisor.hh"
+#include "hv/paging.hh"
 #include "kvs/cluster.hh"
 #include "sim/exit_ledger.hh"
 #include "sim/fault.hh"
@@ -710,6 +712,66 @@ TEST_F(FaultTest, LedgerConservationHoldsUnderChaos)
     }
     EXPECT_EQ(row_ns, ledger.totalNs());
     EXPECT_EQ(row_events, ledger.totalEvents());
+}
+
+// ---------------------------------------------------------------------
+// The page-in rows of the kill matrix: a VM dying mid-page-in, its
+// own or somebody else's, converges to a clean machine.
+// ---------------------------------------------------------------------
+
+TEST_F(FaultTest, KillDuringOwnPageInReapsCleanly)
+{
+    hv::Pager &pager = hv.enablePaging({0, 64});
+    pager.manageVmRam(guestVm, true);
+    const VmId victim = guestVm.id();
+    plan.killDuringPageIn(victim, 1);
+    hv.setFaultPlan(&plan);
+
+    auto r = guestVm.run(0, [&] {
+        cpu::GuestView view(guestVm.vcpu(0));
+        view.write<std::uint64_t>(0, 1);
+    });
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.exit.reason, cpu::ExitReason::VmKilled);
+    EXPECT_EQ(hv.stats().get("pager_page_in_kills"), 1u);
+    EXPECT_EQ(hv.stats().get("fault_vm_kills"), 1u);
+
+    hv.reapKilledVms();
+    EXPECT_FALSE(hv.hasVm(victim));
+    // Every frame and swap slot the victim owned is released, and the
+    // survivor still works.
+    EXPECT_EQ(pager.managedFrames(), 0u);
+    EXPECT_EQ(pager.store().usedSlots(), 0u);
+    EXPECT_TRUE(manager.exportObject(ExportKey("kv"), 4 * KiB,
+                                     constFns()));
+}
+
+TEST_F(FaultTest, ThirdPartyKillDuringPageInStillResolvesTheFault)
+{
+    hv::Pager &pager = hv.enablePaging({0, 64});
+    pager.manageVmRam(guestVm, true);
+
+    // The guest's first page-in takes the manager down — an operator
+    // killing an unrelated VM while the swap device is busy. The
+    // faulting guest must still get its page.
+    sim::FaultRule rule;
+    rule.site = static_cast<std::uint64_t>(sim::FaultSite::PageIn);
+    rule.vm = guestVm.id();
+    rule.action = sim::FaultAction::KillVm;
+    rule.param = managerVm.id();
+    plan.addRule(rule);
+    hv.setFaultPlan(&plan);
+
+    const VmId managerId = managerVm.id();
+    auto r = guestVm.run(0, [&] {
+        cpu::GuestView view(guestVm.vcpu(0));
+        view.write<std::uint64_t>(0, 0x77);
+        EXPECT_EQ(view.read<std::uint64_t>(0), 0x77u);
+    });
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(hv.hasVm(managerId));
+    EXPECT_EQ(pager.residentFrames(), 1u);
+    EXPECT_EQ(hv.stats().get("fault_vm_kills"), 1u);
 }
 
 TEST_F(FaultTest, ShmExhaustAndCorrupt)

@@ -31,7 +31,9 @@
 
 #include "bench/common.hh"
 #include "cpu/exit.hh"
+#include "cpu/guest_view.hh"
 #include "elisa/gate.hh"
+#include "hv/paging.hh"
 #include "kvs/clients.hh"
 #include "kvs/workload.hh"
 #include "net/paths.hh"
@@ -154,6 +156,86 @@ ledgerHypernfSection()
     paperCheck("throughput loss vs direct", loss, 49.0, "%");
 }
 
+/**
+ * The demand-paging decomposition: a shared object squeezed below its
+ * working set, touched through the gate. Every non-resident touch is
+ * an Exit/ept-violation row (the exit+entry mechanism, billed to the
+ * faulting guest) plus a Page/page-in row (handler + swap device) —
+ * and the kinds still partition the total.
+ */
+void
+ledgerPagingSection()
+{
+    std::printf("--- ledger: demand-paging fault charging ----------"
+                "-----------\n");
+    Testbed bed;
+    sim::ExitLedger ledger;
+    bed.hv.setLedger(&ledger);
+    hv::Pager &pager = bed.hv.enablePaging({0, 256});
+
+    constexpr std::uint64_t objectBytes = 64 * KiB;
+    constexpr std::uint64_t objectPages = objectBytes / pageSize;
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &ctx) { // 0: read64
+        return ctx.view.read<std::uint64_t>(ctx.obj + ctx.arg0);
+    });
+    auto exported = bed.manager.exportObject(core::ExportKey("obj"),
+                                             objectBytes,
+                                             std::move(fns));
+    fatal_if(!exported, "export failed");
+    pager.manageObject(bed.managerVm,
+                       bed.managerVm.ramGpaToHpa(exported->objectGpa),
+                       objectBytes, true);
+
+    hv::Vm &vm = bed.addGuest("guest");
+    core::ElisaGuest guest(vm, bed.svc);
+    core::Gate gate = mustAttach(guest, core::ExportKey("obj"), bed.manager);
+
+    // Warm all pages from the manager, then squeeze the residency so
+    // most of the object sits on the swap device.
+    pager.setResidentLimit(4);
+    cpu::GuestView mview(bed.managerVm.vcpu(0));
+    for (std::uint64_t page = 0; page < objectPages; ++page)
+        mview.write<std::uint64_t>(exported->objectGpa +
+                                       page * pageSize,
+                                   0x900d0000 + page);
+
+    ledger.clear(); // count the guest's faulting gate calls only
+    for (std::uint64_t page = 0; page < objectPages; ++page) {
+        const std::uint64_t got = gate.call(0, page * pageSize);
+        fatal_if(got != 0x900d0000 + page, "paged read corrupted");
+    }
+
+    std::printf("%s\n", ledger.report().c_str());
+
+    const sim::CostModel model = sim::CostModel::fromEnv();
+    double exit_mean = 0.0;
+    double pagein_mean = 0.0;
+    for (const auto &row : ledger.rows()) {
+        if (row.kind == sim::CostKind::Exit &&
+            row.code ==
+                (std::uint32_t)cpu::ExitReason::EptViolation) {
+            exit_mean = meanNs(row);
+        }
+        if (row.kind == sim::CostKind::Page &&
+            row.code == (std::uint32_t)sim::PageCost::PageIn)
+            pagein_mean = meanNs(row);
+    }
+    paperCheck("EPT-violation exit mechanism (ledger)", exit_mean,
+               (double)(model.vmexitNs + model.vmentryNs), "ns");
+    paperCheck("page-in service (ledger)", pagein_mean,
+               (double)(model.pageFaultHandleNs + model.swapInNs),
+               "ns");
+
+    SimNs kinds = 0;
+    for (std::uint32_t k = 0; k < sim::costKindCount; ++k)
+        kinds += ledger.kindNs((sim::CostKind)k);
+    std::printf("  [check] cost kinds partition the total: %s\n",
+                kinds == ledger.totalNs() ? "yes" : "NO — LEAK");
+    fatal_if(kinds != ledger.totalNs(),
+             "ledger kinds do not sum to total");
+}
+
 /** Gate/VMCALL workload with a Metrics registry; Prometheus dump. */
 void
 prometheusSection()
@@ -253,6 +335,7 @@ main(int argc, char **argv)
     if (do_ledger) {
         ledgerGateSection();
         ledgerHypernfSection();
+        ledgerPagingSection();
     }
     if (do_prometheus)
         prometheusSection();
