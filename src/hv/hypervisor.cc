@@ -1,5 +1,7 @@
 #include "hv/hypervisor.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/strutil.hh"
 #include "base/trace.hh"
@@ -44,6 +46,8 @@ Hypervisor::createVm(const std::string &name, std::uint64_t ram_bytes,
     auto vm = std::make_unique<Vm>(*this, id, name, ram_bytes, vcpu_count);
     Vm &ref = *vm;
     ref.setShard(machineShard);
+    for (unsigned i = 0; i < ref.vcpuCount(); ++i)
+        vcpuOwner[ref.vcpu(i).id()] = id;
     vms.emplace(id, std::move(vm));
     statSet.inc("vm_created");
     ELISA_TRACE(Hv, "created VM %u '%s' (%llu MiB RAM)", id,
@@ -73,8 +77,27 @@ Hypervisor::destroyVm(VmId id)
 {
     auto it = vms.find(id);
     panic_if(it == vms.end(), "destroying unknown VM %u", id);
+    if (recorderPtr != nullptr) {
+        // Drain the dying VM's final spans into its ring, then freeze
+        // the post-mortem before teardown hooks mutate the world. The
+        // death instant is the furthest-advanced vCPU clock of the VM.
+        if (tracerPtr)
+            recorderPtr->observe(*tracerPtr);
+        Vm &dying = *it->second;
+        SimNs death = 0;
+        for (unsigned i = 0; i < dying.vcpuCount(); ++i)
+            death = std::max(death, dying.vcpu(i).clock().now());
+        recorderPtr->dump(id, death, ledgerPtr);
+    }
     for (auto &hook : destroyHooks)
         hook(id);
+    if (metricsPtr != nullptr) {
+        // The registry holds non-owning StatSet pointers: detach the
+        // dying vCPUs' sets or the next collect() walks freed memory.
+        Vm &dying = *it->second;
+        for (unsigned i = 0; i < dying.vcpuCount(); ++i)
+            metricsPtr->detachStatSet(dying.vcpu(i).stats());
+    }
     vms.erase(it);
     frames.dropOwner(id);
     statSet.inc("vm_destroyed");
@@ -147,8 +170,24 @@ Hypervisor::setLedger(sim::ExitLedger *ledger)
 }
 
 void
+Hypervisor::setFlightRecorder(sim::FlightRecorder *recorder)
+{
+    recorderPtr = recorder;
+    if (recorderPtr == nullptr)
+        return;
+    recorderPtr->setTrackResolver([this](std::uint32_t track) {
+        const auto it = vcpuOwner.find(track);
+        return it == vcpuOwner.end() ? sim::FlightRecorder::noVm
+                                     : it->second;
+    });
+    if (ledgerPtr)
+        recorderPtr->baseline(*ledgerPtr);
+}
+
+void
 Hypervisor::attachMetrics(sim::Metrics &metrics)
 {
+    metricsPtr = &metrics;
     metrics.attachStatSet(statSet, {{"layer", "hv"}}, "hv_");
     for (auto &[id, vm] : vms) {
         for (unsigned i = 0; i < vm->vcpuCount(); ++i) {
@@ -317,6 +356,8 @@ Hypervisor::handleHypercall(cpu::Vcpu &vcpu,
                                    vcpu.id(), vcpu.clock().now(),
                                    args.nr, victim);
             }
+            if (recorderPtr)
+                recorderPtr->noteKill(victim, "fault_kill@hypercall");
             if (victim == vcpu.vm()) {
                 // The caller dies mid-hypercall. Its frames (this
                 // dispatch, the vmcall below it) still reference the

@@ -26,6 +26,7 @@
 #include "sim/cost_model.hh"
 #include "sim/exit_ledger.hh"
 #include "sim/fault.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
@@ -170,13 +171,29 @@ class Hypervisor : public cpu::HypercallSink, public cpu::EptFaultSink
     /** The installed ledger, or nullptr. */
     sim::ExitLedger *ledger() const { return ledgerPtr; }
 
+    // ---- flight recorder -------------------------------------------
+    /**
+     * Install (or with nullptr remove) the per-VM flight recorder.
+     * Non-owning, same contract as setTracer. The hypervisor installs
+     * its track resolver (vCPU track → owning VM, remembered across VM
+     * death), baselines it against the installed ledger, and on every
+     * destroyVm() drains the tracer one final time and freezes the
+     * dying VM's post-mortem before teardown hooks run. Install after
+     * setLedger()/setTracer() for a full-history baseline.
+     */
+    void setFlightRecorder(sim::FlightRecorder *recorder);
+
+    /** The installed flight recorder, or nullptr. */
+    sim::FlightRecorder *flightRecorder() const { return recorderPtr; }
+
     /**
      * Attach this machine's StatSets to @p metrics as labeled counter
      * families: the hypervisor set as {layer="hv"} with prefix "hv_",
      * every vCPU set as {vm, vcpu} with prefix "vcpu_". Call after the
      * VMs of interest exist (attachment is by StatSet, and Metrics
-     * holds non-owning pointers — re-call after creating more VMs,
-     * and never destroy attached VMs before the export).
+     * holds non-owning pointers — re-call after creating more VMs).
+     * destroyVm() detaches the dying VM's vCPU sets automatically, so
+     * killing a VM mid-flight leaves the registry safe to collect.
      */
     void attachMetrics(sim::Metrics &metrics);
 
@@ -304,6 +321,23 @@ class Hypervisor : public cpu::HypercallSink, public cpu::EptFaultSink
 
     /** Installed exit ledger (nullptr = accounting off). */
     sim::ExitLedger *ledgerPtr = nullptr;
+
+    /** Installed flight recorder (nullptr = post-mortems off). */
+    sim::FlightRecorder *recorderPtr = nullptr;
+
+    /**
+     * Registry attachMetrics() last exported into — destroyVm()
+     * detaches the dying VM's vCPU StatSets from it so collection
+     * never walks freed memory.
+     */
+    sim::Metrics *metricsPtr = nullptr;
+
+    /**
+     * vCPU id → owning VM, kept after the VM dies: the flight
+     * recorder's resolver must still attribute a dead VM's final
+     * spans when its dump is built during teardown.
+     */
+    std::map<VcpuId, VmId> vcpuOwner;
 
     /** Resolve the dispatch-span name for hypercall @p nr (lazily
      *  interned into the installed tracer). */

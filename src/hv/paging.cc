@@ -457,6 +457,8 @@ Pager::pageInHook(cpu::Vcpu &vcpu, Gpa gpa)
                                   vcpu.id(), vcpu.clock().now(), gpa,
                                   victim);
         }
+        if (hv.recorderPtr)
+            hv.recorderPtr->noteKill(victim, "fault_kill@page_in");
         if (victim == vcpu.vm()) {
             // The faulting VM dies mid-page-in: its frames (the
             // faulting access, the gate call above it) still reference

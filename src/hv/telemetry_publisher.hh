@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Host-side telemetry publisher: serializes the machine's observability
+ * state (Metrics + ExitLedger + Tracer tail, see sim/telemetry.hh) and
+ * publishes it through seqlock-fronted double-buffered regions that
+ * guests scrape exit-lessly.
+ *
+ * The publisher is deliberately sink-agnostic: a sink is any
+ * host-physical window large enough for the region layout — the
+ * backing pages of an ELISA shared object (the exit-less scheme), an
+ * IvshmemRegion (the direct-mapped baseline), or plain hypervisor
+ * memory a test inspects from the host. All sinks receive the same
+ * snapshot bytes at every publish(), so the three access schemes of
+ * the paper read one wire format and can be compared byte-for-byte.
+ *
+ * A VMCALL marshalling service (registerScrapeHypercall) provides the
+ * exit-ful baseline: the guest traps, the host copies the latest
+ * snapshot into guest memory. Same bytes, one vmexit per scrape.
+ *
+ * Publication is host-side bookkeeping and costs no simulated time;
+ * the *scrape* side is where the schemes differ (see bench_telemetry).
+ */
+
+#ifndef ELISA_HV_TELEMETRY_PUBLISHER_HH
+#define ELISA_HV_TELEMETRY_PUBLISHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hv/hypervisor.hh"
+#include "sim/telemetry.hh"
+
+namespace elisa::hv
+{
+
+class TelemetryPublisher
+{
+  public:
+    /**
+     * @param hv the machine; ledger/tracer/flight recorder are read
+     *        from whatever is installed there at each publish().
+     * @param metrics the registry snapshots are built from.
+     */
+    TelemetryPublisher(Hypervisor &hv, const sim::Metrics &metrics);
+
+    /**
+     * Register a publication region at [@p base, @p base + @p bytes).
+     * The window is formatted in place (header + two slots); it must
+     * hold the 64-byte header plus two non-empty slots. Returns the
+     * sink index.
+     */
+    std::size_t addSink(Hpa base, std::uint64_t bytes, std::string name);
+
+    std::size_t sinkCount() const { return sinks.size(); }
+
+    /** Per-slot capacity of sink @p index. */
+    std::uint32_t slotBytes(std::size_t index) const;
+
+    /** Host-physical base of sink @p index. */
+    Hpa sinkBase(std::size_t index) const;
+
+    /** Cap on tracer-tail events per snapshot (default 256; 0 omits
+     *  the trace section entirely). */
+    void setTraceTail(std::size_t events) { traceTail = events; }
+
+    /**
+     * Serialize one snapshot at simulated instant @p now and publish
+     * it to every sink (seqlock protocol). Also drains the flight
+     * recorder, when one is installed, so per-VM rings are current at
+     * every publication boundary. Returns the publication seq.
+     *
+     * A snapshot larger than a sink's slot leaves that sink on its
+     * previous snapshot and counts an overflow — truncated telemetry
+     * is worse than stale telemetry.
+     */
+    std::uint64_t publish(SimNs now);
+
+    /** Publications so far (the seq of the latest snapshot). */
+    std::uint64_t publications() const { return pubCount; }
+
+    /** Sink-publications skipped because the snapshot outgrew a slot. */
+    std::uint64_t overflows() const { return overflowCount; }
+
+    /** The latest serialized snapshot ("" before the first publish). */
+    const std::vector<std::uint8_t> &lastSnapshot() const { return last; }
+
+    /**
+     * Register the VMCALL scrape service. Guest calls
+     * (nr, dest_gpa, capacity) and the host copies the latest snapshot
+     * into guest memory, returning its length (hcError when nothing
+     * was published yet or capacity is too small). Idempotent.
+     */
+    std::uint64_t registerScrapeHypercall();
+
+    /** The scrape hypercall number (0 = not registered). */
+    std::uint64_t scrapeHypercallNr() const { return scrapeNr; }
+
+  private:
+    struct Sink
+    {
+        Hpa base;
+        std::uint32_t slotBytes;
+        std::string name;
+    };
+
+    /** Format a fresh region header in place. */
+    void initRegion(const Sink &sink);
+
+    Hypervisor &hyper;
+    const sim::Metrics &metricsRef;
+    std::vector<Sink> sinks;
+    std::size_t traceTail = 256;
+    std::uint64_t pubCount = 0;
+    std::uint64_t overflowCount = 0;
+    std::vector<std::uint8_t> last;
+    std::uint64_t scrapeNr = 0;
+    sim::StatId publishedId = 0;
+    sim::StatId overflowId = 0;
+    sim::StatId scrapeId = 0;
+};
+
+} // namespace elisa::hv
+
+#endif // ELISA_HV_TELEMETRY_PUBLISHER_HH

@@ -164,8 +164,8 @@ void
 FrameAllocator::attachGauges(sim::Metrics &metrics)
 {
     metricsPtr = &metrics;
-    freeGauge = metrics.gauge("frames_free");
-    allocatedGauge = metrics.gauge("frames_allocated");
+    freeGauge = metrics.gauge("mem_frames_free");
+    allocatedGauge = metrics.gauge("mem_frames_allocated");
     for (auto &[owner, entry] : owners) {
         if (!entry.gaugesRegistered)
             registerOwnerGauges(owner, entry);
@@ -179,10 +179,11 @@ FrameAllocator::registerOwnerGauges(std::uint32_t owner,
     (void)owner;
     const sim::Labels labels = {{"vm", entry.name}};
     entry.residentGauge =
-        metricsPtr->gauge("vm_resident_frames", labels);
-    entry.swappedGauge = metricsPtr->gauge("vm_swapped_frames", labels);
+        metricsPtr->gauge("mem_resident_frames", labels);
+    entry.swappedGauge =
+        metricsPtr->gauge("mem_swapped_frames", labels);
     entry.targetGauge =
-        metricsPtr->gauge("vm_balloon_target_frames", labels);
+        metricsPtr->gauge("mem_balloon_target_frames", labels);
     entry.gaugesRegistered = true;
 }
 

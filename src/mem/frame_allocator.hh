@@ -115,9 +115,11 @@ class FrameAllocator
 
     /**
      * Export the occupancy book as gauges on @p metrics:
-     * machine-level frames_free/frames_allocated plus per-owner
-     * vm_resident_frames/vm_swapped_frames/vm_balloon_target_frames
-     * labeled vm="<name>". Owners registered later are picked up on
+     * machine-level mem_frames_free/mem_frames_allocated plus
+     * per-owner mem_resident_frames/mem_swapped_frames/
+     * mem_balloon_target_frames labeled vm="<name>" (layer prefix in
+     * the family, identity in labels — see the naming rules in
+     * DESIGN.md §15). Owners registered later are picked up on
      * their noteOwner(). Call sampleGauges() to publish values (pair
      * with Engine::setSampler for periodic simulated-time sampling).
      */

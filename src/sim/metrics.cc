@@ -74,27 +74,6 @@ escapeLabelValue(const std::string &value)
     return out;
 }
 
-/** Render {k="v",...}; empty labels render as "". */
-std::string
-renderLabels(const Labels &labels)
-{
-    if (labels.empty())
-        return "";
-    std::string out = "{";
-    bool first = true;
-    for (const auto &[k, v] : labels) {
-        if (!first)
-            out += ',';
-        first = false;
-        out += sanitizeFamily(k);
-        out += "=\"";
-        out += escapeLabelValue(v);
-        out += '"';
-    }
-    out += '}';
-    return out;
-}
-
 /** Extra quantile labeled render (summary samples). */
 std::string
 renderLabelsWithQuantile(const Labels &labels, const char *q)
@@ -148,6 +127,26 @@ csvCell(const std::string &cell)
 }
 
 } // anonymous namespace
+
+std::string
+renderMetricLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += sanitizeFamily(k);
+        out += "=\"";
+        out += escapeLabelValue(v);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
 
 const char *
 metricKindToString(MetricKind kind)
@@ -296,7 +295,7 @@ Metrics::collect() const
     for (const Meta &meta : metas) {
         Sample s;
         s.family = sanitizeFamily(meta.name);
-        s.labelStr = renderLabels(meta.labels);
+        s.labelStr = renderMetricLabels(meta.labels);
         s.labels = meta.labels;
         s.kind = meta.kind;
         switch (meta.kind) {
@@ -313,7 +312,7 @@ Metrics::collect() const
         out.push_back(std::move(s));
     }
     for (const Source &src : sources) {
-        const std::string label_str = renderLabels(src.labels);
+        const std::string label_str = renderMetricLabels(src.labels);
         // StatSet::all() iterates its name-sorted map: deterministic.
         for (const auto &[name, value] : src.set->all()) {
             Sample s;
@@ -334,13 +333,36 @@ Metrics::collect() const
     return out;
 }
 
-std::string
-Metrics::prometheus() const
+std::vector<ExportSample>
+Metrics::exportSamples() const
 {
     const std::vector<Sample> samples = collect();
+    std::vector<ExportSample> out;
+    out.reserve(samples.size());
+    for (const Sample &s : samples) {
+        ExportSample e;
+        e.family = s.family;
+        e.labelStr = s.labelStr;
+        e.labels = s.labels;
+        e.kind = s.kind;
+        e.counterVal = s.counterVal;
+        e.gaugeVal = s.gaugeVal;
+        if (s.kind == MetricKind::Histogram) {
+            const Histogram &h = *s.hist;
+            e.hist = HistSummary{h.count(), h.sum(),   h.p50(),
+                                 h.p95(),   h.p99(),   h.p999()};
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const std::vector<ExportSample> &samples)
+{
     std::ostringstream out;
     std::string open_family;
-    for (const Sample &s : samples) {
+    for (const ExportSample &s : samples) {
         if (s.family != open_family) {
             open_family = s.family;
             const char *type =
@@ -361,27 +383,33 @@ Metrics::prometheus() const
           case MetricKind::Histogram: {
             // Summary exposition: the four paper-relevant quantiles
             // plus _sum/_count, all integer math.
-            const Histogram &h = *s.hist;
+            const HistSummary &h = s.hist;
             out << s.family << renderLabelsWithQuantile(s.labels, "0.5")
-                << ' ' << h.p50() << '\n';
+                << ' ' << h.p50 << '\n';
             out << s.family
                 << renderLabelsWithQuantile(s.labels, "0.95") << ' '
-                << h.p95() << '\n';
+                << h.p95 << '\n';
             out << s.family
                 << renderLabelsWithQuantile(s.labels, "0.99") << ' '
-                << h.p99() << '\n';
+                << h.p99 << '\n';
             out << s.family
                 << renderLabelsWithQuantile(s.labels, "0.999") << ' '
-                << h.p999() << '\n';
-            out << s.family << "_sum" << s.labelStr << ' ' << h.sum()
+                << h.p999 << '\n';
+            out << s.family << "_sum" << s.labelStr << ' ' << h.sum
                 << '\n';
             out << s.family << "_count" << s.labelStr << ' '
-                << h.count() << '\n';
+                << h.count << '\n';
             break;
           }
         }
     }
     return out.str();
+}
+
+std::string
+Metrics::prometheus() const
+{
+    return renderPrometheus(exportSamples());
 }
 
 std::string
@@ -408,11 +436,10 @@ Metrics::report() const
 }
 
 std::string
-Metrics::csvHeader() const
+renderMetricsCsvHeader(const std::vector<ExportSample> &samples)
 {
-    const std::vector<Sample> samples = collect();
     std::string out = "sim_ns";
-    for (const Sample &s : samples) {
+    for (const ExportSample &s : samples) {
         const std::string base = s.family + s.labelStr;
         if (s.kind == MetricKind::Histogram) {
             out += ',';
@@ -431,11 +458,10 @@ Metrics::csvHeader() const
 }
 
 std::string
-Metrics::csvRow(SimNs now) const
+renderMetricsCsvRow(SimNs now, const std::vector<ExportSample> &samples)
 {
-    const std::vector<Sample> samples = collect();
     std::string out = detail::format("%llu", (unsigned long long)now);
-    for (const Sample &s : samples) {
+    for (const ExportSample &s : samples) {
         out += ',';
         switch (s.kind) {
           case MetricKind::Counter:
@@ -447,9 +473,9 @@ Metrics::csvRow(SimNs now) const
             break;
           case MetricKind::Histogram:
             out += detail::format(
-                "%llu,%llu,%llu", (unsigned long long)s.hist->count(),
-                (unsigned long long)s.hist->p50(),
-                (unsigned long long)s.hist->p99());
+                "%llu,%llu,%llu", (unsigned long long)s.hist.count,
+                (unsigned long long)s.hist.p50,
+                (unsigned long long)s.hist.p99);
             break;
         }
     }
@@ -458,13 +484,30 @@ Metrics::csvRow(SimNs now) const
 }
 
 std::size_t
-Metrics::csvColumnCount() const
+metricsCsvColumnCount(const std::vector<ExportSample> &samples)
 {
-    const std::vector<Sample> samples = collect();
     std::size_t columns = 1; // sim_ns
-    for (const Sample &s : samples)
+    for (const ExportSample &s : samples)
         columns += s.kind == MetricKind::Histogram ? 3 : 1;
     return columns;
+}
+
+std::string
+Metrics::csvHeader() const
+{
+    return renderMetricsCsvHeader(exportSamples());
+}
+
+std::string
+Metrics::csvRow(SimNs now) const
+{
+    return renderMetricsCsvRow(now, exportSamples());
+}
+
+std::size_t
+Metrics::csvColumnCount() const
+{
+    return metricsCsvColumnCount(exportSamples());
 }
 
 MetricsCsvSampler::MetricsCsvSampler(const Metrics &metrics)

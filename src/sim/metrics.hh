@@ -75,6 +75,64 @@ using Label = std::pair<std::string, std::string>;
 using Labels = std::vector<Label>;
 
 /**
+ * Materialized histogram summary: the exact values the exporters
+ * render. Flattening happens at collection time so a sample can be
+ * serialized (telemetry snapshots) without dragging the Histogram
+ * storage along — a re-render from these six integers is byte-equal
+ * to a render from the live histogram.
+ */
+struct HistSummary
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+};
+
+/**
+ * One flattened, self-contained export sample. The registry's
+ * exportSamples() returns these sorted by (family, labelStr); the
+ * free renderers below turn a sample vector into the Prometheus/CSV
+ * documents. Because the renderers take samples — not the registry —
+ * a telemetry consumer that deserialized the samples re-renders the
+ * exact bytes the host would have produced.
+ */
+struct ExportSample
+{
+    std::string family;   ///< sanitized family name
+    std::string labelStr; ///< rendered {k="v",...} or ""
+    Labels labels;        ///< raw sorted pairs (quantile re-render)
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counterVal = 0;
+    double gaugeVal = 0.0;
+    HistSummary hist;
+};
+
+/** Render {k="v",...} (sorted pairs in, "" for empty labels). */
+std::string renderMetricLabels(const Labels &labels);
+
+/**
+ * Prometheus text exposition (0.0.4) of a flattened sample vector.
+ * Metrics::prometheus() delegates here; so does the monitor guest's
+ * re-export — one renderer, byte-identical output by construction.
+ */
+std::string renderPrometheus(const std::vector<ExportSample> &samples);
+
+/** CSV time-series header row for a sample vector ("sim_ns,..."). */
+std::string
+renderMetricsCsvHeader(const std::vector<ExportSample> &samples);
+
+/** One CSV row of the samples' values at simulated time @p now. */
+std::string renderMetricsCsvRow(SimNs now,
+                                const std::vector<ExportSample> &samples);
+
+/** Column count the CSV renderers emit for @p samples (incl sim_ns). */
+std::size_t
+metricsCsvColumnCount(const std::vector<ExportSample> &samples);
+
+/**
  * The registry. Owns first-class metric storage; adopted StatSets stay
  * owned by their subsystems (non-owning pointers, same lifetime
  * contract as Tracer/FaultPlan installation).
@@ -159,8 +217,17 @@ class Metrics
 
     // ---- exporters -------------------------------------------------
     /**
+     * Flatten every first-class metric and adopted StatSet into
+     * self-contained ExportSamples, sorted by (family, labelStr).
+     * This is the one collection point all exporters — and the
+     * telemetry snapshot serializer — share.
+     */
+    std::vector<ExportSample> exportSamples() const;
+
+    /**
      * Prometheus text exposition (version 0.0.4), byte-deterministic:
      * families sorted by name, samples sorted by label string.
+     * Equivalent to renderPrometheus(exportSamples()).
      */
     std::string prometheus() const;
 

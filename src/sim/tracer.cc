@@ -30,6 +30,8 @@ spanCatToString(SpanCat cat)
         return "cpu";
       case SpanCat::Page:
         return "page";
+      case SpanCat::Telemetry:
+        return "telemetry";
     }
     return "?";
 }

@@ -35,7 +35,14 @@
 #include "sim/engine.hh"
 #include "sim/fault.hh"
 #include "sim/histogram.hh"
+#include "guest/monitor.hh"
+#include "hv/telemetry_publisher.hh"
+#include "sim/exit_ledger.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/metrics.hh"
+#include "sim/slo.hh"
+#include "sim/telemetry.hh"
+#include "sim/tracer.hh"
 
 namespace
 {
@@ -672,10 +679,10 @@ runPagedScenario(unsigned threads)
         for (unsigned m = 0; m < 3; ++m) {
             sim::Metrics &mm = *metrics[m];
             machines[m]->hv.allocator().sampleGauges();
-            series << mm.gaugeValue(mm.gauge("vm_resident_frames",
+            series << mm.gaugeValue(mm.gauge("mem_resident_frames",
                                              {{"vm", "manager"}}))
                    << '/'
-                   << mm.gaugeValue(mm.gauge("vm_swapped_frames",
+                   << mm.gaugeValue(mm.gauge("mem_swapped_frames",
                                              {{"vm", "manager"}}))
                    << ' ';
         }
@@ -722,6 +729,201 @@ TEST(Determinism, PagedMachinesFingerprintIdenticalAcrossThreadCounts)
         EXPECT_NE(serial.substr(at + key.size(), 2), "0\n");
     }
     EXPECT_NE(serial.find(':'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The telemetry plane under the parallel engine: publisher snapshot
+// bytes, the monitor's scrape stream (Prometheus + CSV re-exports),
+// watchdog alert instants and the flight-recorder post-mortem of a
+// fault-killed VM must all be byte-identical across host thread
+// counts.
+// ---------------------------------------------------------------------
+
+/** One machine with a worked guest, a doomed guest and a monitor. */
+struct TelemetryMachine
+{
+    hv::Hypervisor hv{256 * MiB};
+    sim::Tracer tracer{4096};
+    sim::ExitLedger ledger;
+    sim::FlightRecorder recorder{64};
+    core::ElisaService svc{hv};
+    hv::Vm &manager_vm;
+    hv::Vm &victim_vm;
+    hv::Vm &worker_vm;
+    hv::Vm &monitor_vm;
+    core::ElisaManager manager;
+    core::ElisaGuest victim;
+    core::ElisaGuest worker;
+    elisa::guest::MonitorGuest monitor;
+    sim::Metrics metrics;
+    hv::TelemetryPublisher publisher{hv, metrics};
+    sim::SloWatchdog dog;
+    std::optional<core::Gate> vgate;
+    std::optional<core::Gate> wgate;
+    sim::MetricId depth = 0;
+    VmId victimId = invalidVmId;
+    sim::FaultPlan plan;
+
+    TelemetryMachine(unsigned shard)
+        : manager_vm(hv.createVm("manager", 64 * MiB)),
+          victim_vm(hv.createVm("victim", 16 * MiB)),
+          worker_vm(hv.createVm("worker", 16 * MiB)),
+          monitor_vm(hv.createVm("monitor", 16 * MiB)),
+          manager(manager_vm, svc), victim(victim_vm, svc),
+          worker(worker_vm, svc), monitor(monitor_vm, svc),
+          dog(&tracer, /*track=*/99)
+    {
+        hv.setShard(shard);
+        hv.setTracer(&tracer);
+        hv.setLedger(&ledger);
+        hv.setFlightRecorder(&recorder);
+
+        core::SharedFnTable fns;
+        fns.push_back(
+            [](core::SubCallCtx &) { return std::uint64_t{0}; });
+        panic_if(!manager.exportObject(core::ExportKey("noop"),
+                                       pageSize, std::move(fns)),
+                 "telemetry-machine export failed");
+        vgate = victim.tryAttach(core::ExportKey("noop"), manager)
+                    .intoOptional();
+        wgate = worker.tryAttach(core::ExportKey("noop"), manager)
+                    .intoOptional();
+        panic_if(!vgate || !wgate, "telemetry-machine attach failed");
+
+        panic_if(!elisa::guest::exportTelemetryRegion(
+                     manager, publisher, core::ExportKey("telemetry"),
+                     128 * KiB),
+                 "telemetry region export failed");
+        panic_if(!monitor.attach(core::ExportKey("telemetry"),
+                                 manager),
+                 "monitor attach failed");
+
+        depth = metrics.gauge("backlog_depth");
+        dog.addRule({.name = "backlog",
+                     .kind = sim::SloKind::GaugeAbove,
+                     .family = "backlog_depth",
+                     .labelStr = "",
+                     .threshold = 600.0,
+                     .burnWindow = 2});
+        monitor.setWatchdog(&dog);
+        hv.attachMetrics(metrics);
+
+        // The worker's 40th Nop takes the victim down (third-party
+        // kill: immediate destroy, post-mortem dumped on the spot).
+        victimId = victim_vm.id();
+        sim::FaultRule rule;
+        rule.site =
+            static_cast<std::uint64_t>(sim::FaultSite::Hypercall);
+        rule.hcNr = static_cast<std::uint64_t>(hv::Hc::Nop);
+        rule.vm = worker_vm.id();
+        rule.occurrence = 40;
+        rule.action = sim::FaultAction::KillVm;
+        rule.param = victimId;
+        plan.addRule(rule);
+        hv.setFaultPlan(&plan);
+    }
+
+    std::string
+    fingerprint() const
+    {
+        const auto &snap = publisher.lastSnapshot();
+        std::ostringstream out;
+        out << "pubs=" << publisher.publications()
+            << " overflows=" << publisher.overflows()
+            << " snap_bytes=" << snap.size() << " snap_fnv="
+            << sim::telemetryChecksum(snap.data(), snap.size())
+            << " scrapes=" << monitor.scrapes() << " fresh="
+            << monitor.newSnapshots() << " retries="
+            << monitor.retries() << '\n'
+            << "prometheus:\n"
+            << monitor.prometheus() << "csv:\n"
+            << monitor.csvDocument() << "alerts:\n"
+            << dog.report() << "postmortem:\n"
+            << (recorder.hasPostMortem(victimId)
+                    ? recorder.postMortem(victimId)
+                    : std::string("none"))
+            << '\n';
+        return out.str();
+    }
+};
+
+/** Drives gates + hypercalls, publishing and scraping on a cadence. */
+struct TelemetryActor : sim::Actor
+{
+    TelemetryActor(TelemetryMachine &machine_, unsigned total_ops)
+        : machine(machine_), total(total_ops)
+    {
+    }
+
+    SimNs
+    actorNow() const override
+    {
+        return machine.worker_vm.vcpu(0).clock().now();
+    }
+
+    bool
+    step() override
+    {
+        TelemetryMachine &m = machine;
+        if (m.hv.hasVm(m.victimId)) {
+            m.vgate->call(0);
+            m.victim_vm.vcpu(0).vmcall(hv::hcArgs(hv::Hc::Nop));
+        }
+        m.wgate->call(0);
+        m.worker_vm.vcpu(0).vmcall(hv::hcArgs(hv::Hc::Nop));
+        // A sawtooth gauge so the watchdog's burn window fills and
+        // re-arms at deterministic publications.
+        m.metrics.set(m.depth,
+                      static_cast<double>(ops * 7 % 1000));
+        if (ops % 16 == 15) {
+            m.publisher.publish(actorNow());
+            m.monitor.scrape();
+        }
+        return ++ops < total;
+    }
+
+    TelemetryMachine &machine;
+    unsigned ops = 0;
+    unsigned total;
+};
+
+std::string
+runTelemetryScenario(unsigned threads)
+{
+    setQuiet(true);
+
+    std::vector<std::unique_ptr<TelemetryMachine>> machines;
+    std::vector<std::unique_ptr<TelemetryActor>> actors;
+    sim::Engine engine;
+    engine.setThreads(threads);
+    for (unsigned m = 0; m < 2; ++m) {
+        machines.push_back(std::make_unique<TelemetryMachine>(m));
+        actors.push_back(std::make_unique<TelemetryActor>(
+            *machines.back(), 400));
+        engine.add(actors.back().get(), m);
+    }
+    engine.run();
+
+    std::ostringstream out;
+    for (unsigned m = 0; m < 2; ++m)
+        out << "== machine " << m << " ==\n"
+            << machines[m]->fingerprint();
+    return out.str();
+}
+
+TEST(Determinism, TelemetryPlaneIdenticalAcrossThreadCounts)
+{
+    const std::string serial = runTelemetryScenario(1);
+    EXPECT_EQ(serial, runTelemetryScenario(2));
+    EXPECT_EQ(serial, runTelemetryScenario(4));
+
+    // Sanity: the scenario exercised the whole plane — publications
+    // were scraped, the watchdog fired, and the killed VM left a
+    // post-mortem.
+    EXPECT_NE(serial.find("backlog"), std::string::npos);
+    EXPECT_NE(serial.find("fault_kill@hypercall"), std::string::npos);
+    EXPECT_EQ(serial.find("postmortem:\nnone"), std::string::npos);
+    EXPECT_NE(serial.find("telemetry_published"), std::string::npos);
 }
 
 } // namespace

@@ -24,6 +24,8 @@
 #include "kvs/cluster.hh"
 #include "sim/exit_ledger.hh"
 #include "sim/fault.hh"
+#include "sim/flight_recorder.hh"
+#include "sim/tracer.hh"
 
 namespace
 {
@@ -193,6 +195,12 @@ TEST(FaultKillMatrix, EveryStepSurvivesEitherPartyDying)
                          std::to_string(nr(killStep)));
 
             hv::Hypervisor hv(256 * MiB);
+            sim::Tracer tracer(4096);
+            sim::ExitLedger ledger;
+            sim::FlightRecorder recorder(64);
+            hv.setTracer(&tracer);
+            hv.setLedger(&ledger);
+            hv.setFlightRecorder(&recorder);
             ElisaService svc(hv);
             const std::uint64_t baseline = hv.allocator().allocated();
 
@@ -241,12 +249,31 @@ TEST(FaultKillMatrix, EveryStepSurvivesEitherPartyDying)
                 EXPECT_FALSE(list.lookup(drv.wire->info.subIndex));
             }
 
+            // Every fault-killed VM left a post-mortem annotated with
+            // its kill site, with conserved ledger deltas.
+            if (plan.injectedCount() > 0) {
+                const VmId victim =
+                    killManager ? drv.managerId : drv.guestId;
+                ASSERT_TRUE(recorder.hasPostMortem(victim));
+                EXPECT_TRUE(recorder.postMortemConserved(victim));
+                EXPECT_NE(recorder.postMortem(victim).find(
+                              "fault_kill@hypercall"),
+                          std::string::npos);
+            }
+
             // No leaked frames once the survivors are destroyed.
             for (const VmId id : {drv.managerId, drv.guestId}) {
                 if (hv.hasVm(id))
                     hv.destroyVm(id);
             }
             EXPECT_EQ(hv.allocator().allocated(), baseline);
+
+            // Plain teardowns dump too: by now both parties have a
+            // conserved post-mortem regardless of how they died.
+            for (const VmId id : {drv.managerId, drv.guestId}) {
+                EXPECT_TRUE(recorder.hasPostMortem(id));
+                EXPECT_TRUE(recorder.postMortemConserved(id));
+            }
         }
     }
 }
@@ -289,6 +316,10 @@ TEST(CapabilityKillMatrix, DelegationStepsSurviveAnyPartyDying)
             hv::Hypervisor hv(256 * MiB);
             sim::ExitLedger ledger;
             hv.setLedger(&ledger);
+            sim::Tracer tracer(4096);
+            sim::FlightRecorder recorder(64);
+            hv.setTracer(&tracer);
+            hv.setFlightRecorder(&recorder);
             ElisaService svc(hv);
             const std::uint64_t baseline = hv.allocator().allocated();
 
@@ -424,6 +455,13 @@ TEST(CapabilityKillMatrix, DelegationStepsSurviveAnyPartyDying)
                 row_ns += row.ns;
             EXPECT_EQ(row_ns, ledger.totalNs());
 
+            // The fault-killed victim left an annotated, conserved
+            // post-mortem.
+            ASSERT_TRUE(recorder.hasPostMortem(victimId));
+            EXPECT_TRUE(recorder.postMortemConserved(victimId));
+            EXPECT_NE(recorder.postMortem(victimId).find("fault_kill"),
+                      std::string::npos);
+
             // No leaked frames or grants once the survivors are gone.
             for (const VmId id : {mgrId, aId, bId}) {
                 if (hv.hasVm(id))
@@ -431,6 +469,12 @@ TEST(CapabilityKillMatrix, DelegationStepsSurviveAnyPartyDying)
             }
             EXPECT_EQ(hv.allocator().allocated(), baseline);
             EXPECT_EQ(hv.grants().size(), 0u);
+
+            // All three parties dumped conserved post-mortems.
+            for (const VmId id : {mgrId, aId, bId}) {
+                EXPECT_TRUE(recorder.hasPostMortem(id));
+                EXPECT_TRUE(recorder.postMortemConserved(id));
+            }
         }
     }
 }
@@ -721,6 +765,10 @@ TEST_F(FaultTest, LedgerConservationHoldsUnderChaos)
 
 TEST_F(FaultTest, KillDuringOwnPageInReapsCleanly)
 {
+    sim::Tracer tracer(4096);
+    sim::FlightRecorder recorder(64);
+    hv.setTracer(&tracer);
+    hv.setFlightRecorder(&recorder);
     hv::Pager &pager = hv.enablePaging({0, 64});
     pager.manageVmRam(guestVm, true);
     const VmId victim = guestVm.id();
@@ -738,6 +786,13 @@ TEST_F(FaultTest, KillDuringOwnPageInReapsCleanly)
 
     hv.reapKilledVms();
     EXPECT_FALSE(hv.hasVm(victim));
+
+    // The page-in kill site annotated the victim's post-mortem.
+    ASSERT_TRUE(recorder.hasPostMortem(victim));
+    EXPECT_TRUE(recorder.postMortemConserved(victim));
+    EXPECT_NE(recorder.postMortem(victim).find("fault_kill@page_in"),
+              std::string::npos);
+
     // Every frame and swap slot the victim owned is released, and the
     // survivor still works.
     EXPECT_EQ(pager.managedFrames(), 0u);
@@ -748,6 +803,10 @@ TEST_F(FaultTest, KillDuringOwnPageInReapsCleanly)
 
 TEST_F(FaultTest, ThirdPartyKillDuringPageInStillResolvesTheFault)
 {
+    sim::Tracer tracer(4096);
+    sim::FlightRecorder recorder(64);
+    hv.setTracer(&tracer);
+    hv.setFlightRecorder(&recorder);
     hv::Pager &pager = hv.enablePaging({0, 64});
     pager.manageVmRam(guestVm, true);
 
@@ -772,6 +831,13 @@ TEST_F(FaultTest, ThirdPartyKillDuringPageInStillResolvesTheFault)
     EXPECT_FALSE(hv.hasVm(managerId));
     EXPECT_EQ(pager.residentFrames(), 1u);
     EXPECT_EQ(hv.stats().get("fault_vm_kills"), 1u);
+
+    // The bystander's death is annotated with the page-in kill site.
+    ASSERT_TRUE(recorder.hasPostMortem(managerId));
+    EXPECT_TRUE(recorder.postMortemConserved(managerId));
+    EXPECT_NE(recorder.postMortem(managerId).find(
+                  "fault_kill@page_in"),
+              std::string::npos);
 }
 
 TEST_F(FaultTest, ShmExhaustAndCorrupt)
@@ -1010,6 +1076,8 @@ TEST(ClusterKillMatrix, EveryStepSurvivesPrimaryOrReplicaDying)
             const VmId victim = kill_primary
                                     ? cluster.primaryVmId(0)
                                     : cluster.replicaVmId(0);
+            sim::FlightRecorder recorder(64);
+            cluster.hv(0).setFlightRecorder(&recorder);
             sim::FaultPlan plan;
             plan.killVmAt(cluster.stepNr(0), victim, occurrence);
             cluster.setFaultPlan(0, &plan);
@@ -1024,6 +1092,13 @@ TEST(ClusterKillMatrix, EveryStepSurvivesPrimaryOrReplicaDying)
             EXPECT_EQ(plan.injectedCount(), 1u);
             EXPECT_FALSE(cluster.hv(0).hasVm(victim));
             EXPECT_EQ(cluster.failovers(0), 1u);
+
+            // The dead server left a conserved, annotated post-mortem.
+            ASSERT_TRUE(recorder.hasPostMortem(victim));
+            EXPECT_TRUE(recorder.postMortemConserved(victim));
+            EXPECT_NE(recorder.postMortem(victim).find("fault_kill"),
+                      std::string::npos);
+            cluster.hv(0).setFlightRecorder(nullptr);
 
             // No acknowledged PUT was lost, nothing was torn.
             EXPECT_EQ(r.failed, 0u);

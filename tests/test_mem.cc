@@ -273,21 +273,23 @@ TEST(FrameAllocator, OccupancyGaugesPublishOnSample)
     ASSERT_TRUE(frame);
     alloc.sampleGauges();
 
-    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("frames_free")), 255.0);
-    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("frames_allocated")), 1.0);
+    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("mem_frames_free")),
+              255.0);
+    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("mem_frames_allocated")),
+              1.0);
     const sim::Labels vm = {{"vm", "g1"}};
     EXPECT_EQ(metrics.gaugeValue(
-                  metrics.gauge("vm_resident_frames", vm)), 5.0);
+                  metrics.gauge("mem_resident_frames", vm)), 5.0);
     EXPECT_EQ(metrics.gaugeValue(
-                  metrics.gauge("vm_swapped_frames", vm)), 3.0);
+                  metrics.gauge("mem_swapped_frames", vm)), 3.0);
     EXPECT_EQ(metrics.gaugeValue(
-                  metrics.gauge("vm_balloon_target_frames", vm)), 16.0);
+                  metrics.gauge("mem_balloon_target_frames", vm)), 16.0);
 
     // Owners registered after attach are picked up on noteOwner.
     alloc.noteOwner(2, "g2", 32);
     alloc.addResident(2, 7);
     alloc.sampleGauges();
-    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("vm_resident_frames",
+    EXPECT_EQ(metrics.gaugeValue(metrics.gauge("mem_resident_frames",
                                                {{"vm", "g2"}})),
               7.0);
 }
@@ -332,7 +334,7 @@ TEST(FrameAllocator, EnginePeriodicSamplerSeesOccupancy)
     occupancy_sampler::BookActor actor(alloc, 100);
     std::vector<double> series;
     const sim::MetricId resident =
-        metrics.gauge("vm_resident_frames", {{"vm", "g1"}});
+        metrics.gauge("mem_resident_frames", {{"vm", "g1"}});
     sim::Engine engine;
     engine.add(&actor);
     engine.setSampler(250, [&](SimNs) {

@@ -77,6 +77,39 @@ TEST(Tracer, RingWrapsKeepingTheNewestWindow)
     EXPECT_EQ(t.nameOf(n), "ev"); // names survive a clear
 }
 
+TEST(Tracer, ExactlyFullThenOnePastFullAndDumpAfterWrap)
+{
+    Tracer t(4);
+    const auto n = t.intern("ev");
+
+    // Exactly full: every event retained, nothing dropped yet.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        t.instant(SpanCat::Cpu, n, 0, /*ts=*/i * 10, /*a0=*/i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.emitted(), 4u);
+    EXPECT_EQ(t.dropped(), 0u);
+    auto events = t.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().arg0, 0u);
+    EXPECT_EQ(events.back().arg0, 3u);
+
+    // One past full: the single oldest event is evicted, order holds.
+    t.instant(SpanCat::Cpu, n, 0, /*ts=*/40, /*a0=*/4);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.emitted(), 5u);
+    EXPECT_EQ(t.dropped(), 1u);
+    events = t.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].arg0, i + 1);
+
+    // A dump after the wrap renders the surviving window only, and
+    // the timestamps it carries are the post-wrap ones.
+    const std::string json = t.chromeJson();
+    EXPECT_EQ(json.find("\"ts\":0.000"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":0.040"), std::string::npos);
+}
+
 TEST(Tracer, ScopedSpanIsInertWithoutATracerAndClosesOnUnwind)
 {
     sim::SimClock clk;

@@ -21,6 +21,15 @@
  *   --csv [NS]    Run the KVS workload with a periodic simulated-time
  *                 sampler (default every 100000 ns) and print the
  *                 metrics time-series CSV.
+ *   --scrape      Publish telemetry through hv::TelemetryPublisher,
+ *                 scrape it from a monitor guest over all three
+ *                 schemes (ELISA gate / VMCALL / ivshmem), and verify
+ *                 each guest-side Prometheus re-export is
+ *                 byte-identical to the host-side export. Exits
+ *                 non-zero on any byte difference (the CI parity job).
+ *   --postmortem  Kill a VM mid-workload via the fault plan and print
+ *                 its flight-recorder post-mortem JSON, verifying the
+ *                 ledger-delta conservation verdict.
  */
 
 #include <cstdio>
@@ -33,7 +42,10 @@
 #include "cpu/exit.hh"
 #include "cpu/guest_view.hh"
 #include "elisa/gate.hh"
+#include "guest/monitor.hh"
+#include "hv/ivshmem.hh"
 #include "hv/paging.hh"
+#include "hv/telemetry_publisher.hh"
 #include "kvs/clients.hh"
 #include "kvs/workload.hh"
 #include "net/paths.hh"
@@ -295,6 +307,164 @@ csvSection(SimNs period)
                  sampler.rows(), (unsigned long long)period);
 }
 
+/**
+ * Telemetry-scrape parity: the monitor guest's re-export must equal
+ * the host-side export byte-for-byte, over every access scheme.
+ */
+bool
+scrapeSection()
+{
+    Testbed bed;
+    sim::ExitLedger ledger;
+    sim::Tracer tracer(4096);
+    bed.hv.setLedger(&ledger);
+    bed.hv.setTracer(&tracer);
+
+    // A worked guest so the snapshot carries real counters, ledger
+    // rows and spans.
+    hv::Vm &vm = bed.addGuest("worker");
+    core::ElisaGuest worker(vm, bed.svc);
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
+    auto exported = bed.manager.exportObject(core::ExportKey("noop"),
+                                             pageSize, std::move(fns));
+    fatal_if(!exported, "export failed");
+    core::Gate noop =
+        mustAttach(worker, core::ExportKey("noop"), bed.manager);
+
+    hv::Vm &monVm = bed.addGuest("monitor");
+    elisa::guest::MonitorGuest monitor(monVm, bed.svc);
+
+    sim::Metrics metrics;
+    hv::TelemetryPublisher publisher(bed.hv, metrics);
+
+    // Sink 1: the ELISA shared object (exit-less scheme).
+    constexpr std::uint32_t slotBytes = 192 * KiB;
+    auto texp = elisa::guest::exportTelemetryRegion(
+        bed.manager, publisher, core::ExportKey("telemetry"),
+        slotBytes);
+    fatal_if(!texp, "telemetry export failed");
+    fatal_if(!monitor.attach(core::ExportKey("telemetry"), bed.manager),
+             "monitor attach failed");
+
+    // Sink 2: the direct-mapped ivshmem mirror.
+    hv::IvshmemRegion mirror(
+        bed.hv, "telemetry-mirror",
+        sim::TelemetryRegionLayout::regionBytes(slotBytes));
+    publisher.addSink(mirror.base(), mirror.size(), "ivshmem");
+    constexpr Gpa mirrorGpa = 0x5000000000ull;
+    fatal_if(!mirror.attach(monVm, mirrorGpa, ept::Perms::Read),
+             "ivshmem attach failed");
+
+    // Scheme 3: the VMCALL marshalling service.
+    const std::uint64_t scrapeNr = publisher.registerScrapeHypercall();
+
+    bed.hv.attachMetrics(metrics);
+
+    const std::uint64_t iterations = scaledCount(20000);
+    cpu::Vcpu &cpu = worker.vcpu();
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        noop.call(0);
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        cpu.vmcall(hv::hcArgs(hv::Hc::Nop));
+
+    // Freeze host truth immediately before the publish that snapshots
+    // the same state; the scrapes below mutate vCPU counters and must
+    // not be visible in this comparison.
+    const std::string host = metrics.prometheus();
+    publisher.publish(cpu.clock().now());
+
+    bool all_same = true;
+    const auto check = [&](const char *scheme, bool scraped) {
+        fatal_if(!scraped, "%s scrape failed", scheme);
+        const std::string re = monitor.prometheus();
+        const bool same = re == host;
+        all_same = all_same && same;
+        std::printf("  [scrape] %-8s seq=%llu %6zu bytes re-exported, "
+                    "byte-identical: %s\n",
+                    scheme,
+                    (unsigned long long)monitor.snapshot().seq(),
+                    re.size(), same ? "yes" : "NO");
+    };
+    check("elisa", monitor.scrape());
+    check("vmcall", monitor.scrapeVmcall(scrapeNr));
+    check("ivshmem", monitor.scrapeIvshmem(mirrorGpa));
+
+    std::printf("  [scrape] host export %zu bytes, retries %llu, "
+                "failures %llu\n",
+                host.size(), (unsigned long long)monitor.retries(),
+                (unsigned long long)monitor.failures());
+    std::printf("[scrape] byte-identical across all schemes: %s\n",
+                all_same ? "yes" : "NO");
+    mirror.detach(monVm, mirrorGpa);
+    return all_same;
+}
+
+/**
+ * Flight-recorder walkthrough: kill a VM mid-workload through the
+ * fault plan, print its post-mortem, and verify conservation.
+ */
+bool
+postmortemSection()
+{
+    Testbed bed;
+    sim::Tracer tracer(8192);
+    sim::ExitLedger ledger;
+    sim::FlightRecorder recorder(128);
+    bed.hv.setTracer(&tracer);
+    bed.hv.setLedger(&ledger);
+    bed.hv.setFlightRecorder(&recorder);
+
+    hv::Vm &victimVm = bed.addGuest("victim");
+    hv::Vm &workerVm = bed.addGuest("worker");
+    core::ElisaGuest victim(victimVm, bed.svc);
+    core::ElisaGuest worker(workerVm, bed.svc);
+    core::SharedFnTable fns;
+    fns.push_back([](core::SubCallCtx &) { return std::uint64_t{0}; });
+    auto exported = bed.manager.exportObject(core::ExportKey("noop"),
+                                             pageSize, std::move(fns));
+    fatal_if(!exported, "export failed");
+    core::Gate vgate =
+        mustAttach(victim, core::ExportKey("noop"), bed.manager);
+    core::Gate wgate =
+        mustAttach(worker, core::ExportKey("noop"), bed.manager);
+
+    // The 40th Nop from the worker kills the victim (third-party
+    // kill: teardown — and the post-mortem dump — happen right away).
+    const VmId id = victimVm.id();
+    sim::FaultPlan plan(7);
+    sim::FaultRule rule;
+    rule.site = (std::uint64_t)sim::FaultSite::Hypercall;
+    rule.hcNr = (std::uint64_t)hv::Hc::Nop;
+    rule.vm = workerVm.id();
+    rule.occurrence = 40;
+    rule.action = sim::FaultAction::KillVm;
+    rule.param = id;
+    plan.addRule(rule);
+    bed.hv.setFaultPlan(&plan);
+
+    for (unsigned i = 0; i < 64; ++i) {
+        // The victim VM (and the vCPU behind its gate) vanishes
+        // mid-loop; touch it only while it still exists.
+        if (bed.hv.hasVm(id)) {
+            vgate.call(0);
+            victim.vcpu().vmcall(hv::hcArgs(hv::Hc::Nop));
+        }
+        wgate.call(0);
+        worker.vcpu().vmcall(hv::hcArgs(hv::Hc::Nop));
+    }
+    fatal_if(bed.hv.hasVm(id), "victim survived the plan");
+    fatal_if(!recorder.hasPostMortem(id), "no post-mortem dumped");
+    std::fputs(recorder.postMortem(id).c_str(), stdout);
+    const bool conserved = recorder.postMortemConserved(id);
+    std::printf("[postmortem] vm %u spans=%zu dropped=%llu "
+                "conserved: %s\n",
+                id, recorder.heldFor(id),
+                (unsigned long long)recorder.droppedFor(id),
+                conserved ? "yes" : "NO");
+    return conserved;
+}
+
 } // anonymous namespace
 
 int
@@ -304,6 +474,8 @@ main(int argc, char **argv)
     bool do_ledger = false;
     bool do_prometheus = false;
     bool do_csv = false;
+    bool do_scrape = false;
+    bool do_postmortem = false;
     SimNs csv_period = 100000;
 
     for (int i = 1; i < argc; ++i) {
@@ -322,14 +494,20 @@ main(int argc, char **argv)
                     return 2;
                 }
             }
+        } else if (arg == "--scrape") {
+            do_scrape = true;
+        } else if (arg == "--postmortem") {
+            do_postmortem = true;
         } else {
             std::fprintf(stderr,
                          "usage: elisa_report [--ledger] "
-                         "[--prometheus] [--csv [PERIOD_NS]]\n");
+                         "[--prometheus] [--csv [PERIOD_NS]] "
+                         "[--scrape] [--postmortem]\n");
             return 2;
         }
     }
-    if (!do_ledger && !do_prometheus && !do_csv)
+    if (!do_ledger && !do_prometheus && !do_csv && !do_scrape &&
+        !do_postmortem)
         do_ledger = true;
 
     if (do_ledger) {
@@ -341,5 +519,9 @@ main(int argc, char **argv)
         prometheusSection();
     if (do_csv)
         csvSection(csv_period);
+    if (do_scrape && !scrapeSection())
+        return 1;
+    if (do_postmortem && !postmortemSection())
+        return 1;
     return 0;
 }
